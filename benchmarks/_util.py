@@ -1,0 +1,20 @@
+"""Helpers shared by the benchmark modules (env-driven sizing)."""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_trials(default: int = 5) -> int:
+    """Trials per configuration (``REPRO_TRIALS``; the paper uses 50)."""
+    return int(os.environ.get("REPRO_TRIALS", default))
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """Workload scale (``REPRO_SCALE``; 1.0 = paper-magnitude run times)."""
+    return float(os.environ.get("REPRO_SCALE", default))
+
+
+def full_run() -> bool:
+    """Whether to run the long-form experiments (``REPRO_FULL=1``)."""
+    return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")

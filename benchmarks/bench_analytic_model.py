@@ -1,0 +1,94 @@
+"""Section 6.1's analytic model: Eqs. (1)-(3) against Monte Carlo.
+
+The paper predicts, for alpha = 0.05 and beta = 0.2 at a few-hundred-
+millisecond testpoint cadence: a minimum of 5 samples to recognize poor
+progress (a few seconds' reaction time), a ~1% steady-state performance
+hit on a well-progressing low-importance process, and instability unless
+alpha < beta.  This bench regenerates those numbers, cross-checks the
+closed forms against a simulation of the judgment chain, and sweeps the
+alpha/beta trade-off the paper describes (responsiveness vs efficacy vs
+efficiency).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.queueing import (
+    expected_backoff_factor,
+    is_stable,
+    reaction_time,
+    simulate_judgment_chain,
+    steady_state_distribution,
+    suspended_fraction,
+)
+from repro.core.signtest import min_poor_samples
+
+
+def run_analytics():
+    rows = []
+    for alpha, beta in [(0.01, 0.2), (0.05, 0.2), (0.05, 0.4), (0.1, 0.2), (0.1, 0.11)]:
+        mc = simulate_judgment_chain(
+            alpha, beta, judgments=40_000, rng=random.Random(hash((alpha, beta)) & 0xFFFF)
+        )
+        rows.append(
+            {
+                "alpha": alpha,
+                "beta": beta,
+                "m": min_poor_samples(alpha),
+                "reaction_s": reaction_time(alpha, 0.3),
+                "eq3": suspended_fraction(alpha, beta),
+                "mc": mc.suspended_fraction,
+                "backoff": expected_backoff_factor(alpha, beta),
+                "stable": is_stable(alpha, beta),
+            }
+        )
+    return rows
+
+
+def test_analytic_model(benchmark, report):
+    rows = benchmark.pedantic(run_analytics, rounds=1, iterations=1)
+    lines = [
+        "Section 6.1: suspension model — closed forms vs Monte Carlo",
+        "=" * 76,
+        f"{'alpha':>6} {'beta':>6} {'m':>3} {'react(s)':>9} "
+        f"{'Eq3 susp':>9} {'MC susp':>9} {'E[2^k]':>8} {'stable':>7}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['alpha']:>6} {r['beta']:>6} {r['m']:>3} {r['reaction_s']:>9.2f} "
+            f"{r['eq3']:>9.4f} {r['mc']:>9.4f} {r['backoff']:>8.3f} {str(r['stable']):>7}"
+        )
+    paper_row = next(r for r in rows if r["alpha"] == 0.05 and r["beta"] == 0.2)
+    lines += [
+        "",
+        "paper's operating point (alpha=0.05, beta=0.2):",
+        f"  m = {paper_row['m']} samples (paper: 5);"
+        f" reaction = {paper_row['reaction_s']:.1f} s (paper: 'a few seconds');",
+        f"  steady-state suspension = {paper_row['eq3']:.1%}"
+        " (paper: ~1% degradation of the LI process).",
+        "Eq. (2) steady-state distribution p_k (k = 0..4): "
+        + ", ".join(f"{p:.4f}" for p in steady_state_distribution(0.05, 0.2, 4)),
+    ]
+    report("analytic_model", "\n".join(lines))
+
+    # The paper's operating point.
+    assert paper_row["m"] == 5
+    assert 1.0 <= paper_row["reaction_s"] <= 3.0
+    assert 0.005 <= paper_row["eq3"] <= 0.02
+    # Theory and Monte Carlo agree for comfortably stable configurations.
+    # (Near the alpha ~ beta stability boundary the suspended time is
+    # dominated by rare, enormous 2^k terms, so any finite Monte Carlo run
+    # underestimates the expectation — itself an illustration of why the
+    # paper requires alpha < beta with margin.)
+    for r in rows:
+        if r["stable"] and r["backoff"] <= 3.0:
+            assert abs(r["mc"] - r["eq3"]) <= max(0.2 * r["eq3"], 0.003)
+    # The trade-offs of section 6.1.
+    base = next(r for r in rows if (r["alpha"], r["beta"]) == (0.05, 0.2))
+    hi_beta = next(r for r in rows if (r["alpha"], r["beta"]) == (0.05, 0.4))
+    assert hi_beta["eq3"] < base["eq3"], "raising beta improves efficiency"
+    lo_alpha = next(r for r in rows if (r["alpha"], r["beta"]) == (0.01, 0.2))
+    assert lo_alpha["m"] > base["m"], "lowering alpha slows reaction"
+    marginal = next(r for r in rows if (r["alpha"], r["beta"]) == (0.1, 0.11))
+    assert marginal["backoff"] > base["backoff"], "alpha near beta degrades stability"

@@ -1,0 +1,73 @@
+"""Figure 4: Office 97 Setup time under four SIS Groveler regimes.
+
+Paper (section 9.2): the installation takes a median 250 s alone; an
+unregulated concurrent Groveler adds ~90%; CPU priority makes no
+appreciable difference; under MS Manners the installation is only ~12%
+slower.  The paper ran this one only 5 times (it was not automated).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runner import aggregate
+from repro.analysis.tables import format_box_table
+from repro.apps.base import RegulationMode
+from repro.experiments.scenarios import groveler_setup_trial
+
+from _util import bench_scale, bench_trials
+
+MODES = (
+    RegulationMode.NOT_RUNNING,
+    RegulationMode.UNREGULATED,
+    RegulationMode.CPU_PRIORITY,
+    RegulationMode.MS_MANNERS,
+)
+
+PAPER_RELATIVE = {
+    RegulationMode.NOT_RUNNING: 1.0,
+    RegulationMode.UNREGULATED: 1.9,
+    RegulationMode.CPU_PRIORITY: 1.9,
+    RegulationMode.MS_MANNERS: 1.12,
+}
+
+
+def run_figure4() -> dict[str, list[float]]:
+    scale = bench_scale()
+    trials = bench_trials()
+    samples: dict[str, list[float]] = {}
+    for mode in MODES:
+        times = []
+        for i in range(trials):
+            result = groveler_setup_trial(mode, seed=2000 + i, scale=scale)
+            assert result.hi_time is not None
+            times.append(result.hi_time)
+        samples[mode.value] = times
+    return samples
+
+
+def test_fig4_setup_time(benchmark, report):
+    samples = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    stats = aggregate(samples)
+    lines = [
+        format_box_table(
+            "Figure 4: Office-style Setup time (s)",
+            stats,
+            baseline=RegulationMode.NOT_RUNNING.value,
+        ),
+        "",
+        "paper-relative medians (vs not running):",
+    ]
+    base = stats[RegulationMode.NOT_RUNNING.value].median
+    for mode in MODES:
+        measured = stats[mode.value].median / base
+        lines.append(
+            f"  {mode.value:<14} measured {measured:5.2f}x   paper ~{PAPER_RELATIVE[mode]:4.2f}x"
+        )
+    report("fig4_setup", "\n".join(lines))
+
+    unreg = stats[RegulationMode.UNREGULATED.value].median
+    cpu = stats[RegulationMode.CPU_PRIORITY.value].median
+    manners = stats[RegulationMode.MS_MANNERS.value].median
+    assert unreg > 1.2 * base, "unregulated Groveler must slow Setup"
+    assert abs(cpu - unreg) / unreg < 0.1, "CPU priority must not help"
+    assert manners < 1.15 * base, "MS Manners must restore near-baseline"
+    assert (manners - base) < (unreg - base) / 3.0

@@ -1,0 +1,64 @@
+"""Figure 5: defragmenter run time on an otherwise-idle system.
+
+Paper (section 9.3): 410 s median whether unregulated, at low CPU
+priority, or under MS Manners — regulation costs nothing when there is no
+contention.  Under BeNice, the per-poll suspend/resume of the process's
+threads adds ~1.5%.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runner import aggregate
+from repro.analysis.tables import format_box_table
+from repro.apps.base import RegulationMode
+from repro.experiments.scenarios import defrag_idle_trial
+
+from _util import bench_scale, bench_trials
+
+MODES = (
+    RegulationMode.UNREGULATED,
+    RegulationMode.CPU_PRIORITY,
+    RegulationMode.MS_MANNERS,
+    RegulationMode.BENICE,
+)
+
+
+def run_figure5() -> dict[str, list[float]]:
+    scale = bench_scale()
+    trials = bench_trials()
+    samples: dict[str, list[float]] = {}
+    for mode in MODES:
+        times = []
+        for i in range(trials):
+            result = defrag_idle_trial(mode, seed=3000 + i, scale=scale)
+            assert result.li_time is not None
+            times.append(result.li_time)
+        samples[mode.value] = times
+    return samples
+
+
+def test_fig5_defrag_time_uncontended(benchmark, report):
+    samples = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    stats = aggregate(samples)
+    base = stats[RegulationMode.UNREGULATED.value].median
+    lines = [
+        format_box_table(
+            "Figure 5: defragment time when not contended (s)",
+            stats,
+            baseline=RegulationMode.UNREGULATED.value,
+        ),
+        "",
+        f"paper: all ~410 s (1.00x), BeNice ~1.015x;",
+        f"measured BeNice overhead: "
+        f"{stats[RegulationMode.BENICE.value].median / base - 1.0:+.1%}",
+        f"measured MS Manners overhead: "
+        f"{stats[RegulationMode.MS_MANNERS.value].median / base - 1.0:+.1%}",
+    ]
+    report("fig5_idle", "\n".join(lines))
+
+    manners = stats[RegulationMode.MS_MANNERS.value].median
+    cpu = stats[RegulationMode.CPU_PRIORITY.value].median
+    benice = stats[RegulationMode.BENICE.value].median
+    assert abs(cpu - base) / base < 0.05, "CPU priority free when idle"
+    assert abs(manners - base) / base < 0.08, "MS Manners ~free when idle"
+    assert 0.0 <= (benice - base) / base < 0.10, "BeNice adds small poll overhead"

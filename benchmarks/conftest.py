@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark/experiment harness.
+
+Each ``bench_*`` module regenerates one table or figure from the paper's
+section 9 (plus the analytic model and the ablations).  Benchmarks:
+
+* honour ``REPRO_TRIALS`` (trials per configuration; paper uses 50 for the
+  automated experiments — default here is 5 to keep a full run in minutes)
+  and ``REPRO_SCALE`` (workload scale; 1.0 = paper-magnitude run times);
+* print the regenerated rows/series next to the paper's numbers;
+* persist the same report under ``benchmarks/results/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only                 # quick
+    REPRO_TRIALS=50 REPRO_SCALE=1.0 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Print a report block and persist it under benchmarks/results/."""
+
+    def _report(name: str, text: str) -> None:
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _report

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Multiple concurrent progress metrics: the content indexer (section 4.4).
+
+A content indexer progresses along two dimensions at once — bytes of
+content scanned and index entries added — that are positively correlated
+over the long term but anti-correlated over the short term.  No single
+scalar reflects its progress.  MS Manners calibrates a target rate for
+*each* metric by ridge regression over exponentially averaged sufficient
+statistics (section 6.3), computes a target duration per testpoint as the
+sum of per-metric target durations, and regulates on that.
+
+This demo runs the indexer on the simulator, then prints the rates the
+regression inferred next to the indexer's actual cost model — the numbers
+it had to discover from nothing but (duration, progress-deltas) samples.
+
+Run:  python examples/multi_metric_indexer.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps import ContentIndexer, DiskHog
+from repro.core import MannersConfig
+from repro.simos import Kernel, SimManners, Volume, populate_volume
+from repro.simos.workload import Burst
+
+
+def main() -> None:
+    kernel = Kernel(seed=21)
+    kernel.add_disk("C")
+    volume = Volume("C", "C", total_blocks=300_000)
+    rng = random.Random(21)
+    populate_volume(
+        volume, rng, file_count=600,
+        size_range=(32 * 1024, 256 * 1024), fragment_range=(1, 2),
+    )
+
+    config = MannersConfig(
+        bootstrap_testpoints=16,
+        probation_period=0.0,
+        averaging_n=500,
+        min_testpoint_interval=0.1,
+        initial_suspension=0.5,
+        max_suspension=32.0,
+    )
+    manners = SimManners(kernel, config)
+    indexer = ContentIndexer(kernel, volume, manners=manners)
+    thread = indexer.spawn()
+
+    # Some mid-run high-importance activity so regulation has work to do.
+    DiskHog(kernel, "C", [Burst(20.0, 45.0)], seed=5).spawn()
+
+    regulator = manners.regulator(thread)
+    kernel.run(until=15.0)
+    cal = regulator.calibrator(0)
+    early = cal.rates()
+    kernel.run(until=1200.0)
+
+    stats = indexer.stats
+    print("content indexer finished" if indexer.result.elapsed else "still running")
+    print(f"  bytes scanned:  {stats.bytes_scanned:>12,}")
+    print(f"  indices added:  {stats.indices_added:>12,}")
+    print()
+    rates = cal.rates()
+    print("rates inferred by ridge regression (progress units / second):")
+    print(f"  scanning:  early {early[0] / 1e6:7.2f} MB/s -> final {rates[0] / 1e6:7.2f} MB/s")
+    print(f"  indexing:  early {early[1]:7.1f} idx/s -> final {rates[1]:7.1f} idx/s")
+    print()
+    print("for comparison, the paper's worked example (section 4.4) uses an")
+    print("indexer scanning at 750 kB/s and indexing at 120 indices/s; the")
+    print("regression discovers whatever this machine actually delivers.")
+    dur = cal.target_duration([60_000.0, 5.0])
+    print()
+    print(
+        f"target duration for '60 kB scanned + 5 indices': {dur * 1000:.0f} ms "
+        "(the paper's example computes 122 ms on its rates)"
+    )
+    trace = manners.traces[thread]
+    poors = sum(1 for r in trace.records if r.judgment and r.judgment.value == "poor")
+    print(f"\npoor judgments during the run: {poors} (the disk hog window)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Experiment post-processing: box-plot statistics, tables, trial harness."""
+
+from repro.analysis.ascii_plot import sparkline, timeseries_plot
+from repro.analysis.runner import aggregate, run_trials, trial_count
+from repro.analysis.stats import BoxStats, box_stats, median, quartiles
+from repro.analysis.tables import format_box_table, format_ratio_line, format_series
+
+__all__ = [
+    "BoxStats",
+    "aggregate",
+    "box_stats",
+    "format_box_table",
+    "format_ratio_line",
+    "format_series",
+    "median",
+    "quartiles",
+    "run_trials",
+    "sparkline",
+    "timeseries_plot",
+    "trial_count",
+]

@@ -1,0 +1,93 @@
+"""Terminal plotting for traces: the figures, in ASCII.
+
+The paper's dynamic-behaviour figures (7, 8, 9, 10) are time series; these
+helpers render such series directly in a terminal so the examples can
+*show* the regulation dynamics without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["sparkline", "timeseries_plot"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None, hi: float | None = None) -> str:
+    """One-line block-character rendering of a value series."""
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[-1] * len(values)
+    out = []
+    for v in values:
+        clamped = min(max(v, lo), hi)
+        index = int((clamped - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[index])
+    return "".join(out)
+
+
+def timeseries_plot(
+    series: Sequence[tuple[float, float]],
+    width: int = 72,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "t",
+) -> str:
+    """Multi-row ASCII plot of an (x, y) series.
+
+    The series is resampled to ``width`` columns (mean per column) and
+    rendered as a dot matrix with y-axis extremes annotated.
+    """
+    if width < 8 or height < 3:
+        raise ValueError("plot must be at least 8x3")
+    if not series:
+        return f"{title}\n(empty series)"
+    xs = [x for x, _ in series]
+    ys = [y for _, y in series]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    # Resample into columns.
+    columns: list[list[float]] = [[] for _ in range(width)]
+    span = max(x_hi - x_lo, 1e-12)
+    for x, y in series:
+        col = min(int((x - x_lo) / span * (width - 1)), width - 1)
+        columns[col].append(y)
+    col_values = [sum(c) / len(c) if c else None for c in columns]
+    # Paint the grid.
+    grid = [[" "] * width for _ in range(height)]
+    for col, value in enumerate(col_values):
+        if value is None:
+            continue
+        row = int((value - y_lo) / (y_hi - y_lo) * (height - 1))
+        row = height - 1 - min(max(row, 0), height - 1)
+        grid[row][col] = "•"
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    pad = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(pad)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(pad)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = f"{' ' * pad} +{'-' * width}"
+    lines.append(axis)
+    lines.append(
+        f"{' ' * pad}  {f'{x_lo:.3g}':<{width // 2}}{f'{x_hi:.3g} {x_label}':>{width // 2}}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Box-plot statistics exactly as the paper defines them (section 9.1).
+
+"The 'waist' in each box indicates the median value, the 'shoulders'
+indicate the upper quartile, and the 'hips' indicate the lower quartile.
+The vertical line from the top of the box extends to a horizontal bar
+indicating the maximum data value less than the upper cutoff, which is the
+upper quartile plus 3/2 the height of the box.  Similarly, the line from
+the bottom of the box extends to a bar indicating the minimum data value
+greater than the lower cutoff ... Data outside the cutoffs is represented
+as points."
+
+:func:`box_stats` computes those five numbers plus the outliers, so each
+benchmark can report precisely the quantities the paper plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["BoxStats", "box_stats", "median", "quartiles"]
+
+
+def median(values: Sequence[float]) -> float:
+    """Sample median (mean of the middle two for even sizes)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def quartiles(values: Sequence[float]) -> tuple[float, float]:
+    """(lower, upper) quartiles by the median-of-halves (Tukey) method."""
+    if not values:
+        raise ValueError("quartiles of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 1:
+        return ordered[0], ordered[0]
+    mid = n // 2
+    lower_half = ordered[:mid]
+    upper_half = ordered[mid + 1 :] if n % 2 else ordered[mid:]
+    return median(lower_half), median(upper_half)
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """One box plot's numbers, per the paper's definition."""
+
+    count: int
+    median: float
+    lower_quartile: float
+    upper_quartile: float
+    #: Whisker ends: extreme data within the 1.5-box cutoffs.
+    whisker_low: float
+    whisker_high: float
+    #: Data beyond the cutoffs.
+    outliers: tuple[float, ...]
+    mean: float
+
+    @property
+    def box_height(self) -> float:
+        """Inter-quartile range."""
+        return self.upper_quartile - self.lower_quartile
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    """Compute the paper's box-plot statistics for a sample."""
+    if not values:
+        raise ValueError("box_stats of empty sequence")
+    for v in values:
+        if not math.isfinite(v):
+            raise ValueError(f"non-finite sample value: {v}")
+    ordered = sorted(values)
+    med = median(ordered)
+    lo_q, hi_q = quartiles(ordered)
+    height = hi_q - lo_q
+    hi_cut = hi_q + 1.5 * height
+    lo_cut = lo_q - 1.5 * height
+    inside = [v for v in ordered if lo_cut <= v <= hi_cut]
+    outliers = tuple(v for v in ordered if v < lo_cut or v > hi_cut)
+    whisker_low = min(inside) if inside else lo_q
+    whisker_high = max(inside) if inside else hi_q
+    return BoxStats(
+        count=len(ordered),
+        median=med,
+        lower_quartile=lo_q,
+        upper_quartile=hi_q,
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outliers=outliers,
+        mean=sum(ordered) / len(ordered),
+    )

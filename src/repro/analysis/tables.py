@@ -1,0 +1,74 @@
+"""Plain-text rendering of the figures' data (tables and series).
+
+The benchmarks print the same rows and series the paper plots — medians,
+quartiles, whiskers, and outlier counts per configuration for the box-plot
+figures, and ``(x, y)`` series for the trace figures — so paper-vs-measured
+comparisons can be read straight off the benchmark output (and are recorded
+in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.stats import BoxStats
+
+__all__ = ["format_box_table", "format_series", "format_ratio_line"]
+
+
+def format_box_table(
+    title: str,
+    rows: Mapping[str, BoxStats],
+    unit: str = "s",
+    baseline: str | None = None,
+) -> str:
+    """Render one box-plot figure as an aligned text table.
+
+    ``baseline`` names the row against which relative medians are shown
+    (the paper's "not running" control); its own row shows 1.00x.
+    """
+    header = (
+        f"{'configuration':<24} {'median':>9} {'lo-q':>9} {'hi-q':>9} "
+        f"{'whisk-lo':>9} {'whisk-hi':>9} {'outliers':>8} {'rel':>8}"
+    )
+    lines = [title, "=" * len(title), header, "-" * len(header)]
+    base_median = rows[baseline].median if baseline is not None else None
+    for name, stats in rows.items():
+        rel = ""
+        if base_median:
+            rel = f"{stats.median / base_median:7.2f}x"
+        lines.append(
+            f"{name:<24} {stats.median:>8.1f}{unit} {stats.lower_quartile:>8.1f}{unit} "
+            f"{stats.upper_quartile:>8.1f}{unit} {stats.whisker_low:>8.1f}{unit} "
+            f"{stats.whisker_high:>8.1f}{unit} {len(stats.outliers):>8d} {rel:>8}"
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: Sequence[tuple[float, float]],
+    x_label: str = "t",
+    y_label: str = "y",
+    max_points: int = 40,
+) -> str:
+    """Render an (x, y) series compactly, down-sampling long ones."""
+    lines = [title, "=" * len(title), f"{x_label:>12} {y_label:>12}"]
+    if not series:
+        lines.append("(empty series)")
+        return "\n".join(lines)
+    step = max(1, len(series) // max_points)
+    for i in range(0, len(series), step):
+        x, y = series[i]
+        lines.append(f"{x:>12.1f} {y:>12.3f}")
+    if step > 1:
+        lines.append(f"({len(series)} points, showing every {step}th)")
+    return "\n".join(lines)
+
+
+def format_ratio_line(name: str, measured: float, paper: float, unit: str = "") -> str:
+    """One paper-vs-measured comparison line."""
+    return (
+        f"{name:<40} measured={measured:10.3f}{unit}  paper={paper:10.3f}{unit}  "
+        f"ratio={measured / paper if paper else float('nan'):6.2f}"
+    )

@@ -1,0 +1,61 @@
+"""The paper's applications, rebuilt on the simulated OS.
+
+Low-importance applications (regulated, or externally regulable via
+performance counters):
+
+* :class:`~repro.apps.defragmenter.Defragmenter` — section 8's disk
+  defragmenter (metrics: blocks moved, move operations);
+* :class:`~repro.apps.groveler.Groveler` — section 8's SIS Groveler
+  (metrics: read operations, bytes read; unregulated journal thread);
+* the section-5 exemplars: :class:`~repro.apps.indexer.ContentIndexer`
+  (concurrent metrics), :class:`~repro.apps.archiver.Archiver` (phased
+  metrics), :class:`~repro.apps.compressor.Compressor` (single metric),
+  :class:`~repro.apps.scanner.VirusScanner`.
+
+High-importance applications (the contention victims):
+
+* :class:`~repro.apps.database.DatabaseServer` — SQL-Server stand-in
+  running a TPC-C-style bulk load;
+* :class:`~repro.apps.installer.Installer` — Office-Setup stand-in
+  installing from a CD device.
+
+Synthetic loads: :class:`~repro.apps.dummyload.DiskHog` and
+:class:`~repro.apps.dummyload.CpuHog` replay busy/idle schedules for the
+isolation and calibration experiments.
+"""
+
+from repro.apps.archiver import Archiver, ArchiverStats
+from repro.apps.backup import BackupAgent, BackupStats
+from repro.apps.base import AppResult, RegulationMode
+from repro.apps.compressor import Compressor, CompressorStats
+from repro.apps.database import DatabaseServer, LoadWorkload
+from repro.apps.defragmenter import Defragmenter
+from repro.apps.dummyload import CpuHog, DiskHog
+from repro.apps.groveler import Groveler, GrovelerStats
+from repro.apps.indexer import ContentIndexer, IndexerStats
+from repro.apps.installer import Installer, InstallWorkload
+from repro.apps.scanner import ScannerStats, VirusScanner
+
+__all__ = [
+    "AppResult",
+    "Archiver",
+    "ArchiverStats",
+    "BackupAgent",
+    "BackupStats",
+    "Compressor",
+    "CompressorStats",
+    "ContentIndexer",
+    "CpuHog",
+    "DatabaseServer",
+    "Defragmenter",
+    "DiskHog",
+    "Groveler",
+    "GrovelerStats",
+    "IndexerStats",
+    "InstallWorkload",
+    "Installer",
+    "LoadWorkload",
+    "RegulationMode",
+    "ScannerStats",
+    "VirusScanner",
+]

@@ -1,0 +1,100 @@
+"""Backup system: the section-5 exemplar with disk *and* network cost.
+
+"A backup system might indicate the quantity of data it uploads.  This
+would account for both disk and network resources."
+
+The backup agent reads each file from disk and streams it over a network
+link, testpointing with a single cumulative metric: bytes uploaded.  One
+metric covers both resources because every uploaded byte was also read.
+
+This is also the natural vehicle for the section-3 external-resource
+limitation: congestion on the *remote* side of the link slows the upload
+rate exactly like local contention would, and MS Manners — which is
+resource-independent by design — suspends the backup even though the local
+machine is idle.  The test suite demonstrates both the normal operation
+and that limitation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.apps.base import AppResult
+from repro.simos.cpu import CpuPriority
+from repro.simos.effects import DiskRead, Effect, UseCPU
+from repro.simos.filesystem import Volume
+from repro.simos.kernel import Kernel, SimThread
+from repro.simos.network import NetSend
+from repro.simos.sim_manners import MannersTestpoint, SimManners
+
+__all__ = ["BackupStats", "BackupAgent"]
+
+#: CPU seconds per uploaded byte (checksumming, protocol framing).
+_CPU_PER_BYTE = 1.0 / 100_000_000.0
+#: Upload chunk, in bytes.
+_CHUNK = 65536
+
+
+@dataclass
+class BackupStats:
+    """Backup progress totals."""
+
+    files_backed_up: int = 0
+    bytes_uploaded: int = 0
+
+
+class BackupAgent:
+    """Upload every file of a volume over a network link, one pass."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        volume: Volume,
+        link: str,
+        manners: SimManners | None = None,
+        process: str = "backup",
+    ) -> None:
+        self._kernel = kernel
+        self._volume = volume
+        self._link = link
+        self._manners = manners
+        self._process = process
+        self.stats = BackupStats()
+        self.result = AppResult(name=process)
+        self.thread: SimThread | None = None
+
+    def spawn(self, start_after: float = 0.0) -> SimThread:
+        """Start one backup pass."""
+        self.thread = self._kernel.spawn(
+            f"{self._process}:main",
+            self._body(),
+            priority=CpuPriority.LOW,
+            process=self._process,
+            start_after=start_after,
+        )
+        if self._manners is not None:
+            self._manners.regulate(self.thread)
+        return self.thread
+
+    def _body(self) -> Generator[Effect, object, None]:
+        self.result.started_at = self._kernel.now
+        volume = self._volume
+        for f in list(volume.files()):
+            if f.sis_link is not None:
+                continue
+            for block, nbytes in volume.read_plan(f.file_id, _CHUNK):
+                yield DiskRead(volume.disk, block, nbytes)
+                yield UseCPU(nbytes * _CPU_PER_BYTE)
+                yield NetSend(self._link, nbytes)
+                self.stats.bytes_uploaded += nbytes
+                if self._manners is not None:
+                    yield MannersTestpoint((float(self.stats.bytes_uploaded),))
+            self.stats.files_backed_up += 1
+        self.result.finished_at = self._kernel.now
+        self.result.totals.update(
+            {
+                "files_backed_up": self.stats.files_backed_up,
+                "bytes_uploaded": self.stats.bytes_uploaded,
+            }
+        )

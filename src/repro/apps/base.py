@@ -1,0 +1,92 @@
+"""Shared plumbing for simulated applications.
+
+All applications in :mod:`repro.apps` follow one shape: a Python class that
+owns configuration and results, whose :meth:`spawn` method creates kernel
+threads from generator bodies.  Regulated variants yield
+:class:`~repro.simos.sim_manners.MannersTestpoint` effects; unmodified
+variants publish performance counters instead (so BeNice can regulate them
+externally); both variants share the same I/O logic.
+
+This module provides the common helpers: effect generators for file I/O,
+a result record, and the regulation-mode enum used by every experiment
+configuration (the columns of the paper's Figures 3-6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Generator, Iterable
+
+from repro.simos.effects import DiskRead, DiskWrite, Effect
+from repro.simos.filesystem import Volume
+
+__all__ = ["RegulationMode", "AppResult", "read_file_effects", "write_ops_effects"]
+
+
+class RegulationMode(enum.Enum):
+    """How a low-importance application is run in an experiment.
+
+    The values correspond to the columns of the paper's Figures 3-6.
+    """
+
+    #: The application is not started at all (the control measurement).
+    NOT_RUNNING = "not running"
+    #: Runs at normal priority with no regulation.
+    UNREGULATED = "unregulated"
+    #: Runs with low CPU priority only (the classic, insufficient fix).
+    CPU_PRIORITY = "CPU priority"
+    #: Regulated through the MS Manners library (testpoint calls).
+    MS_MANNERS = "MS Manners"
+    #: Unmodified binary regulated externally by BeNice via perf counters.
+    BENICE = "BeNice"
+
+
+@dataclass
+class AppResult:
+    """Start/finish bookkeeping shared by all applications."""
+
+    name: str
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Application-specific progress totals (bytes read, ops, ...).
+    totals: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def elapsed(self) -> float | None:
+        """Run time in seconds, or ``None`` if unfinished."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+def read_file_effects(
+    volume: Volume, file_id: int, chunk_bytes: int = 65536
+) -> Generator[Effect, None, tuple[int, int]]:
+    """Yield the DiskRead effects to read a whole file.
+
+    Returns ``(operations, bytes_read)`` so callers can update their
+    progress counters.  Usage inside a thread body::
+
+        ops, nbytes = yield from read_file_effects(volume, f.file_id)
+    """
+    ops = 0
+    total = 0
+    for block, nbytes in volume.read_plan(file_id, chunk_bytes):
+        yield DiskRead(volume.disk, block, nbytes)
+        ops += 1
+        total += nbytes
+    return ops, total
+
+
+def write_ops_effects(
+    volume: Volume, ops: Iterable[tuple[int, int]]
+) -> Generator[Effect, None, tuple[int, int]]:
+    """Yield DiskWrite effects for pre-planned ``(disk block, nbytes)`` ops."""
+    count = 0
+    total = 0
+    for block, nbytes in ops:
+        yield DiskWrite(volume.disk, block, nbytes)
+        count += 1
+        total += nbytes
+    return count, total

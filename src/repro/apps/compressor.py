@@ -1,0 +1,104 @@
+"""File compressor: the paper's single-metric exemplar (section 5).
+
+"A file compressor might indicate the quantity of data it compresses.
+This would account for resources consumed reading data, writing data, and
+compressing data."
+
+The compressor reads each file, charges CPU proportional to the input
+bytes, writes the (smaller) output, and testpoints with a single cumulative
+metric: bytes compressed.  It exercises the
+:class:`~repro.core.calibration.SingleMetricCalibrator` path (exponential
+averaging of the rate, Eq. 4) end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.apps.base import AppResult, read_file_effects
+from repro.simos.cpu import CpuPriority
+from repro.simos.effects import DiskWrite, Effect, UseCPU
+from repro.simos.filesystem import Volume
+from repro.simos.kernel import Kernel, SimThread
+from repro.simos.sim_manners import MannersTestpoint, SimManners
+
+__all__ = ["CompressorStats", "Compressor"]
+
+#: CPU seconds per input byte (≈ 20 MB/s compression on era hardware).
+_COMPRESS_CPU_PER_BYTE = 1.0 / 20_000_000.0
+#: Output size as a fraction of input.
+_RATIO = 0.55
+#: Output write chunk, in bytes.
+_CHUNK = 65536
+
+
+@dataclass
+class CompressorStats:
+    """Compression progress totals."""
+
+    bytes_compressed: int = 0
+    files_compressed: int = 0
+
+
+class Compressor:
+    """Compress every file on a volume, one pass."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        volume: Volume,
+        manners: SimManners | None = None,
+        process: str = "compressor",
+    ) -> None:
+        self._kernel = kernel
+        self._volume = volume
+        self._manners = manners
+        self._process = process
+        self.stats = CompressorStats()
+        self.result = AppResult(name=process)
+        self.thread: SimThread | None = None
+        self._out_extent = volume.allocate(max(64, volume.free_blocks // 4))[0]
+
+    def spawn(self, start_after: float = 0.0) -> SimThread:
+        """Start one compression pass."""
+        self.thread = self._kernel.spawn(
+            f"{self._process}:main",
+            self._body(),
+            priority=CpuPriority.LOW,
+            process=self._process,
+            start_after=start_after,
+        )
+        if self._manners is not None:
+            self._manners.regulate(self.thread)
+        return self.thread
+
+    def _body(self) -> Generator[Effect, object, None]:
+        self.result.started_at = self._kernel.now
+        volume = self._volume
+        cursor = 0
+        for f in list(volume.files()):
+            if f.sis_link is not None:
+                continue
+            ops, nbytes = yield from read_file_effects(volume, f.file_id, _CHUNK)
+            yield UseCPU(nbytes * _COMPRESS_CPU_PER_BYTE)
+            out_remaining = int(nbytes * _RATIO)
+            while out_remaining > 0:
+                chunk = min(_CHUNK, out_remaining)
+                block = self._out_extent.start + cursor
+                yield DiskWrite(volume.disk, volume.to_disk_block(block), chunk)
+                cursor = (cursor + max(1, chunk // volume.block_size)) % max(
+                    self._out_extent.count - 16, 1
+                )
+                out_remaining -= chunk
+            self.stats.bytes_compressed += nbytes
+            self.stats.files_compressed += 1
+            if self._manners is not None:
+                yield MannersTestpoint((float(self.stats.bytes_compressed),))
+        self.result.finished_at = self._kernel.now
+        self.result.totals.update(
+            {
+                "bytes_compressed": self.stats.bytes_compressed,
+                "files_compressed": self.stats.files_compressed,
+            }
+        )

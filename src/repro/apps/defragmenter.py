@@ -1,0 +1,130 @@
+"""The disk defragmenter (paper section 8).
+
+"The disk defragmenter progressively refines the disk layout by a series of
+passes, each of which examines the layout and rearranges the blocks of one
+or more files to improve their physical locality on the disk.  After each
+relocation operation, the defragmenter calls the MS Manners testpoint
+function with two non-orthogonal measures of progress: the count of file
+blocks moved and the count of move operations.  The defragmenter creates a
+separate execution thread for each disk partition."
+
+This implementation performs one pass per volume (the experiments configure
+it "to halt after one pass through the file system"): it walks files in id
+order, and for each fragmented file reads every extent, rewrites the blocks
+into a fresh contiguous allocation, commits the relocation, and — when
+regulated through the library — testpoints with ``(blocks moved, move
+operations)``.  When unregulated it publishes the same two numbers as
+performance counters, which is what lets BeNice regulate the *unmodified*
+defragmenter in the paper's Figure 3/5 "BeNice" columns.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.base import AppResult
+from repro.simos.cpu import CpuPriority
+from repro.simos.effects import DiskRead, DiskWrite, Effect, UseCPU
+from repro.simos.filesystem import Volume
+from repro.simos.kernel import Kernel, SimThread
+from repro.simos.perfcounters import PerfCounterRegistry
+from repro.simos.sim_manners import MannersTestpoint, SimManners
+
+__all__ = ["Defragmenter"]
+
+#: CPU cost of updating filesystem metadata per relocation, in seconds.
+_RELOCATE_CPU = 0.002
+
+
+class Defragmenter:
+    """One-pass disk defragmenter, one thread per volume."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        volumes: list[Volume],
+        manners: SimManners | None = None,
+        registry: PerfCounterRegistry | None = None,
+        process: str = "defrag",
+        cpu_priority: CpuPriority = CpuPriority.NORMAL,
+        chunk_bytes: int = 65536,
+    ) -> None:
+        """Configure a defragmenter.
+
+        Args:
+            kernel: The simulated machine.
+            volumes: Partitions to defragment (one thread each).
+            manners: When given, threads are regulated through the MS
+                Manners library (testpoint after every relocation).
+            registry: When given, progress is published as performance
+                counters ``blocks_moved`` and ``move_ops`` (per volume),
+                the interface BeNice polls.
+            process: Process name (groups threads under one supervisor).
+            cpu_priority: CPU priority class (the "CPU priority" columns
+                run with :attr:`CpuPriority.LOW`).
+            chunk_bytes: I/O transfer size for relocations.
+        """
+        self._kernel = kernel
+        self._volumes = volumes
+        self._manners = manners
+        self._registry = registry
+        self._process = process
+        self._cpu_priority = cpu_priority
+        self._chunk = chunk_bytes
+        self.results: dict[str, AppResult] = {}
+        self.threads: dict[str, SimThread] = {}
+
+    def spawn(self, start_after: float = 0.0) -> list[SimThread]:
+        """Create one defragmentation thread per volume."""
+        spawned = []
+        for volume in self._volumes:
+            name = f"{self._process}:{volume.name}"
+            result = AppResult(name=name, totals={"blocks_moved": 0, "move_ops": 0})
+            self.results[volume.name] = result
+            thread = self._kernel.spawn(
+                name,
+                self._pass_body(volume, result),
+                priority=self._cpu_priority,
+                process=self._process,
+                start_after=start_after,
+            )
+            self.threads[volume.name] = thread
+            if self._manners is not None:
+                self._manners.regulate(thread)
+            spawned.append(thread)
+        return spawned
+
+    # -- thread body ----------------------------------------------------------------
+    def _pass_body(
+        self, volume: Volume, result: AppResult
+    ) -> Generator[Effect, object, None]:
+        counters = None
+        if self._registry is not None:
+            counters = (
+                self._registry.publish(self._process, f"{volume.name}.blocks_moved"),
+                self._registry.publish(self._process, f"{volume.name}.move_ops"),
+            )
+        result.started_at = self._kernel.now
+        blocks_moved = 0
+        move_ops = 0
+        for f in list(volume.files()):
+            plan = volume.relocation_plan(f.file_id, self._chunk)
+            if plan is None:
+                continue
+            reads, writes, new_extents = plan
+            for block, nbytes in reads:
+                yield DiskRead(volume.disk, block, nbytes)
+            for block, nbytes in writes:
+                yield DiskWrite(volume.disk, block, nbytes)
+            yield UseCPU(_RELOCATE_CPU)
+            volume.commit_relocation(f.file_id, new_extents, self._kernel.now)
+            blocks_moved += f.blocks
+            move_ops += 1
+            if counters is not None:
+                counters[0].set(blocks_moved)
+                counters[1].set(move_ops)
+            if self._manners is not None:
+                yield MannersTestpoint((float(blocks_moved), float(move_ops)))
+        result.finished_at = self._kernel.now
+        result.totals["blocks_moved"] = blocks_moved
+        result.totals["move_ops"] = move_ops

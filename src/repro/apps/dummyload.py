@@ -1,0 +1,121 @@
+"""Dummy load generators (paper sections 9.5 and 9.6).
+
+The thread-isolation experiment (Figure 9) uses "dummy applications to
+generate intensive disk and CPU loads", switched on and off on a schedule;
+the calibration experiment (Figure 10) uses "a time-varying, bursty disk
+load" whose mean varies sinusoidally (see
+:func:`repro.simos.workload.bursty_schedule`).
+
+Both are provided here as schedule-driven simulated processes:
+
+* :class:`DiskHog` — saturates one disk with random 64 KB reads during
+  each busy interval;
+* :class:`CpuHog` — consumes the CPU at normal priority during each busy
+  interval.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from repro.simos.cpu import CpuPriority
+from repro.simos.effects import Delay, DiskRead, Effect, UseCPU
+from repro.simos.kernel import Kernel, SimThread
+from repro.simos.workload import Burst
+
+__all__ = ["DiskHog", "CpuHog"]
+
+
+class DiskHog:
+    """Random-read disk load following a busy/idle schedule."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        disk: str,
+        schedule: list[Burst],
+        request_bytes: int = 65536,
+        block_span: int = 500_000,
+        process: str | None = None,
+        seed: int = 23,
+    ) -> None:
+        self._kernel = kernel
+        self._disk = disk
+        self._schedule = schedule
+        self._request_bytes = request_bytes
+        self._span = block_span
+        self._process = process or f"diskhog:{disk}"
+        self._rng = random.Random(seed)
+        self.thread: SimThread | None = None
+        self.requests_issued = 0
+
+    def spawn(self) -> SimThread:
+        """Start replaying the schedule."""
+        self.thread = self._kernel.spawn(
+            self._process,
+            self._body(),
+            priority=CpuPriority.NORMAL,
+            process=self._process,
+        )
+        return self.thread
+
+    def _body(self) -> Generator[Effect, object, None]:
+        for burst in self._schedule:
+            now = self._kernel.now
+            if now < burst.start:
+                yield Delay(burst.start - now)
+            while self._kernel.now < burst.end:
+                block = self._rng.randrange(self._span)
+                yield DiskRead(self._disk, block, self._request_bytes)
+                self.requests_issued += 1
+
+
+class CpuHog:
+    """CPU-saturating load following a busy/idle schedule."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        schedule: list[Burst],
+        slice_seconds: float = 0.05,
+        priority: CpuPriority = CpuPriority.NORMAL,
+        process: str = "cpuhog",
+        duty: float = 1.0,
+    ) -> None:
+        """``duty`` < 1 leaves breathing room each slice, approximating the
+        priority boosting real schedulers give starved threads: a fully
+        saturating normal-priority load would freeze low-priority threads
+        outright, whereas the paper's observation is that their *progress
+        rate* collapses and MS Manners suspends them."""
+        if not 0.0 < duty <= 1.0:
+            raise ValueError(f"duty must be in (0, 1], got {duty}")
+        self._kernel = kernel
+        self._schedule = schedule
+        self._slice = slice_seconds
+        self._priority = priority
+        self._process = process
+        self._duty = duty
+        self.thread: SimThread | None = None
+        self.cpu_consumed = 0.0
+
+    def spawn(self) -> SimThread:
+        """Start replaying the schedule."""
+        self.thread = self._kernel.spawn(
+            self._process,
+            self._body(),
+            priority=self._priority,
+            process=self._process,
+        )
+        return self.thread
+
+    def _body(self) -> Generator[Effect, object, None]:
+        for burst in self._schedule:
+            now = self._kernel.now
+            if now < burst.start:
+                yield Delay(burst.start - now)
+            while self._kernel.now < burst.end:
+                yield UseCPU(self._slice)
+                self.cpu_consumed += self._slice
+                if self._duty < 1.0:
+                    yield Delay(self._slice * (1.0 - self._duty) / self._duty)

@@ -1,0 +1,227 @@
+"""The SIS Groveler (paper section 8).
+
+"The Groveler maintains a database of information about all files on the
+disk, including a signature of the file contents.  Periodically, it scans
+the file system change journal ... For any new or modified files, the
+Groveler reads the file contents, computes a new signature, searches its
+database for matching files, and merges any duplicates it finds.
+
+For each disk partition, the Groveler creates two threads, a lightweight
+thread for scanning the file system change journal, and a main thread for
+reading and comparing file contents.  The former thread is not regulated,
+in order to prevent the change journal from overflowing.  The latter thread
+periodically testpoints with two non-orthogonal progress measures: the
+count of read operations performed and the volume of data read.  The
+Groveler tells MS Manners to give highest priority to the thread working on
+the disk with the least free space."
+
+All of that is reproduced here.  The signature is computed by charging CPU
+proportional to the bytes hashed; actual equality is decided by the
+filesystem's content identity (two files are duplicates iff their
+``content_id`` matches), which is what a collision-free signature
+establishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.apps.base import AppResult, read_file_effects
+from repro.simos.cpu import CpuPriority
+from repro.simos.effects import Delay, DiskWrite, Effect, UseCPU
+from repro.simos.filesystem import Volume
+from repro.simos.kernel import Kernel, SimThread
+from repro.simos.perfcounters import PerfCounterRegistry
+from repro.simos.sim_manners import MannersTestpoint, SimManners
+
+__all__ = ["GrovelerStats", "Groveler"]
+
+#: CPU seconds to hash one byte of content (≈ 40 MB/s hashing on the era's
+#: hardware).
+_HASH_CPU_PER_BYTE = 1.0 / 40_000_000.0
+#: CPU seconds per signature database lookup.
+_DB_LOOKUP_CPU = 0.0005
+#: Bytes written to record a SIS link when a duplicate is merged.
+_LINK_WRITE_BYTES = 4096
+#: How often the journal-scan thread wakes, in seconds.
+_SCAN_INTERVAL = 1.0
+#: Idle scan cycles after which the groveler considers its workload done.
+_IDLE_SCANS_TO_FINISH = 3
+
+
+@dataclass
+class GrovelerStats:
+    """Per-volume groveling progress."""
+
+    read_ops: int = 0
+    bytes_read: int = 0
+    files_groveled: int = 0
+    duplicates_merged: int = 0
+    blocks_reclaimed: int = 0
+
+
+class Groveler:
+    """Duplicate-file finder: one scan thread + one main thread per volume."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        volumes: list[Volume],
+        manners: SimManners | None = None,
+        registry: PerfCounterRegistry | None = None,
+        process: str = "groveler",
+        cpu_priority: CpuPriority = CpuPriority.LOW,
+        run_until_idle: bool = True,
+    ) -> None:
+        """Configure the Groveler.
+
+        ``cpu_priority`` defaults to LOW because the paper notes "the
+        Groveler's CPU priority is set low, so it is very responsive to CPU
+        load" (section 9.5) — its disk progress is what MS Manners
+        regulates.  ``run_until_idle`` makes the main thread exit after the
+        journal stays empty (fixed-workload experiments); otherwise it
+        grovels forever, as the real service does.
+        """
+        self._kernel = kernel
+        self._volumes = volumes
+        self._manners = manners
+        self._registry = registry
+        self._process = process
+        self._cpu_priority = cpu_priority
+        self._run_until_idle = run_until_idle
+        self.stats: dict[str, GrovelerStats] = {v.name: GrovelerStats() for v in volumes}
+        self.results: dict[str, AppResult] = {}
+        self.main_threads: dict[str, SimThread] = {}
+        self.scan_threads: dict[str, SimThread] = {}
+        #: Signature database: content_id -> keeper file_id, per volume.
+        self._signature_db: dict[str, dict[int, int]] = {v.name: {} for v in volumes}
+
+    def spawn(self, start_after: float = 0.0) -> list[SimThread]:
+        """Create the per-volume thread pairs.
+
+        Thread priorities follow the paper's policy: the main thread on the
+        volume with the least free space gets the highest MS Manners
+        priority.
+        """
+        # Rank volumes: fullest (least free) first => highest priority.
+        order = sorted(self._volumes, key=lambda v: v.free_blocks)
+        priority_of = {v.name: len(order) - i for i, v in enumerate(order)}
+        spawned: list[SimThread] = []
+        for volume in self._volumes:
+            queue: list[int] = []
+            result = AppResult(name=f"{self._process}:{volume.name}")
+            self.results[volume.name] = result
+            scan = self._kernel.spawn(
+                f"{self._process}:{volume.name}:scan",
+                self._scan_body(volume, queue),
+                priority=self._cpu_priority,
+                process=self._process,
+                start_after=start_after,
+            )
+            main = self._kernel.spawn(
+                f"{self._process}:{volume.name}:main",
+                self._main_body(volume, queue, result),
+                priority=self._cpu_priority,
+                process=self._process,
+                start_after=start_after,
+            )
+            self.scan_threads[volume.name] = scan
+            self.main_threads[volume.name] = main
+            if self._manners is not None:
+                # Only the main thread is regulated (journal must not
+                # overflow); priority favours the fullest disk.
+                self._manners.regulate(main, priority=priority_of[volume.name])
+            spawned.extend((scan, main))
+        return spawned
+
+    # -- journal-scan thread (unregulated) --------------------------------------------
+    def _scan_body(
+        self, volume: Volume, queue: list[int]
+    ) -> Generator[Effect, object, None]:
+        last_usn = 0
+        while True:
+            records = volume.journal_since(last_usn)
+            if records:
+                last_usn = records[-1].usn
+                pending = set(queue)
+                for record in records:
+                    if record.reason in ("create", "modify") and record.file_id not in pending:
+                        queue.append(record.file_id)
+                        pending.add(record.file_id)
+                # Journal parsing is cheap but not free.
+                yield UseCPU(0.0001 * len(records))
+            if self._finished(volume):
+                return
+            yield Delay(_SCAN_INTERVAL)
+
+    def _finished(self, volume: Volume) -> bool:
+        result = self.results[volume.name]
+        return result.finished_at is not None
+
+    # -- main groveling thread (regulated) ------------------------------------------------
+    def _main_body(
+        self, volume: Volume, queue: list[int], result: AppResult
+    ) -> Generator[Effect, object, None]:
+        result.started_at = self._kernel.now
+        stats = self.stats[volume.name]
+        db = self._signature_db[volume.name]
+        counters = None
+        if self._registry is not None:
+            counters = (
+                self._registry.publish(self._process, f"{volume.name}.read_ops"),
+                self._registry.publish(self._process, f"{volume.name}.bytes_read"),
+            )
+        idle_scans = 0
+        while True:
+            if not queue:
+                idle_scans += 1
+                if self._run_until_idle and idle_scans >= _IDLE_SCANS_TO_FINISH:
+                    break
+                yield Delay(_SCAN_INTERVAL)
+                continue
+            idle_scans = 0
+            file_id = queue.pop(0)
+            try:
+                f = volume.file(file_id)
+            except Exception:
+                continue  # Deleted before we got to it.
+            if f.sis_link is not None:
+                continue
+            ops, nbytes = yield from read_file_effects(volume, file_id)
+            stats.read_ops += ops
+            stats.bytes_read += nbytes
+            yield UseCPU(nbytes * _HASH_CPU_PER_BYTE + _DB_LOOKUP_CPU)
+            stats.files_groveled += 1
+            keeper = db.get(f.content_id)
+            if keeper is None or keeper == file_id:
+                db[f.content_id] = file_id
+            else:
+                # Duplicate found: merge into the common-store file.  The
+                # link (reparse point) is written where the duplicate's
+                # metadata lives — right where the head just finished
+                # reading — so merge cost stays small relative to the
+                # regulated read metrics (the paper's groveler regulates on
+                # read ops and bytes read only; section 5's coverage
+                # requirement would be violated by expensive uncovered
+                # merge work).
+                link_block = volume.to_disk_block(f.extents[0].start)
+                reclaimed = volume.merge_duplicate(file_id, keeper, self._kernel.now)
+                if reclaimed:
+                    yield DiskWrite(volume.disk, link_block, _LINK_WRITE_BYTES)
+                    stats.duplicates_merged += 1
+                    stats.blocks_reclaimed += reclaimed
+            if counters is not None:
+                counters[0].set(stats.read_ops)
+                counters[1].set(stats.bytes_read)
+            if self._manners is not None:
+                yield MannersTestpoint((float(stats.read_ops), float(stats.bytes_read)))
+        result.finished_at = self._kernel.now
+        result.totals.update(
+            {
+                "read_ops": stats.read_ops,
+                "bytes_read": stats.bytes_read,
+                "files_groveled": stats.files_groveled,
+                "duplicates_merged": stats.duplicates_merged,
+            }
+        )

@@ -1,0 +1,89 @@
+"""Virus scanner: another section-5 exemplar.
+
+"A virus scanner might indicate the count of files and the quantity of
+data it scans." — two concurrent metrics, like the Groveler's, but with a
+different cost profile: per-file overhead (opening, signature-table setup)
+is large relative to per-byte scanning, so the regression must assign
+meaningful cost to *both* metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.apps.base import AppResult, read_file_effects
+from repro.simos.cpu import CpuPriority
+from repro.simos.effects import Effect, UseCPU
+from repro.simos.filesystem import Volume
+from repro.simos.kernel import Kernel, SimThread
+from repro.simos.sim_manners import MannersTestpoint, SimManners
+
+__all__ = ["ScannerStats", "VirusScanner"]
+
+#: CPU seconds of per-file overhead (open, header parse, table reset).
+_PER_FILE_CPU = 0.004
+#: CPU seconds per scanned byte (pattern matching).
+_SCAN_CPU_PER_BYTE = 1.0 / 50_000_000.0
+
+
+@dataclass
+class ScannerStats:
+    """Scanning progress totals."""
+
+    files_scanned: int = 0
+    bytes_scanned: int = 0
+
+
+class VirusScanner:
+    """Scan every file on a volume, one pass."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        volume: Volume,
+        manners: SimManners | None = None,
+        process: str = "scanner",
+    ) -> None:
+        self._kernel = kernel
+        self._volume = volume
+        self._manners = manners
+        self._process = process
+        self.stats = ScannerStats()
+        self.result = AppResult(name=process)
+        self.thread: SimThread | None = None
+
+    def spawn(self, start_after: float = 0.0) -> SimThread:
+        """Start one scanning pass."""
+        self.thread = self._kernel.spawn(
+            f"{self._process}:main",
+            self._body(),
+            priority=CpuPriority.LOW,
+            process=self._process,
+            start_after=start_after,
+        )
+        if self._manners is not None:
+            self._manners.regulate(self.thread)
+        return self.thread
+
+    def _body(self) -> Generator[Effect, object, None]:
+        self.result.started_at = self._kernel.now
+        for f in list(self._volume.files()):
+            if f.sis_link is not None:
+                continue
+            yield UseCPU(_PER_FILE_CPU)
+            ops, nbytes = yield from read_file_effects(self._volume, f.file_id)
+            yield UseCPU(nbytes * _SCAN_CPU_PER_BYTE)
+            self.stats.files_scanned += 1
+            self.stats.bytes_scanned += nbytes
+            if self._manners is not None:
+                yield MannersTestpoint(
+                    (float(self.stats.files_scanned), float(self.stats.bytes_scanned))
+                )
+        self.result.finished_at = self._kernel.now
+        self.result.totals.update(
+            {
+                "files_scanned": self.stats.files_scanned,
+                "bytes_scanned": self.stats.bytes_scanned,
+            }
+        )

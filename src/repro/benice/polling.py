@@ -1,0 +1,99 @@
+"""Adaptive polling-interval control for BeNice (paper section 7.2).
+
+"BeNice automatically adjusts the polling frequency to track the rate of
+performance-counter updates.  If the fraction of polling intervals with no
+change in progress exceeds a threshold, BeNice increases the polling
+interval.  If this fraction falls below a threshold, BeNice decreases the
+interval, subject to a lower limit."
+
+:class:`AdaptivePoller` implements that controller over a sliding window of
+recent polls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.errors import ConfigError
+
+__all__ = ["AdaptivePoller"]
+
+
+class AdaptivePoller:
+    """Sliding-window controller for the BeNice polling interval."""
+
+    def __init__(
+        self,
+        initial_interval: float = 0.3,
+        min_interval: float = 0.1,
+        max_interval: float = 10.0,
+        window: int = 16,
+        raise_threshold: float = 0.5,
+        lower_threshold: float = 0.125,
+        factor: float = 2.0,
+    ) -> None:
+        """Configure the controller.
+
+        Args:
+            initial_interval: Starting poll interval, seconds.
+            min_interval: The paper's "lower limit" on the interval.
+            max_interval: Cap so a long-idle application is still observed.
+            window: Number of recent polls considered.
+            raise_threshold: No-change fraction above which the interval
+                grows (polling faster than the app updates its counters is
+                pure overhead).
+            lower_threshold: No-change fraction below which the interval
+                shrinks (every poll sees fresh progress, so finer-grained
+                regulation is available for free).
+            factor: Multiplicative step for interval changes.
+        """
+        if not 0 < min_interval <= initial_interval <= max_interval:
+            raise ConfigError(
+                "need 0 < min_interval <= initial_interval <= max_interval, got "
+                f"{min_interval}, {initial_interval}, {max_interval}"
+            )
+        if window < 4:
+            raise ConfigError(f"window must be >= 4, got {window}")
+        if not 0.0 <= lower_threshold < raise_threshold <= 1.0:
+            raise ConfigError(
+                "need 0 <= lower_threshold < raise_threshold <= 1, got "
+                f"{lower_threshold}, {raise_threshold}"
+            )
+        if factor <= 1.0:
+            raise ConfigError(f"factor must be > 1, got {factor}")
+        self._interval = initial_interval
+        self._min = min_interval
+        self._max = max_interval
+        self._history: deque[bool] = deque(maxlen=window)
+        self._raise = raise_threshold
+        self._lower = lower_threshold
+        self._factor = factor
+        self.adjustments = 0
+
+    @property
+    def interval(self) -> float:
+        """Current polling interval, in seconds."""
+        return self._interval
+
+    @property
+    def no_change_fraction(self) -> float | None:
+        """Fraction of the window's polls that saw no progress, or ``None``."""
+        if not self._history:
+            return None
+        return sum(self._history) / len(self._history)
+
+    def record_poll(self, progress_changed: bool) -> float:
+        """Record one poll's outcome; return the (possibly updated) interval."""
+        self._history.append(not progress_changed)
+        if len(self._history) == self._history.maxlen:
+            fraction = self.no_change_fraction
+            assert fraction is not None
+            if fraction > self._raise and self._interval < self._max:
+                self._interval = min(self._interval * self._factor, self._max)
+                self._history.clear()
+                self.adjustments += 1
+            elif fraction < self._lower and self._interval > self._min:
+                self._interval = max(self._interval / self._factor, self._min)
+                self._history.clear()
+                self.adjustments += 1
+        return self._interval

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands:
+
+* ``info`` — version, default configuration, and the derived section-6
+  quantities (minimum samples, reaction time, steady-state cost).
+* ``benice`` — regulate a *real, running OS process* from the command
+  line: poll its JSON counter file, run the MS Manners pipeline, enforce
+  suspensions with SIGSTOP/SIGCONT.  The deployable form of the paper's
+  BeNice (section 7.2).
+* ``figures`` — regenerate the trace figures' data (Figures 7, 8, 9, 10)
+  as tab-separated files ready for any plotting tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.core.config import DEFAULT_CONFIG, MannersConfig
+from repro.core.queueing import reaction_time, suspended_fraction
+
+__all__ = ["main"]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    config = DEFAULT_CONFIG
+    print(f"repro {__version__} — MS Manners (Douceur & Bolosky, SOSP'99)")
+    print()
+    print("default configuration (the paper's experimental values):")
+    for key, value in config.as_dict().items():
+        print(f"  {key:<24} {value}")
+    print()
+    print("derived (section 6.1):")
+    print(f"  min samples to condemn    {config.min_poor_samples}")
+    print(f"  reaction @ 300ms cadence  {reaction_time(config.alpha, 0.3):.1f} s")
+    print(
+        f"  steady-state LI cost      "
+        f"{suspended_fraction(config.alpha, config.beta):.1%}"
+    )
+    return 0
+
+
+def _config_from_args(args: argparse.Namespace) -> MannersConfig:
+    overrides = {}
+    for name in (
+        "alpha",
+        "beta",
+        "initial_suspension",
+        "max_suspension",
+        "min_testpoint_interval",
+    ):
+        value = getattr(args, name, None)
+        if value is not None:
+            overrides[name] = value
+    return DEFAULT_CONFIG.with_overrides(**overrides) if overrides else DEFAULT_CONFIG
+
+
+def _cmd_benice(args: argparse.Namespace) -> int:
+    from repro.realtime.posix_benice import JsonFileCounters, PosixBeNice
+
+    names = [n.strip() for n in args.names.split(",") if n.strip()]
+    if not names:
+        print("error: --names must list at least one counter", file=sys.stderr)
+        return 2
+    config = _config_from_args(args)
+    benice = PosixBeNice(
+        args.pid, JsonFileCounters(args.counters, names), config=config
+    )
+    print(
+        f"regulating pid {args.pid} on counters {names} from {args.counters} "
+        f"(alpha={config.alpha}, beta={config.beta}); ctrl-C to stop"
+    )
+    stop = {"flag": False}
+
+    def on_signal(signum, frame):  # pragma: no cover - interactive path
+        stop["flag"] = True
+
+    signal.signal(signal.SIGINT, on_signal)
+    signal.signal(signal.SIGTERM, on_signal)
+    benice.start()
+    try:
+        while not stop["flag"] and benice.target_alive:
+            time.sleep(0.5)
+            if args.verbose:
+                stats = benice.stats
+                print(
+                    f"  polls={stats.polls} suspensions={stats.suspensions} "
+                    f"frozen={stats.total_suspension_time:.1f}s",
+                    end="\r",
+                    flush=True,
+                )
+            if args.duration and time.monotonic() >= args.duration_deadline:
+                break
+    finally:
+        benice.stop()
+    stats = benice.stats
+    print(
+        f"\ndone: {stats.polls} polls, {stats.suspensions} suspensions, "
+        f"{stats.total_suspension_time:.1f}s frozen"
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.apps.base import RegulationMode
+    from repro.experiments import (
+        calibration_trial,
+        defrag_database_trial,
+        thread_isolation_trial,
+    )
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    scale = args.scale
+
+    print(f"regenerating trace-figure data at scale {scale} into {out}/ ...")
+
+    # Figures 7 and 8 come from one traced MS Manners run.
+    result = defrag_database_trial(
+        RegulationMode.MS_MANNERS, seed=4242, scale=scale, with_traces=True
+    )
+    duty = result.extras["duty"]
+    thread = result.extras["defrag_thread"]
+    trace = result.extras["testpoints"]
+    end = result.li_time or 2000.0
+    with open(out / "fig7_duty.tsv", "w", encoding="utf-8") as handle:
+        handle.write("time_s\tduty\n")
+        for t, fraction in duty.binned(thread, 0.0, end, 10.0):
+            handle.write(f"{t:.1f}\t{fraction:.4f}\n")
+    with open(out / "fig8_progress.tsv", "w", encoding="utf-8") as handle:
+        handle.write("time_s\tnormalized_progress\n")
+        for t, value in trace.normalized_progress(0.0, end, window=2.0):
+            handle.write(f"{t:.1f}\t{value:.4f}\n")
+    print("  fig7_duty.tsv, fig8_progress.tsv")
+
+    # Figure 9: per-thread duty series.
+    isolation = thread_isolation_trial(seed=11, duration=300.0)
+    with open(out / "fig9_isolation.tsv", "w", encoding="utf-8") as handle:
+        handle.write("time_s\tgrovelC\tgrovelD\n")
+        c_series = isolation.duty.binned(
+            isolation.threads["grovelC"], 0.0, isolation.duration, 5.0
+        )
+        d_series = isolation.duty.binned(
+            isolation.threads["grovelD"], 0.0, isolation.duration, 5.0
+        )
+        for (t, c), (_, d) in zip(c_series, d_series):
+            handle.write(f"{t:.1f}\t{c:.4f}\t{d:.4f}\n")
+    print("  fig9_isolation.tsv")
+
+    # Figure 10: target trajectory + activity.
+    calibration = calibration_trial(
+        seed=13, hours=args.hours, probation_hours=args.hours / 4.0,
+        diurnal_hours=args.hours / 2.0, scale=min(scale, 0.5),
+    )
+    with open(out / "fig10_calibration.tsv", "w", encoding="utf-8") as handle:
+        handle.write("hour\ttarget_duration_s\tactivity\n")
+        activity = dict(calibration.activity)
+        for hour, target in calibration.target_trajectory:
+            handle.write(f"{hour}\t{target:.4f}\t{activity.get(hour, 0.0):.4f}\n")
+    print("  fig10_calibration.tsv")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MS Manners reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show version, defaults, derived quantities")
+
+    benice = sub.add_parser(
+        "benice", help="regulate a running OS process (SIGSTOP BeNice)"
+    )
+    benice.add_argument("--pid", type=int, required=True, help="target process id")
+    benice.add_argument(
+        "--counters", required=True, help="path to the target's JSON counter file"
+    )
+    benice.add_argument(
+        "--names", required=True, help="comma-separated counter names (metric order)"
+    )
+    benice.add_argument("--alpha", type=float, default=None)
+    benice.add_argument("--beta", type=float, default=None)
+    benice.add_argument("--initial-suspension", dest="initial_suspension", type=float)
+    benice.add_argument("--max-suspension", dest="max_suspension", type=float)
+    benice.add_argument(
+        "--min-testpoint-interval", dest="min_testpoint_interval", type=float
+    )
+    benice.add_argument("--duration", type=float, default=0.0, help="stop after N s")
+    benice.add_argument("--verbose", action="store_true")
+
+    figures = sub.add_parser("figures", help="regenerate trace-figure data (TSV)")
+    figures.add_argument("--out", default="figures", help="output directory")
+    figures.add_argument("--scale", type=float, default=0.3)
+    figures.add_argument("--hours", type=float, default=4.0)
+
+    args = parser.parse_args(argv)
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "benice":
+        args.duration_deadline = time.monotonic() + args.duration
+        return _cmd_benice(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

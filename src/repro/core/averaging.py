@@ -1,0 +1,114 @@
+"""Exponential averaging for target-rate calibration (paper section 6.2).
+
+The automatic calibrator tracks the target progress rate as an exponential
+average of per-testpoint rate measurements:
+
+    r  <-  theta * r + (1 - theta) * dp / d          (Eq. 4)
+    theta = (n - 1) / n                              (Eq. 5)
+
+Because the regulator suspends the process whenever progress is poor, few
+testpoints reflect contended progress and many reflect uncontended progress,
+so the unweighted average converges to the uncontended (ideal) rate — the
+key insight of section 4.3.
+
+:class:`ExponentialAverager` is a small, reusable primitive; the calibrators
+in :mod:`repro.core.calibration` compose it with bootstrap and subsampling
+logic, and :mod:`repro.core.regression` applies the same decay to regression
+sufficient statistics (Eqs. 11-12).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import ConfigError
+
+__all__ = ["ExponentialAverager", "decay_from_window", "window_from_decay"]
+
+
+def decay_from_window(n: int | float) -> float:
+    """Eq. (5): convert an averaging window ``n`` to the decay ``theta``."""
+    if n < 2:
+        raise ConfigError(f"averaging window must be >= 2, got {n}")
+    return (n - 1) / n
+
+
+def window_from_decay(theta: float) -> float:
+    """Inverse of :func:`decay_from_window`: ``n = 1 / (1 - theta)``."""
+    if not 0.0 <= theta < 1.0:
+        raise ConfigError(f"decay must be in [0, 1), got {theta}")
+    return 1.0 / (1.0 - theta)
+
+
+class ExponentialAverager:
+    """Exponentially weighted mean with equal per-sample weight.
+
+    Early samples are averaged arithmetically until ``window`` samples have
+    been seen (a standard bias correction: with a fixed ``theta`` the first
+    few estimates would be dominated by the initial value); thereafter the
+    update is the paper's Eq. (4).
+    """
+
+    __slots__ = ("_theta", "_window", "_value", "_count")
+
+    def __init__(self, window: int, initial: float | None = None) -> None:
+        self._theta = decay_from_window(window)
+        self._window = int(window)
+        self._value = initial
+        #: Samples absorbed so far; saturates at the window size.
+        self._count = 0 if initial is None else self._window
+
+    @property
+    def theta(self) -> float:
+        """The decay factor ``(n - 1) / n``."""
+        return self._theta
+
+    @property
+    def window(self) -> int:
+        """The averaging window ``n``."""
+        return self._window
+
+    @property
+    def value(self) -> float | None:
+        """Current estimate, or ``None`` before the first sample."""
+        return self._value
+
+    @property
+    def sample_count(self) -> int:
+        """Samples absorbed (clamped to the window once saturated)."""
+        return self._count
+
+    def update(self, sample: float) -> float:
+        """Fold one sample into the average; return the new estimate."""
+        if not math.isfinite(sample):
+            raise ValueError(f"sample must be finite, got {sample}")
+        if self._value is None:
+            self._value = float(sample)
+            self._count = 1
+            return self._value
+        if self._count < self._window:
+            # Arithmetic warm-up: exact mean of the first k samples.
+            self._count += 1
+            self._value += (sample - self._value) / self._count
+        else:
+            self._value = self._theta * self._value + (1.0 - self._theta) * sample
+        return self._value
+
+    def seed(self, value: float) -> None:
+        """Install a persisted estimate as if fully warmed up.
+
+        Used when a regulated application restarts and reloads its target
+        rates from stable storage (section 7.1): the persisted target should
+        carry full weight immediately rather than being treated as a single
+        sample.
+        """
+        if not math.isfinite(value):
+            raise ValueError(f"seed must be finite, got {value}")
+        self._value = float(value)
+        self._count = self._window
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExponentialAverager(window={self._window}, value={self._value!r}, "
+            f"count={self._count})"
+        )

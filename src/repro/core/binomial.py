@@ -1,0 +1,89 @@
+"""Exact binomial tail probabilities for the sign test.
+
+The statistical comparator (paper section 6.1) uses a paired-sample sign
+test, whose decision thresholds are quantiles of the Binomial(n, 1/2)
+distribution.  The window sizes involved are small (tens of samples), so we
+compute tails exactly in log space rather than with a normal approximation.
+This module is dependency-free; the test suite cross-checks it against
+:mod:`scipy.stats`.
+
+All functions treat the number of "successes" as the count of below-target
+samples ``r`` out of ``n`` paired comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+__all__ = [
+    "log_binomial_pmf",
+    "binomial_pmf",
+    "binomial_sf",
+    "binomial_cdf",
+]
+
+
+@lru_cache(maxsize=65536)
+def log_binomial_pmf(n: int, r: int, p: float = 0.5) -> float:
+    """Return ``log P(R = r)`` for ``R ~ Binomial(n, p)``.
+
+    Returns ``-inf`` for impossible outcomes.  ``n`` must be non-negative
+    and ``p`` in [0, 1].
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    if r < 0 or r > n:
+        return -math.inf
+    if p == 0.0:
+        return 0.0 if r == 0 else -math.inf
+    if p == 1.0:
+        return 0.0 if r == n else -math.inf
+    return (
+        math.lgamma(n + 1)
+        - math.lgamma(r + 1)
+        - math.lgamma(n - r + 1)
+        + r * math.log(p)
+        + (n - r) * math.log1p(-p)
+    )
+
+
+def binomial_pmf(n: int, r: int, p: float = 0.5) -> float:
+    """Return ``P(R = r)`` for ``R ~ Binomial(n, p)``."""
+    lp = log_binomial_pmf(n, r, p)
+    return 0.0 if lp == -math.inf else math.exp(lp)
+
+
+def binomial_sf(n: int, r: int, p: float = 0.5) -> float:
+    """Return the upper tail ``P(R >= r)`` for ``R ~ Binomial(n, p)``.
+
+    This is the survival function evaluated *inclusively* at ``r``, which is
+    the form the sign test needs: the probability, under the null
+    hypothesis, of seeing at least as many below-target samples as were
+    observed.
+    """
+    if r <= 0:
+        return 1.0
+    if r > n:
+        return 0.0
+    # Sum the smaller tail for accuracy, then complement if needed.
+    if r > (n + 1) // 2 or p <= 0.5:
+        total = 0.0
+        for k in range(r, n + 1):
+            total += binomial_pmf(n, k, p)
+        return min(total, 1.0)
+    return max(0.0, 1.0 - binomial_cdf(n, r - 1, p))
+
+
+def binomial_cdf(n: int, r: int, p: float = 0.5) -> float:
+    """Return the lower tail ``P(R <= r)`` for ``R ~ Binomial(n, p)``."""
+    if r < 0:
+        return 0.0
+    if r >= n:
+        return 1.0
+    total = 0.0
+    for k in range(0, r + 1):
+        total += binomial_pmf(n, k, p)
+    return min(total, 1.0)

@@ -1,0 +1,108 @@
+"""Rate comparators: statistical (paper section 4.2) and direct (ablation).
+
+A comparator consumes one (measured duration, target duration) pair per
+processed testpoint and produces a :class:`~repro.core.signtest.Judgment`.
+A sample indicates *below-target* progress when the measured duration
+exceeds the target duration — the duration formulation of section 4.4, which
+is equivalent to rate-versus-target-rate for a single metric and extends to
+summed per-metric target durations for several.
+
+* :class:`StatisticalComparator` — accumulates below/above bits in a
+  sequential paired-sample sign test and judges only once it is confident
+  (the paper's design; necessary because progress measurements are noisy —
+  see Figure 8).
+* :class:`DirectComparator` — judges every sample immediately.  This is the
+  strawman section 4.2 warns against ("overreactive and highly erratic");
+  it exists for the ablation benchmark that demonstrates why the sign test
+  is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, runtime_checkable
+
+from repro.core.errors import MetricError
+from repro.core.signtest import Judgment, SignTest
+
+__all__ = ["RateComparator", "StatisticalComparator", "DirectComparator"]
+
+
+@runtime_checkable
+class RateComparator(Protocol):
+    """Common interface of rate comparators."""
+
+    def observe(self, measured_duration: float, target_duration: float) -> Judgment:
+        """Fold in one testpoint's comparison; return the current verdict."""
+        ...  # pragma: no cover - protocol stub
+
+    def reset(self) -> None:
+        """Discard any accumulated comparison state."""
+        ...  # pragma: no cover - protocol stub
+
+
+def _is_below_target(measured_duration: float, target_duration: float) -> bool:
+    if not math.isfinite(measured_duration) or measured_duration < 0.0:
+        raise MetricError(
+            f"measured duration must be finite and non-negative: {measured_duration}"
+        )
+    if not math.isfinite(target_duration) or target_duration < 0.0:
+        raise MetricError(
+            f"target duration must be finite and non-negative: {target_duration}"
+        )
+    # Taking longer than the target duration means progressing below the
+    # target rate.  Equality counts as at-target (good), per section 4.1:
+    # "If the actual progress rate is at least as good as the target...".
+    return measured_duration > target_duration
+
+
+class StatisticalComparator:
+    """Sign-test-backed comparator (the paper's statistical rate comparator).
+
+    Wraps a :class:`~repro.core.signtest.SignTest`.  INDETERMINATE verdicts
+    leave all regulator state untouched (the process continues to its next
+    testpoint, preserving the current suspension time); POOR and GOOD
+    verdicts consume the sample window.
+    """
+
+    __slots__ = ("_test",)
+
+    def __init__(self, alpha: float = 0.05, beta: float = 0.2, max_samples: int = 4096) -> None:
+        self._test = SignTest(alpha=alpha, beta=beta, max_samples=max_samples)
+
+    @property
+    def sample_count(self) -> int:
+        """Samples in the current (unjudged) window."""
+        return self._test.sample_count
+
+    @property
+    def below_count(self) -> int:
+        """Below-target samples in the current window."""
+        return self._test.below_count
+
+    def observe(self, measured_duration: float, target_duration: float) -> Judgment:
+        """Fold in one comparison; return the sign test's current verdict."""
+        return self._test.add_sample(_is_below_target(measured_duration, target_duration))
+
+    def reset(self) -> None:
+        """Discard the current sample window."""
+        self._test.reset()
+
+
+class DirectComparator:
+    """Immediate per-sample comparator (ablation strawman).
+
+    Every below-target sample is judged POOR and every at-or-above-target
+    sample GOOD, with no statistical accumulation.
+    """
+
+    __slots__ = ()
+
+    def observe(self, measured_duration: float, target_duration: float) -> Judgment:
+        """Judge this single sample immediately (no accumulation)."""
+        if _is_below_target(measured_duration, target_duration):
+            return Judgment.POOR
+        return Judgment.GOOD
+
+    def reset(self) -> None:
+        """No accumulated state to discard."""

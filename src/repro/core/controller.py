@@ -1,0 +1,408 @@
+"""Per-thread regulation state machine (paper sections 4.1-4.4, 7.1).
+
+:class:`ThreadRegulator` is the component behind the paper's
+``Testpoint(index, count, metrics)`` call for a single regulated thread.  It
+is *pure*: it never sleeps, spawns threads, or reads a clock.  The embedding
+substrate (the simulator bridge, the realtime adapter, or BeNice) calls
+:meth:`ThreadRegulator.on_testpoint` with a timestamp and cumulative progress
+counters and receives a :class:`TestpointDecision` saying how long the thread
+must now be suspended (0 to proceed immediately).
+
+Responsibilities, mapped to the paper:
+
+* lightweight gate for rapid successive calls (section 7.1);
+* per-metric-set progress deltas; duration measured from when the previous
+  testpoint *released* the thread, so suspension time is never mistaken for
+  slow progress (section 4.1);
+* target durations from per-set calibrators — exponential averaging for
+  single-metric sets, ridge regression for concurrent multi-metric sets
+  (sections 4.4, 6.2, 6.3);
+* statistical rate comparison via the sequential sign test, spanning metric
+  sets/phases (sections 4.2, 6.1);
+* exponential suspension backoff with cap (section 4.1);
+* bootstrap with no true regulation, followed by a probationary period with
+  a capped duty cycle (section 4.3);
+* subsampling: testpoints that arrive while the thread should still have
+  been suspended (an application overriding regulation) are excluded from
+  calibration (section 4.3);
+* hung-thread discard: an interval longer than the hung threshold is
+  presumed to contain external delay and contributes no rate measurement
+  (section 7.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.calibration import Calibrator, make_calibrator
+from repro.core.comparator import RateComparator, StatisticalComparator
+from repro.core.config import DEFAULT_CONFIG, MannersConfig
+from repro.core.errors import MetricError, RegulationStateError
+from repro.core.signtest import Judgment
+from repro.core.suspension import SuspensionTimer
+
+__all__ = ["TestpointDecision", "RegulatorStats", "ThreadRegulator"]
+
+#: Tolerance (seconds) when deciding whether a testpoint arrived before the
+#: end of its thread's mandated suspension.  Absorbs clock jitter in real
+#: substrates; exact in the simulator.
+_OFF_PROTOCOL_SLACK = 1e-6
+
+#: Minimum calibration samples a metric set needs before its samples are
+#: submitted to the comparator.  A set seen for the first time mid-run
+#: (a new execution phase) calibrates briefly before it can trigger
+#: regulation, mirroring the per-set allocate-on-first-use behaviour of the
+#: library interface (section 7.1).
+_SET_WARMUP_SAMPLES = 4
+
+
+@dataclass(frozen=True)
+class TestpointDecision:
+    """Outcome of one testpoint call.
+
+    Attributes:
+        processed: ``False`` when the lightweight gate absorbed the call
+            (too soon since the previous processed testpoint); all other
+            fields are then inert.
+        delay: Seconds the thread must be suspended before proceeding.
+            0.0 means proceed immediately.
+        judgment: The comparator's verdict for this testpoint, or ``None``
+            if no comparison was made (priming call, bootstrap, warm-up,
+            hung discard).
+        duration: Measured seconds since the thread was last released.
+        target_duration: Target duration for this sample's progress, or
+            ``None`` when no comparison was made.
+        deltas: Progress deltas for the reporting metric set.
+        calibrated: Whether this sample was folded into the calibrator.
+        bootstrap: Whether the thread is still in its bootstrap phase.
+        probation_delay: Portion of ``delay`` imposed by the probationary
+            duty-cycle cap rather than by a POOR judgment.
+        discarded_hung: Whether the interval was discarded as a presumed
+            hang / external delay.
+        off_protocol: Whether this testpoint arrived before the previous
+            suspension had been served (application overriding regulation).
+    """
+
+    processed: bool
+    delay: float = 0.0
+    judgment: Judgment | None = None
+    duration: float = 0.0
+    target_duration: float | None = None
+    deltas: tuple[float, ...] = ()
+    calibrated: bool = False
+    bootstrap: bool = False
+    probation_delay: float = 0.0
+    discarded_hung: bool = False
+    off_protocol: bool = False
+
+    @property
+    def should_suspend(self) -> bool:
+        """Whether the caller must suspend the thread before continuing."""
+        return self.delay > 0.0
+
+
+@dataclass
+class RegulatorStats:
+    """Aggregate counters for introspection, tracing, and experiments."""
+
+    testpoints: int = 0
+    lightweight: int = 0
+    processed: int = 0
+    poor_judgments: int = 0
+    good_judgments: int = 0
+    indeterminate: int = 0
+    calibration_samples: int = 0
+    hung_discards: int = 0
+    off_protocol_samples: int = 0
+    total_suspension: float = 0.0
+    probation_suspension: float = 0.0
+
+
+class _MetricSetState:
+    """Per-metric-set bookkeeping: last counters and the calibrator."""
+
+    __slots__ = ("arity", "last_counters", "calibrator")
+
+    def __init__(self, arity: int, calibrator: Calibrator) -> None:
+        self.arity = arity
+        self.last_counters: tuple[float, ...] | None = None
+        self.calibrator = calibrator
+
+
+class ThreadRegulator:
+    """Full regulation state machine for one low-importance thread."""
+
+    def __init__(
+        self,
+        config: MannersConfig = DEFAULT_CONFIG,
+        comparator: RateComparator | None = None,
+        start_time: float | None = None,
+    ) -> None:
+        self._config = config
+        self._comparator = comparator or StatisticalComparator(
+            alpha=config.alpha, beta=config.beta, max_samples=config.max_sign_samples
+        )
+        self._suspension = SuspensionTimer(
+            initial=config.initial_suspension, maximum=config.max_suspension
+        )
+        self._sets: dict[int, _MetricSetState] = {}
+        #: Time the thread was last released (previous testpoint arrival plus
+        #: its mandated delay); ``None`` until the priming testpoint.
+        self._interval_start: float | None = None
+        #: End of the suspension mandated by the previous decision; testpoints
+        #: arriving before this are off-protocol.
+        self._resume_at: float = -math.inf
+        #: Arrival time of the most recent processed testpoint.
+        self._last_arrival: float = -math.inf
+        self._start_time = start_time
+        self._processed_testpoints = 0
+        self.stats = RegulatorStats()
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def config(self) -> MannersConfig:
+        """The regulator's configuration."""
+        return self._config
+
+    @property
+    def suspension(self) -> SuspensionTimer:
+        """The exponential suspension timer (read-mostly)."""
+        return self._suspension
+
+    @property
+    def in_bootstrap(self) -> bool:
+        """Whether the thread is still within its bootstrap testpoints."""
+        return self._processed_testpoints < self._config.bootstrap_testpoints
+
+    def in_probation(self, now: float) -> bool:
+        """Whether ``now`` falls within the probationary period."""
+        if self._start_time is None or self._config.probation_period <= 0.0:
+            return False
+        return now < self._start_time + self._config.probation_period
+
+    def metric_set_indices(self) -> tuple[int, ...]:
+        """Indices of the metric sets seen so far."""
+        return tuple(sorted(self._sets))
+
+    def calibrator(self, index: int) -> Calibrator:
+        """The calibrator for metric set ``index`` (must exist)."""
+        try:
+            return self._sets[index].calibrator
+        except KeyError:
+            raise RegulationStateError(f"unknown metric set index {index}") from None
+
+    def target_duration(self, index: int, deltas: Sequence[float]) -> float:
+        """Target duration for ``deltas`` under set ``index``'s calibration."""
+        return self.calibrator(index).target_duration(deltas)
+
+    # -- persistence -------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Serializable calibration snapshot for all metric sets."""
+        return {
+            "sets": {
+                str(index): {
+                    "arity": state.arity,
+                    "calibration": state.calibrator.export_state(),
+                }
+                for index, state in self._sets.items()
+            }
+        }
+
+    def import_state(self, state: Mapping) -> None:
+        """Restore calibrators persisted by :meth:`export_state`.
+
+        Restored metric sets count as fully warmed up: the persisted targets
+        carry full weight, so regulation commences immediately on restart
+        (section 7.1).  Restoring also skips the bootstrap phase.
+        """
+        sets = state.get("sets", {})
+        for key, entry in sets.items():
+            index = int(key)
+            arity = int(entry["arity"])
+            set_state = self._ensure_set(index, arity)
+            set_state.calibrator.import_state(entry["calibration"])
+        if sets:
+            self._processed_testpoints = max(
+                self._processed_testpoints, self._config.bootstrap_testpoints
+            )
+
+    # -- main entry point -----------------------------------------------------------
+    def on_testpoint(
+        self, now: float, index: int, counters: Sequence[float]
+    ) -> TestpointDecision:
+        """Process a testpoint; return what the thread must do next.
+
+        Args:
+            now: Current clock reading, in seconds.
+            index: Metric-set index (the first argument of the paper's
+                ``Testpoint`` call); a new index allocates a fresh metric
+                set on first use.
+            counters: Cumulative progress counters for the set, one per
+                metric, monotone non-decreasing across calls.
+        """
+        self.stats.testpoints += 1
+        if self._start_time is None:
+            self._start_time = now
+
+        arity = len(counters)
+        set_state = self._ensure_set(index, arity)
+        values = self._validate_counters(set_state, counters)
+
+        # Priming call: establish baselines, no measurement possible yet.
+        if self._interval_start is None:
+            self._interval_start = now
+            self._last_arrival = now
+            set_state.last_counters = values
+            self._processed_testpoints += 1
+            self.stats.processed += 1
+            return TestpointDecision(processed=True, bootstrap=self.in_bootstrap)
+
+        # Lightweight gate (section 7.1): absorb rapid successive calls.
+        # Time is measured from the thread's release when it honoured its
+        # suspension, and from its previous call when it did not (an
+        # off-protocol caller hammering testpoints must still be gated).
+        since_release = now - self._interval_start
+        since_arrival = now - self._last_arrival
+        gate = self._config.min_testpoint_interval
+        if (0.0 <= since_release < gate) or (since_release < 0.0 and since_arrival < gate):
+            self.stats.lightweight += 1
+            return TestpointDecision(processed=False)
+
+        off_protocol = now < self._resume_at - _OFF_PROTOCOL_SLACK
+        if off_protocol:
+            self.stats.off_protocol_samples += 1
+            # The thread executed when regulation said to suspend; measure
+            # from when it was last *observed*, not from the phantom release.
+            duration = max(now - self._last_arrival, 0.0)
+        else:
+            duration = max(now - self._interval_start, 0.0)
+
+        if set_state.last_counters is None:
+            # First report for a set introduced mid-run: baseline only.
+            set_state.last_counters = values
+            self._processed_testpoints += 1
+            self.stats.processed += 1
+            self._finish(now, delay=0.0)
+            return TestpointDecision(processed=True, bootstrap=self.in_bootstrap)
+
+        deltas = tuple(new - old for new, old in zip(values, set_state.last_counters))
+        set_state.last_counters = values
+        self._processed_testpoints += 1
+        self.stats.processed += 1
+
+        # Hung-thread discard (section 7.1): an interval spanning a large
+        # external delay carries no usable rate information.
+        if duration > self._config.hung_threshold:
+            self.stats.hung_discards += 1
+            self._finish(now, delay=0.0)
+            return TestpointDecision(
+                processed=True,
+                duration=duration,
+                deltas=deltas,
+                discarded_hung=True,
+                bootstrap=self.in_bootstrap,
+                off_protocol=off_protocol,
+            )
+
+        # Calibration (section 4.3): every on-protocol sample feeds the
+        # calibrator with equal weight; off-protocol samples are subsampled
+        # away because they would not have executed under strict regulation.
+        calibrated = False
+        if not off_protocol and duration > 0.0:
+            set_state.calibrator.update(duration, deltas)
+            self.stats.calibration_samples += 1
+            calibrated = True
+
+        bootstrap = self.in_bootstrap
+        warming = set_state.calibrator.sample_count < _SET_WARMUP_SAMPLES
+
+        judgment: Judgment | None = None
+        target_duration: float | None = None
+        delay = 0.0
+        if not bootstrap and not warming:
+            target_duration = set_state.calibrator.target_duration(deltas)
+            judgment = self._comparator.observe(duration, target_duration)
+            if judgment is Judgment.POOR:
+                self.stats.poor_judgments += 1
+                delay = self._suspension.on_poor()
+            elif judgment is Judgment.GOOD:
+                self.stats.good_judgments += 1
+                self._suspension.on_good()
+            else:
+                self.stats.indeterminate += 1
+
+        # Probationary duty-cycle cap (section 4.3): until the probation
+        # period expires, the thread may execute at most ``probation_duty``
+        # of the time, bounding the damage of a target bootstrapped on a
+        # loaded system.
+        probation_delay = 0.0
+        if self.in_probation(now):
+            floor = duration * (1.0 - self._config.probation_duty) / self._config.probation_duty
+            if floor > delay:
+                probation_delay = floor - delay
+                delay = floor
+            self.stats.probation_suspension += probation_delay
+
+        self.stats.total_suspension += delay
+        self._finish(now, delay)
+        return TestpointDecision(
+            processed=True,
+            delay=delay,
+            judgment=judgment,
+            duration=duration,
+            target_duration=target_duration,
+            deltas=deltas,
+            calibrated=calibrated,
+            bootstrap=bootstrap,
+            probation_delay=probation_delay,
+            off_protocol=off_protocol,
+        )
+
+    def mark_resumed(self, when: float) -> None:
+        """Correct the release time after the caller served a suspension.
+
+        Real substrates sleep with jitter; calling this with the actual wake
+        time keeps the next interval's duration exact.  Optional: without
+        it, the regulator assumes the mandated delay was served precisely.
+        """
+        if self._interval_start is not None and when > self._interval_start:
+            self._interval_start = when
+
+    # -- internals --------------------------------------------------------------
+    def _finish(self, now: float, delay: float) -> None:
+        self._last_arrival = now
+        self._interval_start = now + delay
+        self._resume_at = now + delay
+
+    def _ensure_set(self, index: int, arity: int) -> _MetricSetState:
+        state = self._sets.get(index)
+        if state is None:
+            if arity < 1:
+                raise MetricError(
+                    f"metric set {index} must have at least one metric"
+                )
+            state = _MetricSetState(arity, make_calibrator(arity, self._config))
+            self._sets[index] = state
+        return state
+
+    def _validate_counters(
+        self, state: _MetricSetState, counters: Sequence[float]
+    ) -> tuple[float, ...]:
+        if len(counters) != state.arity:
+            raise MetricError(
+                f"metric set expects {state.arity} metrics, got {len(counters)}"
+            )
+        values = tuple(float(c) for c in counters)
+        for i, value in enumerate(values):
+            if not math.isfinite(value):
+                raise MetricError(f"metric {i} is not finite: {value}")
+        if state.last_counters is not None:
+            for i, (new, old) in enumerate(zip(values, state.last_counters)):
+                if new < old:
+                    raise MetricError(
+                        f"metric {i} regressed from {old} to {new}; counters "
+                        "must be cumulative and monotone"
+                    )
+        return values

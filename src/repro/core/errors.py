@@ -1,0 +1,46 @@
+"""Exception hierarchy for the MS Manners control system.
+
+All exceptions raised by :mod:`repro.core` derive from :class:`MannersError`
+so that callers can catch regulation failures with a single handler without
+masking unrelated programming errors.
+"""
+
+from __future__ import annotations
+
+
+class MannersError(Exception):
+    """Base class for every error raised by the regulation library."""
+
+
+class ConfigError(MannersError, ValueError):
+    """A configuration parameter is out of its valid domain.
+
+    Raised eagerly at construction time (never during regulation) so that a
+    misconfigured regulator fails before it has had a chance to mis-regulate
+    a live process.
+    """
+
+
+class MetricError(MannersError, ValueError):
+    """A testpoint supplied malformed progress metrics.
+
+    Examples: a negative progress delta, a metric count that does not match
+    the metric set's declared arity, or an unknown metric-set index.
+    """
+
+
+class ClockError(MannersError, RuntimeError):
+    """The clock moved backwards or produced a non-finite reading."""
+
+
+class PersistenceError(MannersError, RuntimeError):
+    """Target-rate state could not be loaded from or saved to stable storage."""
+
+
+class RegulationStateError(MannersError, RuntimeError):
+    """An operation was attempted in an invalid regulator state.
+
+    For example, reporting a testpoint for a thread that was never
+    registered with the supervisor, or resuming a thread that is not
+    suspended.
+    """

@@ -1,0 +1,148 @@
+"""Parametric rate comparator (paper section 11, future work).
+
+"The non-parametric hypothesis test used by the statistical comparator
+requires a minimum number of samples to make a judgment.  A parametric
+test could be more responsive, but it would require modeling the progress
+rate distribution for each progress metric of an application."
+
+:class:`ParametricComparator` is that alternative: a Wald sequential
+probability ratio test (SPRT) on the *log* of measured-to-target duration
+ratios, under a Gaussian model whose variance is estimated online.  Using
+the magnitudes of the samples (not just their signs) lets strong evidence
+— e.g. three samples each taking twice their target — condemn in fewer
+than the sign test's minimum ``m = ceil(log2(1/alpha))`` samples.
+
+The price is exactly the modeling assumption the paper names: when the
+log-ratio distribution is heavy-tailed or skewed, the Gaussian SPRT's
+error rates are no longer guaranteed.  The comparator therefore clamps
+individual log-ratios to bound the influence of outliers, and the
+benchmark suite compares its responsiveness and false-positive behaviour
+against the sign test empirically.
+
+Hypotheses (on the median duration ratio ``rho = measured/target``):
+
+* H0 (good):  ``log rho = 0``   — progressing at target;
+* H1 (poor):  ``log rho >= log(degradation)`` — meaningfully degraded.
+
+Wald thresholds: condemn when the log-likelihood ratio exceeds
+``log((1-beta)/alpha)``; acquit when it falls below ``log(beta/(1-alpha))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import ConfigError, MetricError
+from repro.core.signtest import Judgment
+
+__all__ = ["ParametricComparator"]
+
+
+class ParametricComparator:
+    """Gaussian SPRT on log duration ratios (RateComparator-compatible)."""
+
+    def __init__(
+        self,
+        alpha: float = 0.05,
+        beta: float = 0.2,
+        degradation: float = 1.5,
+        initial_sigma: float = 0.35,
+        sigma_window: int = 200,
+        clamp: float = 2.0,
+        min_samples: int = 2,
+    ) -> None:
+        """Configure the test.
+
+        Args:
+            alpha: Target type-I error (condemning good progress).
+            beta: Target type-II error (acquitting poor progress).
+            degradation: The duration ratio H1 is centred on; 1.5 means
+                "50% slower counts as contention".
+            initial_sigma: Prior standard deviation of log-ratios, used
+                until the online estimate warms up.
+            sigma_window: Exponential window for the variance estimate.
+            clamp: Log-ratios are clamped to ±``clamp`` to bound the
+                influence of any single outlier (a crude heavy-tail guard).
+            min_samples: Verdicts are withheld until this many samples are
+                in the window, so no single freak measurement (one
+                pathological seek) can condemn or acquit on its own.
+        """
+        if not 0.0 < alpha < 1.0 or not 0.0 < beta < 1.0:
+            raise ConfigError(f"alpha/beta must be in (0, 1), got {alpha}, {beta}")
+        if alpha >= beta:
+            raise ConfigError(
+                f"regulation is unstable unless alpha < beta, got {alpha}, {beta}"
+            )
+        if degradation <= 1.0:
+            raise ConfigError(f"degradation must exceed 1, got {degradation}")
+        if initial_sigma <= 0 or clamp <= 0:
+            raise ConfigError("initial_sigma and clamp must be positive")
+        if sigma_window < 8:
+            raise ConfigError(f"sigma_window must be >= 8, got {sigma_window}")
+        if min_samples < 1:
+            raise ConfigError(f"min_samples must be >= 1, got {min_samples}")
+        self._min_samples = min_samples
+        self._mu1 = math.log(degradation)
+        self._upper = math.log((1.0 - beta) / alpha)
+        self._lower = math.log(beta / (1.0 - alpha))
+        self._sigma2 = initial_sigma**2
+        self._sigma_theta = (sigma_window - 1) / sigma_window
+        self._clamp = clamp
+        self._llr = 0.0
+        self._samples = 0
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def log_likelihood_ratio(self) -> float:
+        """Accumulated evidence (positive favours H1 = poor)."""
+        return self._llr
+
+    @property
+    def sample_count(self) -> int:
+        """Samples in the current (unjudged) window."""
+        return self._samples
+
+    @property
+    def sigma(self) -> float:
+        """Current log-ratio standard-deviation estimate."""
+        return math.sqrt(self._sigma2)
+
+    def reset(self) -> None:
+        """Discard accumulated evidence (variance estimate is retained)."""
+        self._llr = 0.0
+        self._samples = 0
+
+    # -- operation ---------------------------------------------------------------
+    def observe(self, measured_duration: float, target_duration: float) -> Judgment:
+        """Fold in one testpoint's comparison; return the current verdict."""
+        if not math.isfinite(measured_duration) or measured_duration < 0:
+            raise MetricError(f"bad measured duration: {measured_duration}")
+        if not math.isfinite(target_duration) or target_duration < 0:
+            raise MetricError(f"bad target duration: {target_duration}")
+        if measured_duration <= 0.0 or target_duration <= 0.0:
+            return Judgment.INDETERMINATE  # no rate information
+        x = math.log(measured_duration / target_duration)
+        x = max(-self._clamp, min(self._clamp, x))
+        # Track variance around the H0 mean — but only from samples
+        # consistent with H0.  Samples beyond the midpoint toward H1 are
+        # *evidence* of degradation, not noise; folding them into the
+        # variance would let contention inflate sigma and dilute its own
+        # log-likelihood contribution (the same self-poisoning the paper's
+        # calibrator avoids by suspension-driven subsampling).
+        if x < self._mu1 / 2.0:
+            self._sigma2 = (
+                self._sigma_theta * self._sigma2 + (1 - self._sigma_theta) * x * x
+            )
+            self._sigma2 = min(max(self._sigma2, 1e-4), self._clamp**2)
+        # Gaussian log-likelihood ratio for H1 (mean mu1) vs H0 (mean 0).
+        self._llr += (self._mu1 * x - 0.5 * self._mu1**2) / self._sigma2
+        self._samples += 1
+        if self._samples < self._min_samples:
+            return Judgment.INDETERMINATE
+        if self._llr >= self._upper:
+            self.reset()
+            return Judgment.POOR
+        if self._llr <= self._lower:
+            self.reset()
+            return Judgment.GOOD
+        return Judgment.INDETERMINATE

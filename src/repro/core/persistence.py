@@ -1,0 +1,135 @@
+"""Persistent target-rate storage (paper section 7.1).
+
+"The library persistently maintains target rates for the regulated
+application. ... Periodically and at termination, target rate information is
+written to this same file to preserve targets for future executions."
+
+:class:`TargetStore` keeps one JSON document per application identity in a
+directory.  Writes are atomic (write-to-temp, fsync, rename) so a crash
+mid-save can never corrupt an existing target file — a regulator that loses
+its targets silently would re-enter bootstrap and probation, which for a
+long-running service is a real regression.  A missing file simply means "no
+prior calibration"; a *corrupt* file raises
+:class:`~repro.core.errors.PersistenceError` by default (or is treated as
+missing with ``strict=False``).
+
+The stored document wraps the snapshot produced by
+:meth:`repro.core.controller.ThreadRegulator.export_state` with a format
+version for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.errors import PersistenceError
+
+__all__ = ["TargetStore", "FORMAT_VERSION"]
+
+#: Version tag embedded in every persisted document.
+FORMAT_VERSION = 1
+
+_SAFE_CHARS = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _safe_filename(app_id: str) -> str:
+    """Map an application identity to a filesystem-safe filename."""
+    cleaned = _SAFE_CHARS.sub("_", app_id.strip())
+    if not cleaned.strip("._-"):
+        raise PersistenceError(f"unusable application identity: {app_id!r}")
+    return f"{cleaned}.manners.json"
+
+
+class TargetStore:
+    """Directory-backed persistence for calibration state."""
+
+    def __init__(self, directory: str | os.PathLike[str], strict: bool = True) -> None:
+        self._dir = Path(directory)
+        self._strict = strict
+
+    @property
+    def directory(self) -> Path:
+        """The backing directory."""
+        return self._dir
+
+    def path_for(self, app_id: str) -> Path:
+        """The file that holds ``app_id``'s targets."""
+        return self._dir / _safe_filename(app_id)
+
+    # -- operations ----------------------------------------------------------------
+    def load(self, app_id: str) -> Mapping[str, Any] | None:
+        """Return the persisted snapshot for ``app_id``, or ``None``.
+
+        Raises :class:`PersistenceError` for unreadable or malformed files
+        when the store is strict; otherwise treats them as missing.
+        """
+        path = self.path_for(app_id)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            return self._fail(f"cannot read {path}: {exc}")
+        try:
+            document = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            return self._fail(f"corrupt target file {path}: {exc}")
+        if not isinstance(document, dict):
+            return self._fail(f"corrupt target file {path}: not an object")
+        version = document.get("version")
+        if version != FORMAT_VERSION:
+            return self._fail(
+                f"target file {path} has unsupported version {version!r}"
+            )
+        state = document.get("state")
+        if not isinstance(state, dict):
+            return self._fail(f"target file {path} is missing its state")
+        return state
+
+    def save(self, app_id: str, state: Mapping[str, Any]) -> Path:
+        """Atomically persist ``state`` for ``app_id``; return the path."""
+        path = self.path_for(app_id)
+        document = {"version": FORMAT_VERSION, "app_id": app_id, "state": state}
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=path.name + ".", suffix=".tmp", dir=self._dir
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(document, handle, indent=2, sort_keys=True)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, path)
+            except BaseException:
+                # Never leave the temp file behind on any failure.
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            raise PersistenceError(f"cannot save targets to {path}: {exc}") from exc
+        return path
+
+    def delete(self, app_id: str) -> bool:
+        """Remove ``app_id``'s targets; return whether a file existed."""
+        path = self.path_for(app_id)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+        except OSError as exc:
+            raise PersistenceError(f"cannot delete {path}: {exc}") from exc
+
+    # -- internals --------------------------------------------------------------------
+    def _fail(self, message: str) -> None:
+        if self._strict:
+            raise PersistenceError(message)
+        return None

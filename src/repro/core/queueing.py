@@ -1,0 +1,285 @@
+"""Analytic model of the suspension process (paper section 6.1).
+
+When the regulated process is progressing *well*, occasional type-I errors
+still judge it poor (probability ``alpha`` per judgment) and suspend it;
+a subsequent good judgment (probability ``beta`` of clearing a marginal
+state, per judgment) resets the backoff.  The paper observes that the
+resulting suspension state is a birth-death system isomorphic to a bulk
+service queue of infinite group size with arrival rate ``alpha`` and bulk
+service rate ``beta``:
+
+* Eq. (1): the minimum testpoints per poor judgment,
+  ``m = ceil(log2(1/alpha))``;
+* Eq. (2): steady-state probability of ``k`` consecutive poor judgments,
+  ``p_k = (beta / (alpha + beta)) * (alpha / (alpha + beta))**k``;
+* Eq. (3): mean steady-state fraction of time suspended,
+  ``alpha*beta*s / (alpha*beta*s + m*(beta - alpha))`` where ``s`` is the
+  initial suspension measured in testpoint intervals.
+
+The system is unstable unless ``alpha < beta``: the geometric series behind
+Eq. (3) (expected backoff factor ``E[2**k] = beta / (beta - alpha)``)
+diverges otherwise, meaning suspension times grow without bound even on an
+idle machine.
+
+This module provides the closed forms, cap-aware variants, and a Monte
+Carlo simulator of the judgment chain used by the test suite and the
+``bench_analytic_model`` benchmark to cross-check theory against behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError
+from repro.core.signtest import min_poor_samples
+
+__all__ = [
+    "is_stable",
+    "steady_state_distribution",
+    "expected_backoff_factor",
+    "expected_suspension",
+    "suspended_fraction",
+    "duty_cycle",
+    "reaction_time",
+    "suspension_overshoot",
+    "worst_case_overshoot",
+    "ChainResult",
+    "simulate_judgment_chain",
+]
+
+
+def _check(alpha: float, beta: float) -> None:
+    if not 0.0 < alpha < 1.0:
+        raise ConfigError(f"alpha must be in (0, 1), got {alpha}")
+    if not 0.0 < beta < 1.0:
+        raise ConfigError(f"beta must be in (0, 1), got {beta}")
+
+
+def is_stable(alpha: float, beta: float) -> bool:
+    """Whether the suspension process has a steady state (``alpha < beta``)."""
+    _check(alpha, beta)
+    return alpha < beta
+
+
+def steady_state_distribution(alpha: float, beta: float, k_max: int) -> list[float]:
+    """Eq. (2): ``p_k`` for ``k = 0 .. k_max`` (requires stability)."""
+    _check(alpha, beta)
+    if k_max < 0:
+        raise ValueError(f"k_max must be non-negative, got {k_max}")
+    base = beta / (alpha + beta)
+    ratio = alpha / (alpha + beta)
+    return [base * ratio**k for k in range(k_max + 1)]
+
+
+def expected_backoff_factor(alpha: float, beta: float) -> float:
+    """``E[2**k]`` under Eq. (2): ``beta / (beta - alpha)``.
+
+    Diverges (returns ``inf``) when the system is unstable — the formal
+    statement of the paper's ``alpha < beta`` stability requirement, since
+    the geometric series ``sum p_k 2**k`` has ratio ``2*alpha/(alpha+beta)``.
+    """
+    _check(alpha, beta)
+    if alpha >= beta:
+        return math.inf
+    return beta / (beta - alpha)
+
+
+def expected_suspension(
+    alpha: float,
+    beta: float,
+    initial: float = 1.0,
+    maximum: float = math.inf,
+    k_max: int = 512,
+) -> float:
+    """Expected suspension imposed per judgment, in seconds.
+
+    ``sum_k p_k * alpha * min(initial * 2**k, maximum)`` — the next judgment
+    is poor with probability ``alpha`` and imposes the state-``k`` backoff.
+    With no cap and stability, this is ``alpha * initial * beta/(beta-alpha)``.
+    The cap keeps the expectation finite even for unstable parameters.
+    """
+    _check(alpha, beta)
+    if initial <= 0:
+        raise ConfigError(f"initial suspension must be positive, got {initial}")
+    if math.isinf(maximum) and alpha < beta:
+        return alpha * initial * expected_backoff_factor(alpha, beta)
+    if math.isinf(maximum):
+        return math.inf
+    total = 0.0
+    base = beta / (alpha + beta)
+    ratio = alpha / (alpha + beta)
+    pk = base
+    for k in range(k_max + 1):
+        total += pk * alpha * min(initial * 2.0**k, maximum)
+        pk *= ratio
+    # Tail beyond k_max is all capped at ``maximum``.
+    total += (pk / (1.0 - ratio)) * alpha * maximum
+    return total
+
+
+def suspended_fraction(
+    alpha: float,
+    beta: float,
+    suspension_intervals: float = 1.0,
+) -> float:
+    """Eq. (3): mean steady-state fraction of time suspended (good progress).
+
+    ``suspension_intervals`` is the initial suspension time measured in
+    testpoint intervals (``s = initial_suspension / testpoint_interval``);
+    the paper's displayed form is the ``s = 1`` case.  Returns 1.0 for
+    unstable parameters.
+    """
+    _check(alpha, beta)
+    if suspension_intervals <= 0:
+        raise ConfigError(
+            f"suspension_intervals must be positive, got {suspension_intervals}"
+        )
+    if alpha >= beta:
+        return 1.0
+    m = min_poor_samples(alpha)
+    numerator = alpha * beta * suspension_intervals
+    return numerator / (numerator + m * (beta - alpha))
+
+
+def duty_cycle(alpha: float, beta: float, suspension_intervals: float = 1.0) -> float:
+    """Complement of :func:`suspended_fraction`: fraction of time executing."""
+    return 1.0 - suspended_fraction(alpha, beta, suspension_intervals)
+
+
+def reaction_time(alpha: float, testpoint_interval: float) -> float:
+    """Fastest recognition of poor progress: ``m`` testpoint intervals.
+
+    With the paper's ``alpha = 0.05`` (``m = 5``) and a few-hundred-
+    millisecond cadence this is "a few seconds" (section 6.1).
+    """
+    if testpoint_interval <= 0:
+        raise ConfigError(
+            f"testpoint_interval must be positive, got {testpoint_interval}"
+        )
+    return min_poor_samples(alpha) * testpoint_interval
+
+
+def suspension_overshoot(
+    activity_duration: float,
+    initial: float = 1.0,
+    maximum: float = 256.0,
+    judgment_time: float = 1.5,
+) -> float:
+    """Deterministic-ladder model of Figure 7's suspension overshoot.
+
+    Once high-importance activity begins, the regulator alternates
+    judgment phases (``judgment_time`` of execution probing, e.g. the
+    minimum ``m`` testpoints) with suspensions that double from
+    ``initial`` up to ``maximum``.  If the activity lasts
+    ``activity_duration`` seconds, the low-importance process resumes at
+    the end of the suspension in progress when the activity ends; the
+    *overshoot* is how far past the end that is.
+
+    This is the paper's "nearly worst case" arithmetic: the reported
+    ~220 s overshoot is one 256 s suspension minus the sliver of activity
+    it outlived.  The model is deterministic (every probe during activity
+    is judged poor after exactly one judgment phase); stochastic judgment
+    lengths shift the probe times but not the envelope.
+    """
+    if activity_duration < 0:
+        raise ValueError(f"activity_duration must be non-negative: {activity_duration}")
+    if initial <= 0 or maximum < initial:
+        raise ConfigError("need 0 < initial <= maximum")
+    if judgment_time < 0:
+        raise ValueError(f"judgment_time must be non-negative: {judgment_time}")
+    t = 0.0
+    suspension = initial
+    while True:
+        # A judgment phase: probing executes until condemned.
+        t += judgment_time
+        if t >= activity_duration:
+            # The activity ended while probing: no overshoot.
+            return 0.0
+        # Suspended for the current interval.
+        t += suspension
+        if t >= activity_duration:
+            return t - activity_duration
+        suspension = min(suspension * 2.0, maximum)
+
+
+def worst_case_overshoot(maximum: float = 256.0) -> float:
+    """Upper bound on resumption latency: one maximum suspension."""
+    if maximum <= 0:
+        raise ConfigError(f"maximum must be positive, got {maximum}")
+    return maximum
+
+
+@dataclass(frozen=True)
+class ChainResult:
+    """Outcome of a Monte Carlo run of the judgment chain."""
+
+    judgments: int
+    executing_time: float
+    suspended_time: float
+    state_counts: tuple[int, ...]
+
+    @property
+    def suspended_fraction(self) -> float:
+        """Empirical fraction of time suspended."""
+        total = self.executing_time + self.suspended_time
+        return self.suspended_time / total if total > 0 else 0.0
+
+    @property
+    def state_distribution(self) -> tuple[float, ...]:
+        """Empirical distribution over consecutive-poor counts."""
+        total = sum(self.state_counts)
+        if total == 0:
+            return ()
+        return tuple(c / total for c in self.state_counts)
+
+
+def simulate_judgment_chain(
+    alpha: float,
+    beta: float,
+    judgments: int,
+    initial: float = 1.0,
+    maximum: float = math.inf,
+    samples_per_judgment: float | None = None,
+    testpoint_interval: float = 1.0,
+    rng: random.Random | None = None,
+    k_track: int = 32,
+) -> ChainResult:
+    """Monte Carlo the suspension chain under *good* true progress.
+
+    Each judgment is poor with probability ``alpha`` and good with
+    probability ``beta`` (otherwise the test stays indeterminate and another
+    batch of samples is collected); each judgment attempt costs
+    ``samples_per_judgment`` testpoint intervals of execution (default: the
+    minimum ``m`` from Eq. 1) and a poor judgment additionally costs the
+    current backoff in suspension.
+    """
+    _check(alpha, beta)
+    if judgments < 1:
+        raise ValueError(f"judgments must be >= 1, got {judgments}")
+    rng = rng or random.Random(0x5EED)
+    m = samples_per_judgment if samples_per_judgment is not None else min_poor_samples(alpha)
+    executing = 0.0
+    suspended = 0.0
+    k = 0
+    counts = [0] * (k_track + 1)
+    done = 0
+    while done < judgments:
+        counts[min(k, k_track)] += 1
+        executing += m * testpoint_interval
+        u = rng.random()
+        if u < alpha:
+            suspended += min(initial * 2.0**k, maximum)
+            k += 1
+            done += 1
+        elif u < alpha + beta:
+            k = 0
+            done += 1
+        # else indeterminate: loop, collecting another batch.
+    return ChainResult(
+        judgments=done,
+        executing_time=executing,
+        suspended_time=suspended,
+        state_counts=tuple(counts),
+    )

@@ -1,0 +1,144 @@
+"""Per-testpoint progress and duration bookkeeping (paper section 4.1).
+
+A :class:`RateCalculator` keeps, per metric set, the progress counters and
+timestamp of the previous processed testpoint.  At each new testpoint it
+produces a :class:`RateSample` holding the elapsed duration and the progress
+deltas since then.  Progress counters are cumulative and monotone (the
+application reports totals, as Windows NT performance counters do); the
+calculator derives deltas and rejects counter regressions.
+
+The calculator also implements the *lightweight gate* of section 7.1: calls
+arriving faster than the minimum testpoint interval are absorbed — their
+progress simply accumulates until enough time has passed to justify full
+testpoint processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import MetricError
+
+__all__ = ["RateSample", "RateCalculator"]
+
+
+@dataclass(frozen=True)
+class RateSample:
+    """One processed testpoint's measurements.
+
+    Attributes:
+        when: Clock reading at this testpoint, in seconds.
+        duration: Elapsed seconds since the previous processed testpoint.
+        deltas: Progress made along each metric since the previous processed
+            testpoint (same order as the metric set's declaration).
+    """
+
+    when: float
+    duration: float
+    deltas: tuple[float, ...]
+
+    def rate(self, metric: int = 0) -> float:
+        """Progress rate along ``metric`` in units/second.
+
+        Raises :class:`MetricError` for an out-of-range metric and
+        :class:`ZeroDivisionError` is avoided by returning ``inf`` for a
+        zero-duration sample with progress (and 0.0 with none).
+        """
+        if not 0 <= metric < len(self.deltas):
+            raise MetricError(
+                f"metric index {metric} out of range for {len(self.deltas)} metrics"
+            )
+        if self.duration <= 0.0:
+            return float("inf") if self.deltas[metric] > 0 else 0.0
+        return self.deltas[metric] / self.duration
+
+
+class RateCalculator:
+    """Tracks cumulative progress counters and emits per-testpoint samples.
+
+    One instance per (thread, metric set).  The first call establishes the
+    baseline and yields no sample.
+    """
+
+    __slots__ = ("_arity", "_last_when", "_last_counters", "_pending")
+
+    def __init__(self, arity: int) -> None:
+        if arity < 1:
+            raise MetricError(f"metric set must have at least one metric, got {arity}")
+        self._arity = arity
+        self._last_when: float | None = None
+        self._last_counters: tuple[float, ...] | None = None
+        #: Progress absorbed from lightweight-gated calls since the last
+        #: processed testpoint, already folded into ``_last_counters`` deltas
+        #: by virtue of counters being cumulative.  Kept for introspection.
+        self._pending = 0
+
+    @property
+    def arity(self) -> int:
+        """Number of metrics in this metric set."""
+        return self._arity
+
+    @property
+    def primed(self) -> bool:
+        """Whether a baseline observation exists."""
+        return self._last_when is not None
+
+    def observe(self, when: float, counters: Sequence[float]) -> RateSample | None:
+        """Process a testpoint at time ``when`` with cumulative ``counters``.
+
+        Returns a :class:`RateSample` with the deltas since the previous
+        processed testpoint, or ``None`` on the priming call.
+
+        Raises:
+            MetricError: wrong arity, non-finite or regressing counters, or
+                a timestamp earlier than the previous one.
+        """
+        values = self._validate(when, counters)
+        if self._last_when is None or self._last_counters is None:
+            self._last_when = when
+            self._last_counters = values
+            return None
+        duration = when - self._last_when
+        deltas = tuple(
+            new - old for new, old in zip(values, self._last_counters)
+        )
+        self._last_when = when
+        self._last_counters = values
+        self._pending = 0
+        return RateSample(when=when, duration=duration, deltas=deltas)
+
+    def rebase(self, when: float, counters: Sequence[float]) -> None:
+        """Reset the baseline without emitting a sample.
+
+        Used after a hung-thread episode (section 7.1): the interval spanning
+        the hang must not be factored into the progress rate, so the next
+        sample starts from here.
+        """
+        values = self._validate(when, counters)
+        self._last_when = when
+        self._last_counters = values
+        self._pending = 0
+
+    # -- internals -------------------------------------------------------------
+    def _validate(self, when: float, counters: Sequence[float]) -> tuple[float, ...]:
+        if len(counters) != self._arity:
+            raise MetricError(
+                f"expected {self._arity} metrics, got {len(counters)}"
+            )
+        values = tuple(float(c) for c in counters)
+        for i, value in enumerate(values):
+            if not value == value or value in (float("inf"), float("-inf")):
+                raise MetricError(f"metric {i} is not finite: {value}")
+        if self._last_counters is not None:
+            for i, (new, old) in enumerate(zip(values, self._last_counters)):
+                if new < old:
+                    raise MetricError(
+                        f"metric {i} regressed from {old} to {new}; cumulative "
+                        "progress counters must be monotone"
+                    )
+        if self._last_when is not None and when < self._last_when:
+            raise MetricError(
+                f"testpoint time {when} precedes previous testpoint {self._last_when}"
+            )
+        return values

@@ -1,0 +1,204 @@
+"""Paired-sample sign test for progress-rate judgment (paper section 6.1).
+
+Each testpoint contributes one paired comparison: the measured duration since
+the previous testpoint versus the target duration computed from the
+calibrated target rates (equivalently, measured rate versus target rate for a
+single metric).  The comparator accumulates these binary outcomes and, after
+each sample, asks the sign test for one of three verdicts:
+
+* :attr:`Judgment.POOR` — progress is below target with confidence
+  ``1 - alpha``; the regulator should suspend and double the suspension time.
+* :attr:`Judgment.GOOD` — progress is at or above target with confidence
+  ``1 - beta``; the regulator should reset the suspension time.
+* :attr:`Judgment.INDETERMINATE` — not enough data; keep running and keep
+  collecting samples.
+
+Because the test is non-parametric it makes no assumption about the
+distribution of progress-rate noise, and because each sample is compared
+against *its own* target (per phase, or the summed multi-metric target
+duration), samples from different execution phases combine into a single
+judgment (section 4.4).
+
+The decision thresholds come from exact Binomial(n, 1/2) tails:
+
+* poor when ``P(R >= r | p = 1/2) <= alpha`` — under the null hypothesis
+  that the true median rate is at least the target, at most half the samples
+  should fall below target;
+* good when ``P(R <= r | p = 1/2) <= beta`` — under the marginal alternative
+  that the median rate is exactly at target, seeing this few below-target
+  samples would be surprising.
+
+The minimum window that can recognize poor progress is Eq. (1):
+``m = ceil(log2(1 / alpha))`` — the all-below-target run whose null
+probability ``2**-n`` first drops below ``alpha``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from statistics import NormalDist
+
+from repro.core.binomial import binomial_cdf, binomial_sf
+from repro.core.errors import ConfigError
+
+#: Window size beyond which thresholds use the normal approximation with
+#: continuity correction instead of exact binomial tails.  Exact sums cost
+#: O(n) per evaluation, which is prohibitive when a progress stream that
+#: hovers exactly at its target grows the window into the thousands; at
+#: these sizes the approximation is accurate to within a sample.
+_EXACT_LIMIT = 256
+
+_NORMAL = NormalDist()
+
+__all__ = ["Judgment", "SignTest", "poor_threshold", "good_threshold", "min_poor_samples"]
+
+
+class Judgment(enum.Enum):
+    """Tri-state outcome of the statistical rate comparison."""
+
+    POOR = "poor"
+    GOOD = "good"
+    INDETERMINATE = "indeterminate"
+
+
+@lru_cache(maxsize=16384)
+def poor_threshold(n: int, alpha: float) -> int:
+    """Smallest ``r`` such that ``P(R >= r | n, 1/2) <= alpha``.
+
+    Returns ``n + 1`` when no count of below-target samples out of ``n`` is
+    extreme enough (i.e. the window is too small to ever judge poor).
+    Exact for windows up to ``_EXACT_LIMIT``; a continuity-corrected normal
+    approximation beyond that.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not 0.0 < alpha < 1.0:
+        raise ConfigError(f"alpha must be in (0, 1), got {alpha}")
+    z = _NORMAL.inv_cdf(1.0 - alpha)
+    guess = n / 2.0 + z * math.sqrt(n) / 2.0 + 0.5
+    if n > _EXACT_LIMIT:
+        return min(max(math.ceil(guess), 0), n + 1)
+    if binomial_sf(n, n) > alpha:
+        return n + 1
+    # Adjust the normal-approximation guess against the exact tail.
+    r = min(max(int(guess), 0), n)
+    while r <= n and binomial_sf(n, r) > alpha:
+        r += 1
+    while r > 0 and binomial_sf(n, r - 1) <= alpha:
+        r -= 1
+    return r
+
+
+@lru_cache(maxsize=16384)
+def good_threshold(n: int, beta: float) -> int:
+    """Largest ``r`` such that ``P(R <= r | n, 1/2) <= beta``.
+
+    Returns ``-1`` when no count is small enough (window too small to judge
+    good).  Exact for windows up to ``_EXACT_LIMIT``; a continuity-corrected
+    normal approximation beyond that.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not 0.0 < beta < 1.0:
+        raise ConfigError(f"beta must be in (0, 1), got {beta}")
+    z = _NORMAL.inv_cdf(1.0 - beta)
+    guess = n / 2.0 - z * math.sqrt(n) / 2.0 - 0.5
+    if n > _EXACT_LIMIT:
+        return min(max(math.floor(guess), -1), n)
+    if binomial_cdf(n, 0) > beta:
+        return -1
+    r = min(max(int(guess), 0), n)
+    while r >= 0 and binomial_cdf(n, r) > beta:
+        r -= 1
+    while r < n and binomial_cdf(n, r + 1) <= beta:
+        r += 1
+    return r
+
+
+def min_poor_samples(alpha: float) -> int:
+    """Eq. (1): minimum window size that can recognize poor progress."""
+    if not 0.0 < alpha < 1.0:
+        raise ConfigError(f"alpha must be in (0, 1), got {alpha}")
+    return math.ceil(math.log2(1.0 / alpha))
+
+
+@dataclass
+class SignTest:
+    """Sequential paired-sample sign test.
+
+    Feed one boolean per testpoint via :meth:`add_sample` (``True`` when the
+    sample indicates below-target progress) and receive a
+    :class:`Judgment`.  On a POOR or GOOD verdict the window resets
+    automatically so the next judgment starts fresh, matching the paper's
+    regulator, which acts on each judgment (suspend or reset suspension
+    time) and then begins collecting anew.
+
+    ``max_samples`` bounds the window: a stream that hovers exactly at the
+    target could stay indeterminate for a very long time, and an unbounded
+    window would make the test increasingly sluggish.  When the bound is hit
+    the window restarts without issuing a judgment.
+    """
+
+    alpha: float = 0.05
+    beta: float = 0.2
+    max_samples: int = 4096
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigError(f"alpha must be in (0, 1), got {self.alpha}")
+        if not 0.0 < self.beta < 1.0:
+            raise ConfigError(f"beta must be in (0, 1), got {self.beta}")
+        if self.max_samples < 8:
+            raise ConfigError("max_samples must be >= 8")
+        self._n = 0
+        self._below = 0
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def sample_count(self) -> int:
+        """Number of samples in the current window."""
+        return self._n
+
+    @property
+    def below_count(self) -> int:
+        """Number of below-target samples in the current window."""
+        return self._below
+
+    def reset(self) -> None:
+        """Discard the current window."""
+        self._n = 0
+        self._below = 0
+
+    # -- operation -----------------------------------------------------------
+    def add_sample(self, below_target: bool) -> Judgment:
+        """Record one paired comparison and return the current verdict.
+
+        POOR and GOOD verdicts consume (reset) the window.
+        """
+        self._n += 1
+        if below_target:
+            self._below += 1
+        verdict = self.evaluate(self._n, self._below)
+        if verdict is not Judgment.INDETERMINATE:
+            self.reset()
+        elif self._n >= self.max_samples:
+            self.reset()
+        return verdict
+
+    def evaluate(self, n: int, below: int) -> Judgment:
+        """Stateless verdict for ``below`` below-target samples out of ``n``."""
+        if n <= 0:
+            return Judgment.INDETERMINATE
+        if below >= poor_threshold(n, self.alpha):
+            return Judgment.POOR
+        if below <= good_threshold(n, self.beta):
+            return Judgment.GOOD
+        return Judgment.INDETERMINATE
+
+    @property
+    def min_poor_samples(self) -> int:
+        """Eq. (1) for this test's ``alpha``."""
+        return min_poor_samples(self.alpha)

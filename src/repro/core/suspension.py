@@ -1,0 +1,92 @@
+"""Exponential suspension timer (paper section 4.1).
+
+On each POOR judgment the regulator suspends the low-importance process for
+the current suspension time and then doubles it, up to a cap; on a GOOD
+judgment the suspension time resets to its initial value.  INDETERMINATE
+judgments preserve the current value (section 4.2): the process keeps
+running and collecting samples, but if it is eventually judged poor the
+backoff continues from where it left off.
+
+The exponential increase makes the low-importance process adapt to the time
+scale of the high-importance workload: brief activity costs only short
+suspensions, while sustained activity pushes the process to infrequent
+execution probes.  The cap bounds the worst-case resumption latency
+(the "suspension overshoot" visible in the paper's Figure 7).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigError
+
+__all__ = ["SuspensionTimer"]
+
+
+class SuspensionTimer:
+    """Tracks the suspension duration across judgments.
+
+    The timer distinguishes the *current* suspension time (what the next
+    POOR judgment will impose) from the *consecutive poor count*, which the
+    analytic model in :mod:`repro.core.queueing` calls ``k``: the suspension
+    imposed on the k-th consecutive poor judgment is
+    ``min(initial * 2**k, maximum)`` for ``k = 0, 1, 2, ...``.
+    """
+
+    __slots__ = ("initial", "maximum", "_current", "_consecutive_poor")
+
+    def __init__(self, initial: float = 1.0, maximum: float = 256.0) -> None:
+        if initial <= 0:
+            raise ConfigError(f"initial suspension must be positive, got {initial}")
+        if maximum < initial:
+            raise ConfigError(
+                f"maximum suspension {maximum} must be >= initial {initial}"
+            )
+        self.initial = float(initial)
+        self.maximum = float(maximum)
+        self._current = self.initial
+        self._consecutive_poor = 0
+
+    # -- state -----------------------------------------------------------------
+    @property
+    def current(self) -> float:
+        """Suspension the next POOR judgment will impose, in seconds."""
+        return self._current
+
+    @property
+    def consecutive_poor(self) -> int:
+        """POOR judgments since the last GOOD judgment (or start)."""
+        return self._consecutive_poor
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the suspension time has reached its cap."""
+        return self._current >= self.maximum
+
+    # -- transitions -------------------------------------------------------------
+    def on_poor(self) -> float:
+        """Record a POOR judgment; return the suspension to impose now.
+
+        The returned value is the *pre-doubling* current suspension time, so
+        the first poor judgment suspends for ``initial`` seconds, the second
+        for ``2 * initial``, and so on — matching section 4.1: "On each
+        testpoint that indicates poor progress, the suspension time is
+        doubled, up to a set limit."
+        """
+        imposed = self._current
+        self._current = min(self._current * 2.0, self.maximum)
+        self._consecutive_poor += 1
+        return imposed
+
+    def on_good(self) -> None:
+        """Record a GOOD judgment; restore the initial suspension time."""
+        self._current = self.initial
+        self._consecutive_poor = 0
+
+    def reset(self) -> None:
+        """Alias for :meth:`on_good`, for symmetry with other components."""
+        self.on_good()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SuspensionTimer(current={self._current}, "
+            f"consecutive_poor={self._consecutive_poor})"
+        )

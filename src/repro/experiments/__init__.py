@@ -1,0 +1,25 @@
+"""Reusable scenario functions for the paper's experiments (section 9)."""
+
+from repro.experiments.scenarios import (
+    EXPERIMENT_CONFIG,
+    CalibrationResult,
+    IsolationResult,
+    TrialResult,
+    calibration_trial,
+    defrag_database_trial,
+    defrag_idle_trial,
+    groveler_setup_trial,
+    thread_isolation_trial,
+)
+
+__all__ = [
+    "EXPERIMENT_CONFIG",
+    "CalibrationResult",
+    "IsolationResult",
+    "TrialResult",
+    "calibration_trial",
+    "defrag_database_trial",
+    "defrag_idle_trial",
+    "groveler_setup_trial",
+    "thread_isolation_trial",
+]

@@ -1,0 +1,127 @@
+"""Section 2's prior approaches on the Figure-3 scenario.
+
+Runs the defragmenter/database experiment under each of the paper's
+related-work regulation strategies, so their qualitative failure modes can
+be compared quantitatively against MS Manners:
+
+* *scheduled windows* — the defragmenter may only run inside a fixed
+  nightly window, here placed where the operator guessed the machine
+  would be idle (and sometimes guessed wrong);
+* *screen saver* — the defragmenter runs whenever no "user input" has
+  arrived recently; a server receives none, so it runs regardless of the
+  database load;
+* *process-queue scan* — the defragmenter runs only when no
+  high-importance process exists; the database server process never
+  exits, so the defragmenter starves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import RegulationMode
+from repro.apps.database import DatabaseServer, LoadWorkload
+from repro.apps.defragmenter import Defragmenter
+from repro.core.config import MannersConfig
+from repro.experiments.scenarios import (
+    EXPERIMENT_CONFIG,
+    HI_START_DELAY,
+    _build_kernel,
+    _fragmented_volume,
+)
+from repro.simos.sim_manners import SimManners
+from repro.simos.workload import Burst
+from repro.strategies.baselines import (
+    InputIdleGate,
+    ProcessQueueGate,
+    ScheduledWindows,
+)
+
+__all__ = ["RelatedResult", "STRATEGIES", "related_strategy_trial"]
+
+#: Strategy identifiers accepted by :func:`related_strategy_trial`.
+STRATEGIES = (
+    "unregulated",
+    "scheduled",
+    "screensaver",
+    "queue-scan",
+    "ms-manners",
+)
+
+
+@dataclass
+class RelatedResult:
+    """Outcome of one related-approach trial."""
+
+    strategy: str
+    hi_time: float | None
+    li_time: float | None
+    li_finished: bool
+    extras: dict = field(default_factory=dict)
+
+
+def related_strategy_trial(
+    strategy: str,
+    seed: int,
+    scale: float = 1.0,
+    config: MannersConfig = EXPERIMENT_CONFIG,
+    horizon: float | None = None,
+) -> RelatedResult:
+    """One Figure-3-style trial under a section-2 baseline strategy.
+
+    The database process exists from t = 0 (it is a continuously running
+    server) and its bulk load is applied at t = 30; the defragmenter
+    starts at t = 0 under the given strategy.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
+    kernel = _build_kernel(seed)
+    volume = _fragmented_volume(kernel, seed, file_count=max(16, int(3200 * scale)))
+    if horizon is None:
+        horizon = max(4000.0, 6000.0 * scale + 600.0)
+    workload = LoadWorkload(batches=max(20, int(7000 * scale)))
+    database = DatabaseServer(kernel, volume, workload=workload, seed=seed + 1)
+    # The server process itself runs for the whole experiment...
+    resident = database.spawn_resident(lifetime=horizon)
+    # ...and receives two workloads at unpredictable times: one shortly
+    # after the defragmenter starts, one much later (inside any plausible
+    # "scheduled maintenance" window).
+    database.spawn_load(start_after=HI_START_DELAY)
+    # Lands just after any plausible "scheduled maintenance" window opens,
+    # so a fixed schedule is caught mid-run by unanticipated activity.
+    second_load_at = horizon / 6.0 + 20.0
+    database.spawn_load(start_after=second_load_at)
+
+    manners: SimManners | None = None
+    if strategy == "ms-manners":
+        manners = SimManners(kernel, config)
+    defrag = Defragmenter(kernel, [volume], manners=manners)
+    threads = defrag.spawn()
+
+    if strategy == "scheduled":
+        # The operator scheduled the nightly window where activity was
+        # *expected* to be low — after the first sixth of the run.  The
+        # second workload lands inside it: unanticipated activity that a
+        # fixed schedule cannot regulate against.
+        window = Burst(horizon / 6.0, horizon)
+        ScheduledWindows(kernel, threads, [window]).spawn()
+    elif strategy == "screensaver":
+        # A server: the last user input was at boot and never recurs, so
+        # after the idle threshold the machine always looks "unused".
+        InputIdleGate(
+            kernel, threads, last_input=lambda: 0.0, idle_threshold=60.0
+        ).spawn()
+    elif strategy == "queue-scan":
+        ProcessQueueGate(kernel, threads, hi_processes=lambda: (resident,)).spawn()
+
+    kernel.run(until=horizon)
+
+    result = RelatedResult(
+        strategy=strategy,
+        hi_time=database.results[0].elapsed,
+        li_time=defrag.results["C"].elapsed,
+        li_finished=defrag.results["C"].elapsed is not None,
+    )
+    result.extras["move_ops"] = defrag.results["C"].totals.get("move_ops", 0)
+    result.extras["hi2_time"] = database.results[1].elapsed
+    return result

@@ -1,0 +1,193 @@
+"""Wall-clock regulation of real Python threads (standard library only).
+
+This is the deployable counterpart of the paper's MS Manners library
+(section 7.1) for actual applications: each low-importance worker thread
+calls :meth:`RealTimeRegulator.testpoint` with its cumulative progress
+counters, and the call blocks until the thread may proceed — sleeping out
+regulator-mandated suspensions and waiting its turn under time-multiplex
+isolation (at most one regulated thread executes at a time, chosen by
+priority and decay-usage scheduling).
+
+The same pure components drive this adapter and the simulator bridge; only
+the clock (:func:`time.monotonic`) and the blocking mechanism
+(:class:`threading.Condition`) differ.
+
+Example::
+
+    regulator = RealTimeRegulator()
+    regulator.register(priority=1)          # optional; auto on first call
+    while work:
+        item = work.pop()
+        process(item)
+        done += 1
+        regulator.testpoint([done])         # blocks as needed
+
+Targets persist across restarts when constructed with an ``app_id`` and a
+:class:`~repro.core.persistence.TargetStore`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Sequence
+
+from repro.core.config import DEFAULT_CONFIG, MannersConfig
+from repro.core.controller import TestpointDecision
+from repro.core.errors import RegulationStateError
+from repro.core.persistence import TargetStore
+from repro.core.superintendent import Superintendent
+from repro.core.supervisor import Supervisor
+
+__all__ = ["RealTimeRegulator"]
+
+#: Upper bound on one condition wait, so hung-thread checks run regularly.
+_MAX_WAIT = 1.0
+
+
+class RealTimeRegulator:
+    """Blocking, thread-safe MS Manners front end for one process."""
+
+    def __init__(
+        self,
+        config: MannersConfig = DEFAULT_CONFIG,
+        app_id: str | None = None,
+        store: TargetStore | None = None,
+        superintendent: Superintendent | None = None,
+        process_id: object = None,
+    ) -> None:
+        if (app_id is None) != (store is None):
+            raise ValueError("app_id and store must be provided together")
+        self._config = config
+        self._supervisor = Supervisor(
+            config,
+            superintendent=superintendent,
+            process_id=process_id if process_id is not None else "realtime",
+        )
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._app_id = app_id
+        self._store = store
+        self._last_save = time.monotonic()
+        self._save_interval = 300.0
+        self._closed = False
+
+    # -- registration ---------------------------------------------------------------
+    def register(self, priority: int = 0, thread_id: int | None = None) -> None:
+        """Enroll the calling (or named) thread for regulation.
+
+        Threads are auto-registered with priority 0 on their first
+        testpoint; call this first to set a different priority, mirroring
+        the paper's priority library call.
+        """
+        tid = thread_id if thread_id is not None else threading.get_ident()
+        with self._lock:
+            if tid not in self._supervisor.thread_ids():
+                regulator = self._supervisor.register_thread(tid, priority=priority)
+                self._load_targets_into(regulator)
+            else:
+                self._supervisor.set_thread_priority(tid, priority)
+
+    def set_priority(self, priority: int) -> None:
+        """Change the calling thread's relative priority."""
+        self.register(priority=priority)
+
+    # -- the blocking testpoint -------------------------------------------------------
+    def testpoint(
+        self, metrics: Sequence[float], index: int = 0
+    ) -> TestpointDecision:
+        """Report progress; block until this thread may continue.
+
+        Returns the decision for introspection.  Raises
+        :class:`RegulationStateError` after :meth:`close`.
+        """
+        tid = threading.get_ident()
+        now = time.monotonic()
+        with self._cond:
+            if self._closed:
+                raise RegulationStateError("regulator is closed")
+            if tid not in self._supervisor.thread_ids():
+                regulator = self._supervisor.register_thread(tid)
+                self._load_targets_into(regulator)
+            decision = self._supervisor.on_testpoint(now, tid, index, metrics)
+            if not decision.processed:
+                return decision
+            # This thread just gave up the execution slot: seat the next
+            # owner right away and wake waiters so handoff is immediate.
+            self._supervisor.poll(time.monotonic())
+            self._cond.notify_all()
+            # Wait until the supervisor seats this thread.
+            while not self._closed:
+                current = time.monotonic()
+                self._supervisor.check_hung(current)
+                owner = self._supervisor.poll(current)
+                if owner == tid:
+                    break
+                wake = self._supervisor.next_poll_time(current)
+                timeout = _MAX_WAIT
+                if wake is not None:
+                    timeout = min(max(wake - current, 0.0), _MAX_WAIT)
+                self._cond.wait(timeout=timeout if timeout > 0 else 0.01)
+            self._cond.notify_all()
+            self._maybe_save_locked()
+        self._supervisor.regulator(tid).mark_resumed(time.monotonic())
+        return decision
+
+    def release(self) -> None:
+        """Withdraw the calling thread (call before the thread exits)."""
+        tid = threading.get_ident()
+        with self._cond:
+            if tid in self._supervisor.thread_ids():
+                self._supervisor.unregister_thread(tid)
+            self._cond.notify_all()
+
+    # -- persistence & lifecycle -------------------------------------------------------
+    def save_targets(self) -> None:
+        """Persist calibration for the calling thread's regulator."""
+        with self._lock:
+            self._save_locked()
+
+    def close(self) -> None:
+        """Persist targets and unblock all waiting threads."""
+        with self._cond:
+            self._save_locked()
+            self._closed = True
+            self._cond.notify_all()
+
+    def __enter__(self) -> "RealTimeRegulator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- introspection -------------------------------------------------------------------
+    @property
+    def supervisor(self) -> Supervisor:
+        """The underlying supervisor (diagnostics)."""
+        return self._supervisor
+
+    # -- internals --------------------------------------------------------------------------
+    def _load_targets_into(self, regulator) -> None:
+        if self._store is not None and self._app_id is not None:
+            persisted = self._store.load(self._app_id)
+            if persisted is not None:
+                regulator.import_state(persisted)
+
+    def _maybe_save_locked(self) -> None:
+        if self._store is None:
+            return
+        now = time.monotonic()
+        if now - self._last_save >= self._save_interval:
+            self._save_locked()
+
+    def _save_locked(self) -> None:
+        if self._store is None or self._app_id is None:
+            return
+        tids = self._supervisor.thread_ids()
+        if not tids:
+            return
+        # One thread's calibration represents the application's targets
+        # (the paper persists per-application target files).
+        state = self._supervisor.regulator(tids[0]).export_state()
+        self._store.save(self._app_id, state)
+        self._last_save = time.monotonic()

@@ -1,0 +1,184 @@
+"""Cross-process superintendent backed by a lock file.
+
+The paper's superintendent is a separate OS process that supervisors talk
+to over shared memory (section 7.1).  For regulating genuinely separate
+OS processes with :class:`~repro.realtime.adapter.RealTimeRegulator`, this
+module provides the equivalent with nothing but the filesystem: a token
+file whose existence means "some process's low-importance thread is
+executing".
+
+Protocol: ``acquire`` atomically creates the token file (``O_EXCL``)
+containing the holder identity; the holder refreshes the file's timestamp
+as a heartbeat on every acquire; ``release`` removes it.  A token whose
+heartbeat is older than ``stale_after`` belonged to a crashed process and
+is broken.  Fairness across processes is by polling rather than decay
+usage — adequate for the "several housekeeping services on one box" case
+the paper targets, where contention for the token is rare and brief.
+
+The class is duck-type compatible with
+:class:`repro.core.superintendent.Superintendent`, so it plugs straight
+into a :class:`~repro.core.supervisor.Supervisor` or
+:class:`~repro.realtime.adapter.RealTimeRegulator`::
+
+    boss = FileTokenSuperintendent("/var/run/manners.token")
+    regulator = RealTimeRegulator(superintendent=boss, process_id=os.getpid())
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Hashable
+
+from repro.core.errors import PersistenceError
+
+__all__ = ["FileTokenSuperintendent"]
+
+
+class FileTokenSuperintendent:
+    """Machine-wide execution token as a heartbeat-stamped lock file."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        stale_after: float = 60.0,
+        retry_interval: float = 0.25,
+        slice_seconds: float = 1.0,
+    ) -> None:
+        """``slice_seconds`` bounds politeness: after holding the token for
+        longer than one slice, a process backs off for a couple of retry
+        intervals before re-acquiring, so peers polling at
+        ``retry_interval`` get a guaranteed window.  (A lock file cannot
+        carry the in-process superintendent's decay-usage fairness, so
+        fairness here is time-sliced instead.)"""
+        if stale_after <= 0:
+            raise ValueError(f"stale_after must be positive, got {stale_after}")
+        if retry_interval <= 0:
+            raise ValueError(f"retry_interval must be positive, got {retry_interval}")
+        if slice_seconds <= 0:
+            raise ValueError(f"slice_seconds must be positive, got {slice_seconds}")
+        self._path = os.fspath(path)
+        self._stale_after = stale_after
+        self._retry = retry_interval
+        self._slice = slice_seconds
+        self._registered: set[Hashable] = set()
+        self._holding: Hashable | None = None
+        self._held_since: float | None = None
+        #: Cumulative hold time since the last politeness back-off; the
+        #: token is taken and given back at every testpoint, so fairness
+        #: must account across holds, not per hold.
+        self._slice_used = 0.0
+        self._cooldown_until = 0.0
+
+    # -- membership (Superintendent-compatible) ---------------------------------
+    def register_process(self, pid: Hashable, priority: int = 0) -> None:
+        """Record a local process identity (priority is best-effort only)."""
+        self._registered.add(pid)
+
+    def unregister_process(self, pid: Hashable) -> None:
+        """Withdraw a process; drops the token if it was held."""
+        self._registered.discard(pid)
+        if self._holding == pid:
+            self.release(pid, 0.0)
+
+    def __contains__(self, pid: Hashable) -> bool:
+        return pid in self._registered
+
+    # -- token protocol ------------------------------------------------------------
+    @property
+    def holder(self) -> Hashable | None:
+        """The *local* identity holding the token, if this process holds it."""
+        return self._holding
+
+    def acquire(self, pid: Hashable, now: float) -> bool:
+        """Try to take (or refresh) the machine-wide token."""
+        import time as _time
+
+        if self._holding == pid:
+            self._heartbeat()
+            return True
+        if self._holding is not None:
+            return False  # Another local identity holds it via this object.
+        if _time.monotonic() < self._cooldown_until:
+            return False  # Politeness window for peer processes.
+        if self._cooldown_until and _time.monotonic() >= self._cooldown_until:
+            self._slice_used = 0.0
+            self._cooldown_until = 0.0
+        if self._try_create(pid):
+            self._holding = pid
+            self._held_since = _time.monotonic()
+            return True
+        if self._is_stale():
+            self._break_stale()
+            if self._try_create(pid):
+                self._holding = pid
+                self._held_since = _time.monotonic()
+                return True
+        return False
+
+    def release(self, pid: Hashable, now: float, until: float | None = None) -> None:
+        """Give the token back (idempotent; ``until`` is advisory only)."""
+        if self._holding != pid:
+            return
+        import time as _time
+
+        if self._held_since is not None:
+            self._slice_used += _time.monotonic() - self._held_since
+        if self._slice_used > self._slice:
+            self._cooldown_until = _time.monotonic() + 2.0 * self._retry
+        self._holding = None
+        self._held_since = None
+        try:
+            os.unlink(self._path)
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            raise PersistenceError(f"cannot release token {self._path}: {exc}") from exc
+
+    def charge(self, pid: Hashable, amount: float) -> None:
+        """Usage accounting is per-process only; nothing shared to do."""
+
+    def set_priority(self, pid: Hashable, priority: int) -> None:
+        """Priorities cannot be arbitrated through a bare lock file."""
+
+    def next_eligible_time(self, now: float) -> float | None:
+        """When to retry while another process holds the token."""
+        if self._holding is not None:
+            return None
+        return now + self._retry
+
+    # -- internals --------------------------------------------------------------------
+    def _try_create(self, pid: Hashable) -> bool:
+        try:
+            fd = os.open(self._path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return False
+        except OSError as exc:
+            raise PersistenceError(f"cannot create token {self._path}: {exc}") from exc
+        try:
+            os.write(fd, f"{os.getpid()}:{pid!r}\n".encode())
+        finally:
+            os.close(fd)
+        return True
+
+    def _heartbeat(self) -> None:
+        try:
+            os.utime(self._path)
+        except OSError:
+            # The token vanished (operator cleanup?); we'll recreate on the
+            # next acquire cycle.
+            self._holding = None
+
+    def _is_stale(self) -> bool:
+        try:
+            age = os.stat(self._path).st_mtime
+        except FileNotFoundError:
+            return False
+        import time as _time
+
+        return (_time.time() - age) > self._stale_after
+
+    def _break_stale(self) -> None:
+        try:
+            os.unlink(self._path)
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,86 @@
+"""Shared I/O bus (SCSI controller) serialization.
+
+The paper's test machine hangs two Seagate disks and a CD-ROM off one
+Adaptec 2940UW controller.  Figure 9 attributes part of the "incomplete
+isolation between the two drives" to this shared controller: even threads
+working against different disks perturb each other because their transfers
+serialize on the bus.
+
+:class:`Bus` models that coupling: a transfer occupies the bus for
+``nbytes / bandwidth`` seconds, FCFS.  Seeks and rotational latency happen
+inside each disk concurrently; only the data transfer phase is serialized.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.simos.engine import Engine, SimulationError
+
+__all__ = ["BusStats", "Bus"]
+
+
+@dataclass
+class BusStats:
+    """Aggregate bus accounting."""
+
+    transfers: int = 0
+    busy_time: float = 0.0
+    queued_peak: int = 0
+
+
+class Bus:
+    """A FCFS-shared transfer channel."""
+
+    def __init__(self, engine: Engine, bandwidth: float, name: str = "scsi0") -> None:
+        if bandwidth <= 0:
+            raise SimulationError(f"bus bandwidth must be positive, got {bandwidth}")
+        self._engine = engine
+        #: Bytes per second the bus can move.
+        self.bandwidth = float(bandwidth)
+        self.name = name
+        self._busy = False
+        self._queue: deque[tuple[float, Callable[[], None]]] = deque()
+        self.stats = BusStats()
+
+    @property
+    def busy(self) -> bool:
+        """Whether a transfer is in flight."""
+        return self._busy
+
+    @property
+    def queue_depth(self) -> int:
+        """Transfers waiting behind the current one."""
+        return len(self._queue)
+
+    def transfer(self, duration: float, on_done: Callable[[], None]) -> None:
+        """Occupy the bus for ``duration`` seconds; ``on_done`` at completion.
+
+        The caller computes the duration (a disk uses its media rate capped
+        by the bus bandwidth), because a transfer's speed is limited by the
+        slower of the device and the channel.
+        """
+        if duration < 0:
+            raise SimulationError(
+                f"transfer duration must be non-negative, got {duration}"
+            )
+        self._queue.append((duration, on_done))
+        self.stats.queued_peak = max(self.stats.queued_peak, len(self._queue))
+        self._pump()
+
+    # -- internals ------------------------------------------------------------
+    def _pump(self) -> None:
+        if self._busy or not self._queue:
+            return
+        duration, on_done = self._queue.popleft()
+        self._busy = True
+        self.stats.transfers += 1
+        self.stats.busy_time += duration
+        self._engine.call_after(duration, self._finish, on_done)
+
+    def _finish(self, on_done: Callable[[], None]) -> None:
+        self._busy = False
+        on_done()
+        self._pump()

@@ -1,0 +1,132 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event core: a binary heap of ``(time, sequence, callback)``
+entries.  Everything in :mod:`repro.simos` — the CPU scheduler, disks, bus,
+timers, and the MS Manners bridge — is built from these primitives.
+
+Determinism: two events scheduled for the same instant fire in scheduling
+order (the monotone sequence number breaks ties), so a seeded simulation
+replays exactly.  Time is a float in seconds, starting at 0.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable
+
+__all__ = ["EventHandle", "Engine", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """The simulation was driven into an invalid state."""
+
+
+class EventHandle:
+    """A cancellable reference to one scheduled event."""
+
+    __slots__ = ("when", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, when: float, seq: int, fn: Callable[..., None], args: tuple) -> None:
+        self.when = when
+        self.seq = seq
+        self.fn: Callable[..., None] | None = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self.cancelled = True
+        self.fn = None  # Free references early; the heap entry stays inert.
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class Engine:
+    """The event heap and simulation clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+        self._events_fired = 0
+
+    # -- time ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time, in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed (for instrumentation and sanity checks)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Scheduled events not yet fired or cancelled."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    # -- scheduling ----------------------------------------------------------
+    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute time ``when``."""
+        if not math.isfinite(when):
+            raise SimulationError(f"event time must be finite, got {when}")
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {when} before current time {self._now}"
+            )
+        handle = EventHandle(when, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self._now + delay, fn, *args)
+
+    # -- execution ------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next event; return ``False`` if the heap is empty."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled or handle.fn is None:
+                continue
+            self._now = handle.when
+            fn, args = handle.fn, handle.args
+            handle.cancel()  # Mark consumed; frees references.
+            self._events_fired += 1
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run events until the heap drains, ``until`` passes, or the budget ends.
+
+        Returns the simulation time when execution stopped.  With ``until``,
+        the clock is advanced to exactly ``until`` even if the last event
+        fired earlier (so back-to-back ``run`` calls tile time seamlessly).
+        """
+        fired = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled or head.fn is None:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.when > until:
+                break
+            if max_events is not None and fired >= max_events:
+                return self._now
+            self.step()
+            fired += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def drain(self) -> None:
+        """Discard all pending events (used when tearing a simulation down)."""
+        self._heap.clear()

@@ -1,0 +1,444 @@
+"""Simulated filesystem: volumes, extents, fragmentation, change journal.
+
+Provides exactly the substrate the paper's two low-importance applications
+need:
+
+* the **disk defragmenter** (section 8) examines file layouts and
+  "rearranges the blocks of one or more files to improve their physical
+  locality" — so files here are lists of *extents* (contiguous block runs),
+  volumes track free space, and a relocation plan can be computed and
+  committed;
+* the **SIS Groveler** (section 8) "scans the file system change journal, a
+  log that records all changes to the contents of the file system", reads
+  file contents, computes signatures, and merges duplicates — so volumes
+  keep a USN-style change journal and files carry a content identity that
+  duplicate files share.
+
+A volume occupies a block range of one simulated disk; filesystem metadata
+operations are free (they would be cached in RAM), while data I/O costs are
+paid by the *applications*, which turn the plans produced here into
+:class:`~repro.simos.effects.DiskRead`/:class:`DiskWrite` effects.  This
+split keeps policy (what to read/write) in the filesystem and timing in the
+disk model.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.simos.engine import SimulationError
+
+__all__ = [
+    "Extent",
+    "SimFile",
+    "ChangeRecord",
+    "Volume",
+    "populate_volume",
+]
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous run of volume blocks."""
+
+    start: int
+    count: int
+
+    @property
+    def end(self) -> int:
+        """One past the last block."""
+        return self.start + self.count
+
+
+@dataclass
+class SimFile:
+    """One file: a named sequence of extents with a content identity."""
+
+    file_id: int
+    path: str
+    size: int
+    extents: list[Extent]
+    #: Files with equal ``content_id`` are byte-identical (what the
+    #: Groveler's signature ultimately establishes).
+    content_id: int
+    mtime: float
+    #: Set when the Groveler has merged this file into a common-store file.
+    sis_link: int | None = None
+
+    @property
+    def blocks(self) -> int:
+        """Number of blocks the file occupies."""
+        return sum(e.count for e in self.extents)
+
+    @property
+    def fragments(self) -> int:
+        """Number of extents (1 = fully contiguous)."""
+        return len(self.extents)
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One entry of the USN-style change journal."""
+
+    usn: int
+    file_id: int
+    reason: str  # "create" | "modify" | "delete" | "relocate" | "merge"
+    when: float
+
+
+class Volume:
+    """A filesystem volume over a block range of one disk."""
+
+    def __init__(
+        self,
+        name: str,
+        disk: str,
+        total_blocks: int,
+        block_size: int = 4096,
+        start_block: int = 0,
+    ) -> None:
+        if total_blocks <= 0:
+            raise SimulationError(f"volume needs blocks, got {total_blocks}")
+        self.name = name
+        #: Name of the backing disk (as registered with the kernel).
+        self.disk = disk
+        self.block_size = block_size
+        self.total_blocks = total_blocks
+        self.start_block = start_block
+        self._free: list[Extent] = [Extent(0, total_blocks)]
+        self._files: dict[int, SimFile] = {}
+        self._by_path: dict[str, int] = {}
+        self._next_file_id = 1
+        self._next_usn = 1
+        self._journal: list[ChangeRecord] = []
+
+    # -- bookkeeping ------------------------------------------------------------
+    @property
+    def free_blocks(self) -> int:
+        """Unallocated blocks."""
+        return sum(e.count for e in self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        """Allocated blocks."""
+        return self.total_blocks - self.free_blocks
+
+    @property
+    def file_count(self) -> int:
+        """Number of live files."""
+        return len(self._files)
+
+    def files(self) -> Iterator[SimFile]:
+        """Iterate live files in file-id order."""
+        for file_id in sorted(self._files):
+            yield self._files[file_id]
+
+    def file(self, file_id: int) -> SimFile:
+        """Look up a file by id."""
+        try:
+            return self._files[file_id]
+        except KeyError:
+            raise SimulationError(f"no file id {file_id} on {self.name}") from None
+
+    def lookup(self, path: str) -> SimFile:
+        """Look up a file by path."""
+        try:
+            return self._files[self._by_path[path]]
+        except KeyError:
+            raise SimulationError(f"no file {path!r} on {self.name}") from None
+
+    def mean_fragments_per_file(self) -> float:
+        """Average extent count across files (1.0 = perfectly defragmented)."""
+        if not self._files:
+            return 0.0
+        return sum(f.fragments for f in self._files.values()) / len(self._files)
+
+    def to_disk_block(self, volume_block: int) -> int:
+        """Translate a volume-relative block to a disk block number."""
+        return self.start_block + volume_block
+
+    # -- journal -------------------------------------------------------------------
+    @property
+    def last_usn(self) -> int:
+        """USN of the most recent journal record (0 when empty)."""
+        return self._next_usn - 1
+
+    def journal_since(self, usn: int) -> list[ChangeRecord]:
+        """Records with USN strictly greater than ``usn``."""
+        # The journal is append-only and USNs are dense, so slice directly.
+        if usn >= self.last_usn:
+            return []
+        return self._journal[usn:]
+
+    def _log(self, file_id: int, reason: str, when: float) -> None:
+        self._journal.append(ChangeRecord(self._next_usn, file_id, reason, when))
+        self._next_usn += 1
+
+    # -- allocation --------------------------------------------------------------------
+    def allocate(self, blocks: int, fragments: int = 1, spread_seed: int | None = None) -> list[Extent]:
+        """Allocate ``blocks``, optionally deliberately split into fragments.
+
+        ``fragments > 1`` scatters the allocation across the free list to
+        build aged, fragmented layouts for experiments (cf. Smith &
+        Seltzer's file-system aging, the paper's citation 24).
+        """
+        if blocks <= 0:
+            raise SimulationError(f"allocation must be positive, got {blocks}")
+        if blocks > self.free_blocks:
+            raise SimulationError(
+                f"volume {self.name} full: need {blocks}, have {self.free_blocks}"
+            )
+        fragments = max(1, min(fragments, blocks))
+        piece_sizes = self._split_sizes(blocks, fragments)
+        rng = random.Random(spread_seed) if spread_seed is not None else None
+        out: list[Extent] = []
+        for size in piece_sizes:
+            out.append(self._allocate_piece(size, rng))
+        return out
+
+    def _split_sizes(self, blocks: int, fragments: int) -> list[int]:
+        base = blocks // fragments
+        sizes = [base] * fragments
+        for i in range(blocks - base * fragments):
+            sizes[i] += 1
+        return [s for s in sizes if s > 0]
+
+    def _allocate_piece(self, size: int, rng: random.Random | None) -> Extent:
+        # First-fit for determinism; a seeded rng picks a random fit instead,
+        # which is how fragmented (aged) layouts are manufactured.
+        candidates = [i for i, e in enumerate(self._free) if e.count >= size]
+        if candidates:
+            index = rng.choice(candidates) if rng is not None else candidates[0]
+            chunk = self._free[index]
+            taken = Extent(chunk.start, size)
+            rest = Extent(chunk.start + size, chunk.count - size)
+            if rest.count > 0:
+                self._free[index] = rest
+            else:
+                del self._free[index]
+            return taken
+        largest = self.largest_free_extent()
+        raise SimulationError(
+            f"volume {self.name}: no contiguous run of {size} blocks "
+            f"(largest free: {largest}); allocate with more fragments"
+        )
+
+    def free(self, extents: list[Extent]) -> None:
+        """Return extents to the free pool (coalescing neighbours)."""
+        for extent in extents:
+            self._free_extent(extent)
+
+    def _free_extent(self, extent: Extent) -> None:
+        starts = [e.start for e in self._free]
+        i = bisect.bisect_left(starts, extent.start)
+        # Coalesce with the right neighbour, then the left one.
+        if i < len(self._free) and extent.end == self._free[i].start:
+            extent = Extent(extent.start, extent.count + self._free[i].count)
+            del self._free[i]
+        if i > 0 and self._free[i - 1].end == extent.start:
+            extent = Extent(
+                self._free[i - 1].start, self._free[i - 1].count + extent.count
+            )
+            del self._free[i - 1]
+            i -= 1
+        self._free.insert(i, extent)
+
+    def largest_free_extent(self) -> int:
+        """Size in blocks of the largest contiguous free run."""
+        return max((e.count for e in self._free), default=0)
+
+    # -- file operations -----------------------------------------------------------------
+    def create_file(
+        self,
+        path: str,
+        size: int,
+        when: float,
+        content_id: int | None = None,
+        fragments: int = 1,
+        spread_seed: int | None = None,
+    ) -> SimFile:
+        """Create a file of ``size`` bytes; logs a journal record."""
+        if path in self._by_path:
+            raise SimulationError(f"file {path!r} already exists on {self.name}")
+        blocks = max(1, -(-size // self.block_size))
+        extents = self.allocate(blocks, fragments=fragments, spread_seed=spread_seed)
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        if content_id is None:
+            content_id = file_id  # Unique content by default.
+        f = SimFile(file_id, path, size, extents, content_id, when)
+        self._files[file_id] = f
+        self._by_path[path] = file_id
+        self._log(file_id, "create", when)
+        return f
+
+    def modify_file(self, file_id: int, when: float, new_content_id: int | None = None) -> None:
+        """Mark a file's contents changed; logs a journal record.
+
+        Modifying a SIS-merged file breaks the link copy-on-write style:
+        the file gets its own freshly allocated blocks again.
+        """
+        f = self.file(file_id)
+        f.mtime = when
+        if f.sis_link is not None:
+            f.sis_link = None
+            blocks = max(1, -(-f.size // self.block_size))
+            f.extents = self.allocate(blocks, fragments=1)
+        if new_content_id is not None:
+            f.content_id = new_content_id
+        self._log(file_id, "modify", when)
+
+    def delete_file(self, file_id: int, when: float) -> None:
+        """Delete a file, freeing its blocks; logs a journal record."""
+        f = self.file(file_id)
+        self.free(f.extents)
+        del self._files[file_id]
+        del self._by_path[f.path]
+        self._log(file_id, "delete", when)
+
+    def merge_duplicate(self, file_id: int, into_file_id: int, when: float) -> int:
+        """SIS merge: replace a duplicate with a link to the common store.
+
+        Frees the duplicate's blocks and records the link.  Returns the
+        number of blocks reclaimed.  Both files must have equal content.
+        """
+        dup = self.file(file_id)
+        keeper = self.file(into_file_id)
+        if dup.content_id != keeper.content_id:
+            raise SimulationError(
+                f"files {file_id} and {into_file_id} are not duplicates"
+            )
+        if dup.sis_link is not None:
+            return 0
+        reclaimed = dup.blocks
+        self.free(dup.extents)
+        dup.extents = []
+        dup.sis_link = into_file_id
+        self._log(file_id, "merge", when)
+        return reclaimed
+
+    # -- I/O planning -------------------------------------------------------------------------
+    def read_plan(self, file_id: int, chunk_bytes: int = 65536) -> list[tuple[int, int]]:
+        """(disk block, nbytes) operations needed to read the whole file.
+
+        One operation per contiguous chunk, capped at ``chunk_bytes`` — the
+        shape of a real buffered read loop.  SIS links read through to the
+        common-store file.
+        """
+        f = self.file(file_id)
+        if f.sis_link is not None:
+            return self.read_plan(f.sis_link, chunk_bytes)
+        chunk_blocks = max(1, chunk_bytes // self.block_size)
+        remaining_bytes = f.size
+        ops: list[tuple[int, int]] = []
+        for extent in f.extents:
+            offset = 0
+            while offset < extent.count and remaining_bytes > 0:
+                run = min(chunk_blocks, extent.count - offset)
+                nbytes = min(run * self.block_size, remaining_bytes)
+                ops.append((self.to_disk_block(extent.start + offset), nbytes))
+                remaining_bytes -= nbytes
+                offset += run
+        return ops
+
+    def relocation_plan(
+        self, file_id: int, chunk_bytes: int = 65536
+    ) -> tuple[list[tuple[int, int]], list[tuple[int, int]], list[Extent]] | None:
+        """Defragmentation plan for one file.
+
+        Returns ``(reads, writes, new_extents)`` — the read operations for
+        the current layout, the write operations into a fresh contiguous
+        allocation, and the new extents to commit afterwards with
+        :meth:`commit_relocation`.  Returns ``None`` when the file is
+        already contiguous or no contiguous free run is large enough.
+        """
+        f = self.file(file_id)
+        if f.fragments <= 1 or f.sis_link is not None:
+            return None
+        blocks = f.blocks
+        if self.largest_free_extent() < blocks:
+            return None
+        reads = self.read_plan(file_id, chunk_bytes)
+        new_extents = self.allocate(blocks, fragments=1)
+        chunk_blocks = max(1, chunk_bytes // self.block_size)
+        writes: list[tuple[int, int]] = []
+        target = new_extents[0]
+        offset = 0
+        remaining_bytes = f.size
+        while offset < target.count and remaining_bytes > 0:
+            run = min(chunk_blocks, target.count - offset)
+            nbytes = min(run * self.block_size, remaining_bytes)
+            writes.append((self.to_disk_block(target.start + offset), nbytes))
+            remaining_bytes -= nbytes
+            offset += run
+        return reads, writes, new_extents
+
+    def commit_relocation(self, file_id: int, new_extents: list[Extent], when: float) -> None:
+        """Finish a relocation: free old extents, install the new layout."""
+        f = self.file(file_id)
+        self.free(f.extents)
+        f.extents = new_extents
+        self._log(file_id, "relocate", when)
+
+    def abort_relocation(self, new_extents: list[Extent]) -> None:
+        """Roll back a relocation plan whose I/O never completed."""
+        self.free(new_extents)
+
+
+def populate_volume(
+    volume: Volume,
+    rng: random.Random,
+    file_count: int,
+    when: float = 0.0,
+    size_range: tuple[int, int] = (8 * 1024, 1024 * 1024),
+    fragment_range: tuple[int, int] = (1, 12),
+    duplicate_fraction: float = 0.0,
+    path_prefix: str = "data",
+    age: bool = True,
+) -> list[SimFile]:
+    """Fill a volume with an aged directory tree.
+
+    ``duplicate_fraction`` of the files duplicate the content of an earlier
+    file (the Groveler's prey); fragment counts are uniform over
+    ``fragment_range`` (the defragmenter's prey).
+
+    With ``age`` (the default), a same-sized filler file is created after
+    each real file and all fillers are deleted at the end — the classic
+    create/delete interleaving of file-system aging (cf. Smith & Seltzer,
+    the paper's citation 24).  This spreads files uniformly over the
+    occupied region, so access-time statistics are stationary across the
+    directory tree: an application walking the files sees the same ideal
+    progress rate at the start and the end of its pass, which is the
+    property the paper's fixed workloads have.
+    """
+    files: list[SimFile] = []
+    fillers: list[SimFile] = []
+    for i in range(file_count):
+        size = rng.randint(*size_range)
+        fragments = rng.randint(*fragment_range)
+        content_id: int | None = None
+        if files and rng.random() < duplicate_fraction:
+            content_id = rng.choice(files).content_id
+        f = volume.create_file(
+            f"{path_prefix}/dir{i % 16:02d}/file{i:05d}",
+            size,
+            when=when,
+            content_id=content_id,
+            fragments=fragments,
+            spread_seed=rng.randrange(1 << 30),
+        )
+        files.append(f)
+        if age:
+            filler = volume.create_file(
+                f"{path_prefix}/__filler{i:05d}",
+                rng.randint(*size_range),
+                when=when,
+                fragments=1,
+            )
+            fillers.append(filler)
+    for filler in fillers:
+        volume.delete_file(filler.file_id, when)
+    return files

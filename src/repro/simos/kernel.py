@@ -1,0 +1,345 @@
+"""Simulated OS kernel: threads, effect dispatch, and the debug interface.
+
+Simulated application code is written as Python generators yielding
+:mod:`repro.simos.effects` objects.  The kernel owns the event engine, one
+CPU, any number of disks (optionally sharing a bus), and the thread
+lifecycle.  Code between two yields executes in zero simulated time; all
+simulated cost flows through effects.
+
+The kernel also exposes the *debug interface* of the paper's section 7.2:
+:meth:`Kernel.suspend_thread` and :meth:`Kernel.resume_thread` stop and
+restart a thread externally at an arbitrary point, exactly as BeNice does to
+unmodified Windows applications via ``SuspendThread``.  A suspended thread
+stops consuming CPU immediately; in-flight disk requests complete (the
+device does not care) but their completions are parked until resume.
+
+Listeners can subscribe to thread lifecycle events (spawn, block, run,
+suspend, resume, exit) to build the execution-duty traces behind the
+paper's Figures 7 and 9.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator, Iterable
+
+from repro.simos.bus import Bus
+from repro.simos.cpu import CPU, CpuPriority
+from repro.simos.disk import Disk, DiskParams
+from repro.simos.effects import (
+    Condition,
+    Delay,
+    DiskRead,
+    DiskWrite,
+    Effect,
+    SignalCondition,
+    UseCPU,
+    WaitCondition,
+    Yield,
+)
+from repro.simos.engine import Engine, SimulationError
+
+__all__ = ["ThreadState", "SimThread", "Kernel"]
+
+#: Default shared-bus bandwidth: Ultra-Wide SCSI, 40 MB/s.
+DEFAULT_BUS_BANDWIDTH = 40_000_000.0
+
+ThreadBody = Generator[Effect, Any, Any]
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle states of a simulated thread."""
+
+    NEW = "new"
+    RUNNING = "running"  # executing or runnable (between effects)
+    BLOCKED = "blocked"  # waiting on an effect
+    DONE = "done"
+    FAILED = "failed"
+
+
+class SimThread:
+    """One simulated thread of execution."""
+
+    _next_tid = 1
+
+    def __init__(
+        self,
+        name: str,
+        body: ThreadBody,
+        priority: CpuPriority,
+        process: str,
+    ) -> None:
+        self.tid = SimThread._next_tid
+        SimThread._next_tid += 1
+        self.name = name
+        self.body = body
+        self.priority = priority
+        self.process = process
+        self.state = ThreadState.NEW
+        #: What the thread is blocked on (for traces): ``"cpu"``,
+        #: ``"disk:<name>"``, ``"sleep"``, ``"cond:<name>"``, ``"manners"``...
+        self.blocked_on: str | None = None
+        #: Debug-interface suspension flag.
+        self.suspended = False
+        #: Parked effect completion delivered while suspended.
+        self._parked: tuple[Any] | None = None
+        #: CPU service remaining when suspension evicted a running burst.
+        self._pending_cpu: float | None = None
+        #: Generator return value once DONE.
+        self.result: Any = None
+        #: The exception that killed the thread, if FAILED.
+        self.error: BaseException | None = None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the thread can still make progress."""
+        return self.state not in (ThreadState.DONE, ThreadState.FAILED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimThread({self.tid}:{self.name!r}, {self.state.value})"
+
+
+Listener = Callable[[str, SimThread, float], None]
+
+
+class Kernel:
+    """The simulated machine: engine + CPU + disks + threads."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        cpu_quantum: float = 0.02,
+        bus_bandwidth: float | None = DEFAULT_BUS_BANDWIDTH,
+    ) -> None:
+        self.engine = Engine()
+        self.cpu = CPU(self.engine, quantum=cpu_quantum)
+        #: The shared I/O bus, or ``None`` for fully independent disks.
+        self.bus: Bus | None = (
+            Bus(self.engine, bus_bandwidth) if bus_bandwidth else None
+        )
+        self.disks: dict[str, Disk] = {}
+        self._seed = seed
+        self._threads: list[SimThread] = []
+        self._listeners: list[Listener] = []
+        self._handlers: dict[type, Callable[[SimThread, Effect], None]] = {
+            Delay: self._do_delay,
+            UseCPU: self._do_cpu,
+            DiskRead: self._do_disk,
+            DiskWrite: self._do_disk,
+            WaitCondition: self._do_wait,
+            SignalCondition: self._do_signal,
+            Yield: self._do_yield,
+        }
+
+    # -- machine configuration ---------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time, in seconds."""
+        return self.engine.now
+
+    def add_disk(
+        self,
+        name: str,
+        params: DiskParams | None = None,
+        shared_bus: bool = True,
+    ) -> Disk:
+        """Attach a disk; ``shared_bus=False`` gives it a private channel."""
+        if name in self.disks:
+            raise SimulationError(f"disk {name!r} already exists")
+        disk = Disk(
+            self.engine,
+            name=name,
+            params=params,
+            bus=self.bus if shared_bus else None,
+            seed=self._seed + len(self.disks) + 1,
+        )
+        self.disks[name] = disk
+        return disk
+
+    def register_handler(
+        self, effect_type: type, handler: Callable[[SimThread, Effect], None]
+    ) -> None:
+        """Register a handler for a new effect type (extension point).
+
+        The handler must eventually call :meth:`deliver` for the thread.
+        """
+        if effect_type in self._handlers:
+            raise SimulationError(f"handler for {effect_type.__name__} already set")
+        self._handlers[effect_type] = handler
+
+    def add_listener(self, listener: Listener) -> None:
+        """Subscribe to thread lifecycle events ``(kind, thread, now)``."""
+        self._listeners.append(listener)
+
+    # -- thread lifecycle ------------------------------------------------------------
+    def spawn(
+        self,
+        name: str,
+        body: ThreadBody,
+        priority: CpuPriority = CpuPriority.NORMAL,
+        process: str | None = None,
+        start_after: float = 0.0,
+    ) -> SimThread:
+        """Create a thread and schedule its first step."""
+        thread = SimThread(name, body, priority, process or name)
+        self._threads.append(thread)
+        self._notify("spawn", thread)
+        self.engine.call_after(start_after, self._first_step, thread)
+        return thread
+
+    def threads(self) -> tuple[SimThread, ...]:
+        """All threads ever spawned."""
+        return tuple(self._threads)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run the simulation; returns the stop time.
+
+        Thread failures surface here: if any thread died of an exception,
+        it is re-raised (wrapped) rather than silently swallowed.
+        """
+        stop = self.engine.run(until=until, max_events=max_events)
+        for thread in self._threads:
+            if thread.state is ThreadState.FAILED:
+                raise SimulationError(
+                    f"thread {thread.name!r} failed"
+                ) from thread.error
+        return stop
+
+    # -- the debug interface (paper section 7.2) ----------------------------------------
+    def suspend_thread(self, thread: SimThread) -> None:
+        """Externally stop a thread at an arbitrary point (BeNice-style)."""
+        if not thread.alive or thread.suspended:
+            return
+        thread.suspended = True
+        if thread.blocked_on == "cpu":
+            remaining = self.cpu.remove(thread)
+            if remaining is not None:
+                thread._pending_cpu = remaining
+        self._notify("suspend", thread)
+
+    def resume_thread(self, thread: SimThread) -> None:
+        """Undo :meth:`suspend_thread`; parked completions are delivered."""
+        if not thread.alive or not thread.suspended:
+            return
+        thread.suspended = False
+        self._notify("unsuspend", thread)
+        if thread._pending_cpu is not None:
+            remaining = thread._pending_cpu
+            thread._pending_cpu = None
+            self.cpu.request(
+                thread, remaining, int(thread.priority), lambda: self.deliver(thread, None)
+            )
+        elif thread._parked is not None:
+            (value,) = thread._parked
+            thread._parked = None
+            self.engine.call_after(0.0, self._advance, thread, value)
+
+    # -- effect completion ----------------------------------------------------------------
+    def deliver(self, thread: SimThread, value: Any) -> None:
+        """Complete the thread's outstanding effect with ``value``.
+
+        Extension handlers call this when their effect finishes.  Delivery
+        to a suspended thread parks until resume; delivery to a dead thread
+        is dropped.
+        """
+        if not thread.alive:
+            return
+        if thread.suspended:
+            thread._parked = (value,)
+            return
+        self._advance(thread, value)
+
+    # -- internals ------------------------------------------------------------------------
+    def _first_step(self, thread: SimThread) -> None:
+        if thread.suspended:
+            thread._parked = (None,)
+            return
+        self._advance(thread, None)
+
+    def _advance(self, thread: SimThread, value: Any) -> None:
+        if not thread.alive:
+            return
+        thread.state = ThreadState.RUNNING
+        thread.blocked_on = None
+        self._notify("run", thread)
+        try:
+            effect = thread.body.send(value)
+        except StopIteration as stop:
+            thread.state = ThreadState.DONE
+            thread.result = stop.value
+            self._notify("exit", thread)
+            return
+        except Exception as exc:  # Deliberate: capture app bugs, fail loudly in run().
+            thread.state = ThreadState.FAILED
+            thread.error = exc
+            self._notify("exit", thread)
+            return
+        handler = self._handlers.get(type(effect))
+        if handler is None:
+            thread.state = ThreadState.FAILED
+            thread.error = SimulationError(f"unknown effect {effect!r}")
+            self._notify("exit", thread)
+            return
+        thread.state = ThreadState.BLOCKED
+        handler(thread, effect)
+        self._notify("block", thread)
+
+    def _notify(self, kind: str, thread: SimThread) -> None:
+        now = self.engine.now
+        for listener in self._listeners:
+            listener(kind, thread, now)
+
+    # -- built-in effect handlers ---------------------------------------------------------
+    def _do_delay(self, thread: SimThread, effect: Delay) -> None:
+        if effect.seconds < 0:
+            raise SimulationError(f"cannot sleep for {effect.seconds}")
+        thread.blocked_on = "sleep"
+        self.engine.call_after(effect.seconds, self.deliver, thread, None)
+
+    def _do_cpu(self, thread: SimThread, effect: UseCPU) -> None:
+        thread.blocked_on = "cpu"
+        self.cpu.request(
+            thread, effect.seconds, int(thread.priority), lambda: self.deliver(thread, None)
+        )
+
+    def _do_disk(self, thread: SimThread, effect: DiskRead | DiskWrite) -> None:
+        disk = self.disks.get(effect.disk)
+        if disk is None:
+            raise SimulationError(f"no such disk {effect.disk!r}")
+        kind = "read" if isinstance(effect, DiskRead) else "write"
+        thread.blocked_on = f"disk:{effect.disk}"
+        disk.submit(kind, effect.block, effect.nbytes, lambda: self.deliver(thread, None))
+
+    def _do_wait(self, thread: SimThread, effect: WaitCondition) -> None:
+        thread.blocked_on = f"cond:{effect.condition.name}"
+        effect.condition.waiters.append(thread)
+
+    def _do_signal(self, thread: SimThread, effect: SignalCondition) -> None:
+        condition = effect.condition
+        if condition.waiters:
+            if effect.broadcast:
+                woken: Iterable[SimThread] = tuple(condition.waiters)
+                condition.waiters.clear()
+            else:
+                woken = (condition.waiters.pop(0),)
+            for waiter in woken:
+                self.engine.call_after(0.0, self.deliver, waiter, effect.payload)
+        # The signalling thread continues immediately (next event tick).
+        thread.blocked_on = "signal"
+        self.engine.call_after(0.0, self.deliver, thread, None)
+
+    def _do_yield(self, thread: SimThread, effect: Yield) -> None:
+        thread.blocked_on = "yield"
+        self.engine.call_after(0.0, self.deliver, thread, None)
+
+    def signal(self, condition: Condition, payload: Any = None, broadcast: bool = False) -> None:
+        """Signal a condition from non-thread code (timers, externals)."""
+        if not condition.waiters:
+            return
+        if broadcast:
+            woken = tuple(condition.waiters)
+            condition.waiters.clear()
+        else:
+            woken = (condition.waiters.pop(0),)
+        for waiter in woken:
+            self.engine.call_after(0.0, self.deliver, waiter, payload)

@@ -1,0 +1,86 @@
+"""Performance counters: the standard progress-export mechanism.
+
+Windows NT performance counters are "a standard means for programs to
+export measurements that aid performance tuning" (paper section 7.2); they
+are how BeNice observes an unmodified application's progress.  This module
+provides the simulated equivalent: a machine-wide registry in which any
+application can publish named, monotonically readable counters, and any
+observer (BeNice) can poll them *without any cooperation from the
+application beyond publishing*.
+
+Counters are plain floats.  Applications usually expose cumulative totals
+(bytes read, operations completed), which is exactly the form
+:class:`~repro.core.controller.ThreadRegulator` expects.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import RegulationStateError
+
+__all__ = ["PerfCounter", "PerfCounterRegistry"]
+
+
+class PerfCounter:
+    """One published counter."""
+
+    __slots__ = ("process", "name", "_value")
+
+    def __init__(self, process: str, name: str) -> None:
+        self.process = process
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current reading."""
+        return self._value
+
+    def add(self, amount: float) -> None:
+        """Increment the counter (the common, monotone usage)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative, got {amount}")
+        self._value += amount
+
+    def set(self, value: float) -> None:
+        """Overwrite the counter (for gauge-style counters)."""
+        self._value = float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PerfCounter({self.process}/{self.name}={self._value})"
+
+
+class PerfCounterRegistry:
+    """The machine-wide counter namespace."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, str], PerfCounter] = {}
+
+    def publish(self, process: str, name: str) -> PerfCounter:
+        """Create (or return the existing) counter ``process/name``."""
+        key = (process, name)
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = PerfCounter(process, name)
+            self._counters[key] = counter
+        return counter
+
+    def read(self, process: str, name: str) -> float:
+        """Poll one counter; unknown counters are an error (a typo, usually)."""
+        try:
+            return self._counters[(process, name)].value
+        except KeyError:
+            raise RegulationStateError(
+                f"no counter {name!r} published by {process!r}"
+            ) from None
+
+    def read_all(self, process: str) -> dict[str, float]:
+        """Poll every counter a process publishes."""
+        return {
+            name: counter.value
+            for (proc, name), counter in self._counters.items()
+            if proc == process
+        }
+
+    def processes(self) -> tuple[str, ...]:
+        """Processes that have published at least one counter."""
+        return tuple(sorted({proc for proc, _ in self._counters}))

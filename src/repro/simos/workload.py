@@ -1,0 +1,104 @@
+"""Load-pattern generators for the calibration and isolation experiments.
+
+The paper's section 9.6 drives the calibration test with a synthetic disk
+load: "The burst times fluctuated between 10 seconds and 15 minutes,
+separated by similarly fluctuating idle periods.  The mean load varied in a
+sinusoidal pattern to simulate a diurnally cyclical pattern of system
+activity."  :func:`bursty_schedule` generates exactly that shape; the dummy
+load applications in :mod:`repro.apps.dummyload` replay the schedule.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = ["Burst", "bursty_schedule", "busy_fraction", "is_busy"]
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One busy interval of a load schedule."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the burst, in seconds."""
+        return self.end - self.start
+
+
+def _log_uniform(rng: random.Random, lo: float, hi: float) -> float:
+    """Sample log-uniformly in [lo, hi] — bursts of all scales occur."""
+    return math.exp(rng.uniform(math.log(lo), math.log(hi)))
+
+
+def bursty_schedule(
+    total_time: float,
+    seed: int = 0,
+    burst_range: tuple[float, float] = (10.0, 900.0),
+    diurnal_period: float = 86_400.0,
+    base_duty: float = 0.5,
+    diurnal_amplitude: float = 0.4,
+    start_busy: bool = True,
+) -> list[Burst]:
+    """Generate a bursty, diurnally modulated busy/idle schedule.
+
+    Burst durations are log-uniform over ``burst_range`` (the paper's 10 s
+    to 15 min).  Each burst is followed by an idle period sized so that the
+    *local* duty cycle matches the diurnal target
+    ``base_duty + diurnal_amplitude * sin(2*pi*t / diurnal_period)``,
+    clamped to [0.05, 0.95].  With ``start_busy`` the schedule opens with a
+    burst — the paper starts its defragmenter "during a continuous burst of
+    disk activity" to exercise the worst-case calibration start.
+    """
+    if total_time <= 0:
+        raise ValueError(f"total_time must be positive, got {total_time}")
+    if not 0.0 < base_duty < 1.0:
+        raise ValueError(f"base_duty must be in (0, 1), got {base_duty}")
+    lo, hi = burst_range
+    if not 0 < lo <= hi:
+        raise ValueError(f"invalid burst_range {burst_range}")
+    rng = random.Random(seed)
+    bursts: list[Burst] = []
+    t = 0.0
+    if not start_busy:
+        t = _log_uniform(rng, lo, hi)
+    while t < total_time:
+        duration = _log_uniform(rng, lo, hi)
+        burst = Burst(t, min(t + duration, total_time))
+        bursts.append(burst)
+        duty = base_duty + diurnal_amplitude * math.sin(
+            2.0 * math.pi * burst.start / diurnal_period
+        )
+        duty = min(max(duty, 0.05), 0.95)
+        idle = duration * (1.0 - duty) / duty
+        t = burst.end + idle
+    return bursts
+
+
+def is_busy(bursts: list[Burst], when: float) -> bool:
+    """Whether the schedule is in a busy interval at time ``when``."""
+    for burst in bursts:
+        if burst.start <= when < burst.end:
+            return True
+        if burst.start > when:
+            break
+    return False
+
+
+def busy_fraction(bursts: list[Burst], start: float, end: float) -> float:
+    """Fraction of [start, end] covered by busy intervals."""
+    if end <= start:
+        return 0.0
+    covered = 0.0
+    for burst in bursts:
+        lo = max(burst.start, start)
+        hi = min(burst.end, end)
+        if hi > lo:
+            covered += hi - lo
+        if burst.start >= end:
+            break
+    return covered / (end - start)

@@ -1,0 +1,95 @@
+"""The disk defragmenter application."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.defragmenter import Defragmenter
+from repro.core.config import MannersConfig
+from repro.simos.cpu import CpuPriority
+from repro.simos.filesystem import Volume, populate_volume
+from repro.simos.kernel import Kernel
+from repro.simos.perfcounters import PerfCounterRegistry
+from repro.simos.sim_manners import SimManners
+
+
+def build(seed=1, file_count=60, fragment_range=(2, 6)):
+    kernel = Kernel(seed=seed)
+    kernel.add_disk("C")
+    volume = Volume("C", "C", total_blocks=60_000)
+    rng = random.Random(seed)
+    populate_volume(
+        volume, rng, file_count=file_count,
+        size_range=(16 * 1024, 128 * 1024), fragment_range=fragment_range,
+    )
+    return kernel, volume
+
+
+class TestOnePass:
+    def test_pass_defragments_everything(self):
+        kernel, volume = build()
+        before = volume.mean_fragments_per_file()
+        defrag = Defragmenter(kernel, [volume])
+        defrag.spawn()
+        kernel.run()
+        assert before > 1.0
+        assert volume.mean_fragments_per_file() == pytest.approx(1.0)
+        result = defrag.results["C"]
+        assert result.elapsed is not None and result.elapsed > 0
+        assert result.totals["move_ops"] > 0
+        assert result.totals["blocks_moved"] > result.totals["move_ops"]
+
+    def test_contiguous_volume_is_fast(self):
+        kernel, volume = build(fragment_range=(1, 1))
+        defrag = Defragmenter(kernel, [volume])
+        defrag.spawn()
+        kernel.run()
+        assert defrag.results["C"].totals["move_ops"] == 0
+
+    def test_publishes_perf_counters(self):
+        kernel, volume = build()
+        registry = PerfCounterRegistry()
+        defrag = Defragmenter(kernel, [volume], registry=registry)
+        defrag.spawn()
+        kernel.run()
+        assert registry.read("defrag", "C.move_ops") == defrag.results["C"].totals["move_ops"]
+        assert registry.read("defrag", "C.blocks_moved") > 0
+
+    def test_one_thread_per_volume(self):
+        kernel = Kernel(seed=2)
+        kernel.add_disk("C")
+        kernel.add_disk("D")
+        rng = random.Random(2)
+        vol_c = Volume("C", "C", total_blocks=30_000)
+        vol_d = Volume("D", "D", total_blocks=30_000)
+        populate_volume(vol_c, rng, file_count=20, fragment_range=(2, 4),
+                        size_range=(16 * 1024, 64 * 1024))
+        populate_volume(vol_d, rng, file_count=20, fragment_range=(2, 4),
+                        size_range=(16 * 1024, 64 * 1024))
+        defrag = Defragmenter(kernel, [vol_c, vol_d])
+        threads = defrag.spawn()
+        assert len(threads) == 2
+        kernel.run()
+        assert defrag.results["C"].elapsed is not None
+        assert defrag.results["D"].elapsed is not None
+
+    def test_regulated_pass_still_completes(self):
+        kernel, volume = build()
+        config = MannersConfig(
+            bootstrap_testpoints=5, probation_period=0.0, averaging_n=100,
+            min_testpoint_interval=0.05,
+        )
+        manners = SimManners(kernel, config)
+        defrag = Defragmenter(kernel, [volume], manners=manners)
+        defrag.spawn()
+        kernel.run(until=4000.0)
+        assert defrag.results["C"].elapsed is not None
+        assert volume.mean_fragments_per_file() == pytest.approx(1.0)
+
+    def test_cpu_priority_configurable(self):
+        kernel, volume = build()
+        defrag = Defragmenter(kernel, [volume], cpu_priority=CpuPriority.LOW)
+        threads = defrag.spawn()
+        assert threads[0].priority is CpuPriority.LOW

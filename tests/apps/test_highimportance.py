@@ -1,0 +1,102 @@
+"""High-importance applications: database server and installer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.database import DatabaseServer, LoadWorkload
+from repro.apps.installer import Installer, InstallWorkload
+from repro.simos.disk import CDROM_PARAMS
+from repro.simos.filesystem import Volume
+from repro.simos.kernel import Kernel
+
+
+class TestDatabaseServer:
+    def _build(self, seed=1, batches=80):
+        kernel = Kernel(seed=seed)
+        kernel.add_disk("C")
+        volume = Volume("C", "C", total_blocks=200_000)
+        db = DatabaseServer(
+            kernel, volume, workload=LoadWorkload(batches=batches), seed=seed
+        )
+        return kernel, db
+
+    def test_load_completes_and_measures(self):
+        kernel, db = self._build()
+        db.spawn_load(start_after=0.0)
+        kernel.run()
+        result = db.results[0]
+        assert result.elapsed is not None and result.elapsed > 0
+        assert result.totals["batches"] == 80
+
+    def test_start_delay_respected(self):
+        kernel, db = self._build()
+        db.spawn_load(start_after=30.0)
+        kernel.run()
+        assert db.results[0].started_at == pytest.approx(30.0)
+
+    def test_load_time_scales_with_batches(self):
+        kernel_small, db_small = self._build(batches=40)
+        db_small.spawn_load(0.0)
+        kernel_small.run()
+        kernel_big, db_big = self._build(batches=160)
+        db_big.spawn_load(0.0)
+        kernel_big.run()
+        assert db_big.results[0].elapsed > 2.5 * db_small.results[0].elapsed
+
+    def test_writes_hit_the_disk(self):
+        kernel, db = self._build()
+        db.spawn_load(0.0)
+        kernel.run()
+        disk = kernel.disks["C"]
+        assert disk.stats.bytes_written >= 80 * 65536
+
+
+class TestInstaller:
+    def _build(self, seed=1, files=25):
+        kernel = Kernel(seed=seed)
+        kernel.add_disk("C")
+        kernel.add_disk("CD", params=CDROM_PARAMS)
+        volume = Volume("C", "C", total_blocks=300_000)
+        installer = Installer(
+            kernel, cd_disk="CD", target=volume,
+            workload=InstallWorkload(files=files), seed=seed,
+        )
+        return kernel, volume, installer
+
+    def test_installation_completes(self):
+        kernel, volume, installer = self._build()
+        installer.spawn()
+        kernel.run()
+        assert installer.result.elapsed is not None
+        assert installer.result.totals["files"] == 25
+        assert volume.file_count == 25
+
+    def test_cd_and_disk_both_used(self):
+        kernel, volume, installer = self._build()
+        installer.spawn()
+        kernel.run()
+        assert kernel.disks["CD"].stats.bytes_read > 0
+        assert kernel.disks["C"].stats.bytes_written > 0
+        # Expansion: more bytes written than read from CD.
+        assert (
+            kernel.disks["C"].stats.bytes_written
+            > kernel.disks["CD"].stats.bytes_read
+        )
+
+    def test_cd_reads_dominate_time_profile(self):
+        """The CD is the slowest device; it should be busy most of the run."""
+        kernel, volume, installer = self._build(files=15)
+        installer.spawn()
+        kernel.run()
+        elapsed = installer.result.elapsed
+        cd_busy = kernel.disks["CD"].stats.busy_time
+        assert cd_busy / elapsed > 0.4
+
+    def test_start_delay(self):
+        kernel, volume, installer = self._build()
+        installer.spawn(start_after=12.0)
+        kernel.run()
+        assert installer.result.started_at == pytest.approx(12.0)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.core.config import MannersConfig
+
+
+@pytest.fixture
+def clock() -> ManualClock:
+    """A fresh manual clock starting at zero."""
+    return ManualClock()
+
+
+@pytest.fixture
+def fast_config() -> MannersConfig:
+    """A configuration tuned for quick unit-test convergence.
+
+    Short bootstrap, no probation, small averaging window, no lightweight
+    gating; alpha/beta stay at the paper's values.
+    """
+    return MannersConfig(
+        bootstrap_testpoints=5,
+        probation_period=0.0,
+        averaging_n=100,
+        min_testpoint_interval=0.0,
+        initial_suspension=1.0,
+        max_suspension=64.0,
+        hung_threshold=30.0,
+    )

@@ -1,0 +1,91 @@
+"""Exponential averaging (paper section 6.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.averaging import ExponentialAverager, decay_from_window, window_from_decay
+from repro.core.errors import ConfigError
+
+
+class TestDecayConversion:
+    def test_eq5(self):
+        assert decay_from_window(10_000) == pytest.approx(0.9999)
+        assert decay_from_window(2) == pytest.approx(0.5)
+
+    def test_round_trip(self):
+        for n in (2, 10, 100, 10_000):
+            assert window_from_decay(decay_from_window(n)) == pytest.approx(n)
+
+    def test_domain_checks(self):
+        with pytest.raises(ConfigError):
+            decay_from_window(1)
+        with pytest.raises(ConfigError):
+            window_from_decay(1.0)
+        with pytest.raises(ConfigError):
+            window_from_decay(-0.1)
+
+
+class TestAverager:
+    def test_first_sample_is_exact(self):
+        avg = ExponentialAverager(window=100)
+        assert avg.update(42.0) == 42.0
+
+    def test_warmup_is_arithmetic_mean(self):
+        avg = ExponentialAverager(window=100)
+        for v in (10.0, 20.0, 30.0):
+            avg.update(v)
+        assert avg.value == pytest.approx(20.0)
+
+    def test_steady_state_uses_eq4(self):
+        avg = ExponentialAverager(window=4)
+        for _ in range(4):
+            avg.update(8.0)
+        # Warmed up: next update is theta*r + (1-theta)*sample.
+        avg.update(0.0)
+        assert avg.value == pytest.approx(0.75 * 8.0)
+
+    def test_seed_installs_full_weight(self):
+        avg = ExponentialAverager(window=1000)
+        avg.seed(5.0)
+        avg.update(6.0)
+        # A single sample against a seeded value moves it by 1/n only.
+        assert avg.value == pytest.approx(5.0 + 1.0 / 1000.0, rel=1e-6)
+
+    def test_rejects_non_finite(self):
+        avg = ExponentialAverager(window=10)
+        with pytest.raises(ValueError):
+            avg.update(math.nan)
+        with pytest.raises(ValueError):
+            avg.seed(math.inf)
+
+    def test_value_none_before_samples(self):
+        assert ExponentialAverager(window=10).value is None
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=300), st.integers(2, 500))
+    def test_bounded_by_sample_range(self, samples, window):
+        """The average never escapes the convex hull of its samples."""
+        avg = ExponentialAverager(window=window)
+        for s in samples:
+            avg.update(s)
+        assert min(samples) - 1e-6 <= avg.value <= max(samples) + 1e-6
+
+    @given(st.floats(-1e3, 1e3), st.integers(2, 100))
+    def test_converges_to_constant_stream(self, value, window):
+        avg = ExponentialAverager(window=window)
+        avg.update(value + 100.0)
+        for _ in range(window * 12):
+            avg.update(value)
+        assert avg.value == pytest.approx(value, abs=max(1.0, abs(value)) * 0.01)
+
+    def test_tracks_level_shift(self):
+        avg = ExponentialAverager(window=50)
+        for _ in range(100):
+            avg.update(10.0)
+        for _ in range(500):
+            avg.update(20.0)
+        assert avg.value == pytest.approx(20.0, rel=0.01)

@@ -1,0 +1,69 @@
+"""Rate comparators: statistical and direct."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.comparator import DirectComparator, RateComparator, StatisticalComparator
+from repro.core.errors import MetricError
+from repro.core.signtest import Judgment
+
+
+class TestStatisticalComparator:
+    def test_needs_m_samples_for_poor(self):
+        comp = StatisticalComparator(alpha=0.05, beta=0.2)
+        verdicts = [comp.observe(2.0, 1.0) for _ in range(5)]
+        assert verdicts[:4] == [Judgment.INDETERMINATE] * 4
+        assert verdicts[4] is Judgment.POOR
+
+    def test_good_after_three_above(self):
+        comp = StatisticalComparator(alpha=0.05, beta=0.2)
+        verdicts = [comp.observe(0.5, 1.0) for _ in range(3)]
+        assert verdicts[-1] is Judgment.GOOD
+
+    def test_equality_counts_as_at_target(self):
+        """Section 4.1: 'at least as good as the target' is good."""
+        comp = StatisticalComparator(alpha=0.05, beta=0.2)
+        verdicts = [comp.observe(1.0, 1.0) for _ in range(3)]
+        assert verdicts[-1] is Judgment.GOOD
+
+    def test_mixed_samples_indeterminate(self):
+        comp = StatisticalComparator(alpha=0.05, beta=0.2)
+        for i in range(8):
+            verdict = comp.observe(2.0 if i % 2 else 0.5, 1.0)
+        assert verdict is Judgment.INDETERMINATE
+
+    def test_reset_clears_window(self):
+        comp = StatisticalComparator()
+        comp.observe(2.0, 1.0)
+        comp.reset()
+        assert comp.sample_count == 0
+
+    def test_rejects_bad_durations(self):
+        comp = StatisticalComparator()
+        with pytest.raises(MetricError):
+            comp.observe(-1.0, 1.0)
+        with pytest.raises(MetricError):
+            comp.observe(1.0, float("inf"))
+
+    def test_satisfies_protocol(self):
+        assert isinstance(StatisticalComparator(), RateComparator)
+
+
+class TestDirectComparator:
+    def test_immediate_poor(self):
+        comp = DirectComparator()
+        assert comp.observe(1.1, 1.0) is Judgment.POOR
+
+    def test_immediate_good(self):
+        comp = DirectComparator()
+        assert comp.observe(0.9, 1.0) is Judgment.GOOD
+        assert comp.observe(1.0, 1.0) is Judgment.GOOD
+
+    def test_never_indeterminate(self):
+        comp = DirectComparator()
+        for m, t in ((0.1, 1.0), (5.0, 1.0), (1.0, 1.0)):
+            assert comp.observe(m, t) is not Judgment.INDETERMINATE
+
+    def test_satisfies_protocol(self):
+        assert isinstance(DirectComparator(), RateComparator)

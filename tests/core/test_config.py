@@ -1,0 +1,91 @@
+"""MannersConfig validation and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, MannersConfig
+from repro.core.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        assert DEFAULT_CONFIG.alpha == 0.05
+        assert DEFAULT_CONFIG.beta == 0.2
+        assert DEFAULT_CONFIG.averaging_n == 10_000
+        assert DEFAULT_CONFIG.ridge_nu == 0.1
+
+    def test_theta_is_eq5(self):
+        assert DEFAULT_CONFIG.theta == pytest.approx(9999 / 10000)
+
+    def test_min_poor_samples_is_eq1(self):
+        assert DEFAULT_CONFIG.min_poor_samples == 5
+
+    def test_smoothing_time_constant_eq6(self):
+        # n = 10,000 at a 150 ms cadence: 25 minutes, the paper's "20-30
+        # minutes".
+        ts = DEFAULT_CONFIG.smoothing_time_constant(0.15)
+        assert 20 * 60 <= ts <= 30 * 60
+
+    def test_tracking_time_constant_eq7(self):
+        # n/m * max suspension = 10,000/5 * 256 s ~ 5.9 days, the paper's
+        # "7 days" order of magnitude.
+        t = DEFAULT_CONFIG.tracking_time_constant()
+        assert 4 * 86_400 <= t <= 9 * 86_400
+
+
+class TestValidation:
+    def test_alpha_must_be_less_than_beta(self):
+        with pytest.raises(ConfigError, match="unstable"):
+            MannersConfig(alpha=0.3, beta=0.2)
+
+    def test_alpha_domain(self):
+        with pytest.raises(ConfigError):
+            MannersConfig(alpha=0.0)
+        with pytest.raises(ConfigError):
+            MannersConfig(alpha=1.5)
+
+    def test_suspension_ordering(self):
+        with pytest.raises(ConfigError):
+            MannersConfig(initial_suspension=10.0, max_suspension=5.0)
+
+    def test_positive_initial_suspension(self):
+        with pytest.raises(ConfigError):
+            MannersConfig(initial_suspension=0.0)
+
+    def test_hung_threshold_exceeds_gate(self):
+        with pytest.raises(ConfigError):
+            MannersConfig(min_testpoint_interval=5.0, hung_threshold=4.0)
+
+    def test_probation_duty_domain(self):
+        with pytest.raises(ConfigError):
+            MannersConfig(probation_duty=0.0)
+        MannersConfig(probation_duty=1.0)  # boundary is legal
+
+    def test_averaging_window_minimum(self):
+        with pytest.raises(ConfigError):
+            MannersConfig(averaging_n=1)
+
+    def test_smoothing_constant_rejects_bad_interval(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_CONFIG.smoothing_time_constant(0.0)
+
+
+class TestOverrides:
+    def test_with_overrides_creates_validated_copy(self):
+        derived = DEFAULT_CONFIG.with_overrides(alpha=0.01)
+        assert derived.alpha == 0.01
+        assert DEFAULT_CONFIG.alpha == 0.05  # original untouched
+
+    def test_with_overrides_revalidates(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_CONFIG.with_overrides(beta=0.01)  # now beta < alpha
+
+    def test_as_dict_round_trip(self):
+        d = DEFAULT_CONFIG.as_dict()
+        rebuilt = MannersConfig(**d)
+        assert rebuilt == DEFAULT_CONFIG
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.alpha = 0.2  # type: ignore[misc]

@@ -1,0 +1,143 @@
+"""Property-based tests: the regulator never wedges, lies, or leaks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import ManualClock
+from repro.core.config import MannersConfig
+from repro.core.controller import ThreadRegulator
+from repro.core.signtest import Judgment
+
+
+@st.composite
+def event_streams(draw):
+    """A random but legal stream of testpoint events."""
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.floats(0.001, 5.0),     # inter-call gap
+                st.floats(0.0, 50.0),      # progress made in the gap
+                st.integers(0, 2),         # metric set index
+                st.booleans(),             # honor the mandated delay?
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    return events
+
+
+class TestNeverMisbehaves:
+    @settings(max_examples=60, deadline=None)
+    @given(event_streams())
+    def test_arbitrary_streams_are_safe(self, events):
+        """Any legal call stream yields finite, non-negative delays and
+        consistent statistics — no exceptions, no NaNs, no negative time."""
+        config = MannersConfig(
+            bootstrap_testpoints=3,
+            probation_period=0.0,
+            averaging_n=50,
+            min_testpoint_interval=0.05,
+            initial_suspension=0.5,
+            max_suspension=8.0,
+            hung_threshold=10.0,
+        )
+        regulator = ThreadRegulator(config)
+        clock = ManualClock()
+        counters = {0: 0.0, 1: 0.0, 2: 0.0}
+        for gap, progress, index, honor in events:
+            clock.advance(gap)
+            counters[index] += progress
+            decision = regulator.on_testpoint(clock.now(), index, [counters[index]])
+            assert decision.delay >= 0.0
+            assert decision.delay <= config.max_suspension
+            assert decision.duration >= 0.0
+            if honor and decision.delay > 0.0:
+                clock.advance(decision.delay)
+        stats = regulator.stats
+        assert stats.testpoints == len(events)
+        assert stats.processed + stats.lightweight == stats.testpoints
+        judged = stats.poor_judgments + stats.good_judgments + stats.indeterminate
+        assert judged <= stats.processed
+        assert stats.total_suspension >= 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.floats(1.0, 1000.0))
+    def test_state_roundtrip_preserves_targets(self, seed, rate):
+        """export/import of calibration state preserves target durations."""
+        config = MannersConfig(
+            bootstrap_testpoints=3, probation_period=0.0, averaging_n=50,
+            min_testpoint_interval=0.0,
+        )
+        rng = random.Random(seed)
+        donor = ThreadRegulator(config)
+        clock = ManualClock()
+        counter = 0.0
+        for _ in range(60):
+            dt = 0.1 * rng.uniform(0.8, 1.2)
+            clock.advance(dt)
+            counter += rate * dt
+            decision = donor.on_testpoint(clock.now(), 0, [counter])
+            if decision.delay:
+                clock.advance(decision.delay)
+        heir = ThreadRegulator(config)
+        heir.import_state(donor.export_state())
+        probe = (rate * 0.1,)
+        assert heir.target_duration(0, probe) == pytest.approx(
+            donor.target_duration(0, probe), rel=1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_sustained_contention_always_detected(self, seed):
+        """After calibration, any sustained 3x slowdown is condemned."""
+        config = MannersConfig(
+            bootstrap_testpoints=5, probation_period=0.0, averaging_n=100,
+            min_testpoint_interval=0.0,
+        )
+        rng = random.Random(seed)
+        regulator = ThreadRegulator(config)
+        clock = ManualClock()
+        counter = 0.0
+        for _ in range(120):
+            dt = 0.1 * rng.uniform(0.9, 1.1)
+            clock.advance(dt)
+            counter += 100.0 * dt
+            d = regulator.on_testpoint(clock.now(), 0, [counter])
+            if d.delay:
+                clock.advance(d.delay)
+        before = regulator.stats.poor_judgments
+        for _ in range(60):
+            dt = 0.1 * rng.uniform(0.9, 1.1)
+            clock.advance(dt)
+            counter += 33.0 * dt  # 3x slowdown
+            d = regulator.on_testpoint(clock.now(), 0, [counter])
+            if d.delay:
+                clock.advance(d.delay)
+        assert regulator.stats.poor_judgments > before
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_steady_progress_never_saturates_backoff(self, seed):
+        """Healthy progress must never drive the backoff to its cap."""
+        config = MannersConfig(
+            bootstrap_testpoints=5, probation_period=0.0, averaging_n=100,
+            min_testpoint_interval=0.0, max_suspension=64.0,
+        )
+        rng = random.Random(seed)
+        regulator = ThreadRegulator(config)
+        clock = ManualClock()
+        counter = 0.0
+        for _ in range(400):
+            dt = 0.1 * rng.uniform(0.7, 1.3)
+            clock.advance(dt)
+            counter += 100.0 * dt
+            d = regulator.on_testpoint(clock.now(), 0, [counter])
+            if d.delay:
+                clock.advance(d.delay)
+        assert not regulator.suspension.saturated

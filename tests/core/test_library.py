@@ -1,0 +1,93 @@
+"""The single-call Manners facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.core.library import Manners
+from repro.core.persistence import TargetStore
+from repro.core.signtest import Judgment
+
+
+def drive_manners(
+    manners: Manners,
+    clock: ManualClock,
+    rate: float,
+    steps: int,
+    dt: float = 0.1,
+    counter_start: float = 0.0,
+):
+    counter = counter_start
+    pauses = []
+    for _ in range(steps):
+        clock.advance(dt)
+        counter += rate * dt
+        pause = manners.testpoint([counter])
+        pauses.append(pause)
+        if pause:
+            clock.advance(pause)
+    return pauses, counter
+
+
+class TestFacade:
+    def test_steady_rate_never_pauses(self, clock, fast_config):
+        manners = Manners(fast_config, clock=clock)
+        pauses, _ = drive_manners(manners, clock, rate=100.0, steps=150)
+        assert sum(pauses) <= 2.0  # at most an occasional type-I blip
+
+    def test_degradation_pauses(self, clock, fast_config):
+        manners = Manners(fast_config, clock=clock)
+        _, counter = drive_manners(manners, clock, rate=100.0, steps=100)
+        pauses, _ = drive_manners(
+            manners, clock, rate=20.0, steps=40, counter_start=counter
+        )
+        assert sum(pauses) > 0.0
+
+    def test_detailed_decision_exposed(self, clock, fast_config):
+        manners = Manners(fast_config, clock=clock)
+        counter = 0.0
+        seen_judgment = False
+        for _ in range(200):
+            clock.advance(0.1)
+            counter += 10.0
+            decision = manners.testpoint_detailed([counter])
+            if decision.judgment is Judgment.GOOD:
+                seen_judgment = True
+        assert seen_judgment
+
+    def test_app_id_requires_store(self, clock):
+        with pytest.raises(ValueError):
+            Manners(app_id="app")
+
+    def test_defaults_to_monotonic_clock(self):
+        manners = Manners()
+        assert manners.testpoint([0.0]) == 0.0  # priming call
+
+
+class TestPersistenceFlow:
+    def test_targets_saved_on_close(self, clock, fast_config, tmp_path):
+        store = TargetStore(tmp_path)
+        with Manners(fast_config, clock=clock, app_id="app", store=store) as manners:
+            drive_manners(manners, clock, rate=100.0, steps=50)
+        assert store.load("app") is not None
+
+    def test_restart_skips_bootstrap(self, fast_config, tmp_path):
+        store = TargetStore(tmp_path)
+        clock_a = ManualClock()
+        first = Manners(fast_config, clock=clock_a, app_id="app", store=store)
+        drive_manners(first, clock_a, rate=100.0, steps=100)
+        first.close()
+
+        clock_b = ManualClock()
+        second = Manners(fast_config, clock=clock_b, app_id="app", store=store)
+        assert not second.regulator.in_bootstrap
+
+    def test_periodic_save(self, fast_config, tmp_path):
+        store = TargetStore(tmp_path)
+        clock = ManualClock()
+        manners = Manners(
+            fast_config, clock=clock, app_id="app", store=store, save_interval=5.0
+        )
+        drive_manners(manners, clock, rate=100.0, steps=100)  # 10+ seconds
+        assert store.load("app") is not None  # saved without close()

@@ -1,0 +1,104 @@
+"""Parametric SPRT comparator (section 11 extension)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.comparator import RateComparator, StatisticalComparator
+from repro.core.errors import ConfigError, MetricError
+from repro.core.parametric import ParametricComparator
+from repro.core.signtest import Judgment
+
+
+class TestBasicBehaviour:
+    def test_satisfies_protocol(self):
+        assert isinstance(ParametricComparator(), RateComparator)
+
+    def test_strong_degradation_condemned_quickly(self):
+        comp = ParametricComparator(degradation=1.5)
+        verdicts = []
+        for _ in range(10):
+            verdicts.append(comp.observe(2.0, 1.0))
+            if verdicts[-1] is Judgment.POOR:
+                break
+        assert Judgment.POOR in verdicts
+        assert len(verdicts) <= 5
+
+    def test_at_target_acquitted(self):
+        comp = ParametricComparator()
+        verdict = Judgment.INDETERMINATE
+        for _ in range(50):
+            verdict = comp.observe(1.0, 1.0)
+            if verdict is not Judgment.INDETERMINATE:
+                break
+        assert verdict is Judgment.GOOD
+
+    def test_judgment_resets_evidence(self):
+        comp = ParametricComparator()
+        while comp.observe(2.0, 1.0) is not Judgment.POOR:
+            pass
+        assert comp.sample_count == 0
+        assert comp.log_likelihood_ratio == 0.0
+
+    def test_zero_durations_are_uninformative(self):
+        comp = ParametricComparator()
+        assert comp.observe(0.0, 1.0) is Judgment.INDETERMINATE
+        assert comp.observe(1.0, 0.0) is Judgment.INDETERMINATE
+
+    def test_rejects_bad_inputs(self):
+        comp = ParametricComparator()
+        with pytest.raises(MetricError):
+            comp.observe(-1.0, 1.0)
+        with pytest.raises(MetricError):
+            comp.observe(1.0, float("inf"))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ParametricComparator(alpha=0.3, beta=0.2)
+        with pytest.raises(ConfigError):
+            ParametricComparator(degradation=1.0)
+        with pytest.raises(ConfigError):
+            ParametricComparator(sigma_window=2)
+
+
+class TestResponsivenessVsSignTest:
+    def _samples_to_condemn(self, comp, ratio, rng, cap=200):
+        for i in range(1, cap + 1):
+            noisy = ratio * rng.uniform(0.95, 1.05)
+            if comp.observe(noisy, 1.0) is Judgment.POOR:
+                return i
+        return cap + 1
+
+    def test_faster_than_sign_test_on_strong_evidence(self):
+        """Section 11's claim: the parametric test reacts in fewer samples
+        when the degradation is unambiguous."""
+        rng = random.Random(1)
+        parametric = ParametricComparator(alpha=0.05, beta=0.2)
+        sign = StatisticalComparator(alpha=0.05, beta=0.2)
+        n_parametric = self._samples_to_condemn(parametric, 3.0, rng)
+        n_sign = self._samples_to_condemn(sign, 3.0, random.Random(1))
+        assert n_sign == 5  # the sign test's hard minimum m
+        assert n_parametric < n_sign
+
+    def test_false_positive_rate_bounded_on_noisy_good_progress(self):
+        """With mildly noisy at-target progress, condemnations stay rare."""
+        rng = random.Random(2)
+        comp = ParametricComparator(alpha=0.05, beta=0.2)
+        poor = good = 0
+        for _ in range(30_000):
+            ratio = rng.lognormvariate(0.0, 0.25)
+            verdict = comp.observe(ratio, 1.0)
+            if verdict is Judgment.POOR:
+                poor += 1
+            elif verdict is Judgment.GOOD:
+                good += 1
+        assert good > 0
+        assert poor / max(poor + good, 1) < 0.10
+
+    def test_outliers_clamped(self):
+        """A single enormous sample cannot condemn on its own."""
+        comp = ParametricComparator(clamp=1.0)
+        verdict = comp.observe(1000.0, 1.0)
+        assert verdict is Judgment.INDETERMINATE

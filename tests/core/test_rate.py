@@ -1,0 +1,77 @@
+"""Per-testpoint rate bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MetricError
+from repro.core.rate import RateCalculator, RateSample
+
+
+class TestRateCalculator:
+    def test_priming_call_yields_no_sample(self):
+        calc = RateCalculator(1)
+        assert calc.observe(0.0, [0.0]) is None
+        assert calc.primed
+
+    def test_deltas_and_duration(self):
+        calc = RateCalculator(2)
+        calc.observe(0.0, [0.0, 100.0])
+        sample = calc.observe(2.0, [10.0, 160.0])
+        assert sample == RateSample(when=2.0, duration=2.0, deltas=(10.0, 60.0))
+        assert sample.rate(0) == pytest.approx(5.0)
+        assert sample.rate(1) == pytest.approx(30.0)
+
+    def test_counters_are_cumulative(self):
+        calc = RateCalculator(1)
+        calc.observe(0.0, [0.0])
+        calc.observe(1.0, [10.0])
+        sample = calc.observe(3.0, [40.0])
+        assert sample.deltas == (30.0,)
+
+    def test_counter_regression_rejected(self):
+        calc = RateCalculator(1)
+        calc.observe(0.0, [10.0])
+        with pytest.raises(MetricError, match="regressed"):
+            calc.observe(1.0, [5.0])
+
+    def test_time_regression_rejected(self):
+        calc = RateCalculator(1)
+        calc.observe(5.0, [0.0])
+        with pytest.raises(MetricError):
+            calc.observe(4.0, [1.0])
+
+    def test_arity_mismatch_rejected(self):
+        calc = RateCalculator(2)
+        with pytest.raises(MetricError):
+            calc.observe(0.0, [1.0])
+
+    def test_non_finite_rejected(self):
+        calc = RateCalculator(1)
+        with pytest.raises(MetricError):
+            calc.observe(0.0, [float("nan")])
+
+    def test_rebase_discards_interval(self):
+        """Hung-thread handling: the spanning interval yields no sample."""
+        calc = RateCalculator(1)
+        calc.observe(0.0, [0.0])
+        calc.rebase(100.0, [50.0])
+        sample = calc.observe(101.0, [60.0])
+        assert sample.duration == pytest.approx(1.0)
+        assert sample.deltas == (10.0,)
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(MetricError):
+            RateCalculator(0)
+
+
+class TestRateSample:
+    def test_zero_duration_rates(self):
+        sample = RateSample(when=1.0, duration=0.0, deltas=(5.0, 0.0))
+        assert sample.rate(0) == float("inf")
+        assert sample.rate(1) == 0.0
+
+    def test_metric_out_of_range(self):
+        sample = RateSample(when=1.0, duration=1.0, deltas=(5.0,))
+        with pytest.raises(MetricError):
+            sample.rate(1)

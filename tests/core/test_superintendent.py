@@ -1,0 +1,122 @@
+"""Machine-wide process token (section 7.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import RegulationStateError
+from repro.core.superintendent import Superintendent
+
+
+class TestToken:
+    def test_acquire_grants_when_free(self):
+        boss = Superintendent()
+        boss.register_process("A")
+        assert boss.acquire("A", 0.0)
+        assert boss.holder == "A"
+
+    def test_second_process_denied_while_held(self):
+        boss = Superintendent()
+        boss.register_process("A")
+        boss.register_process("B")
+        assert boss.acquire("A", 0.0)
+        assert not boss.acquire("B", 0.0)
+
+    def test_release_enables_other(self):
+        boss = Superintendent()
+        boss.register_process("A")
+        boss.register_process("B")
+        boss.acquire("A", 0.0)
+        boss.release("A", 1.0)
+        assert boss.acquire("B", 1.0)
+
+    def test_release_without_hint_leaves_contention(self):
+        """A released process never passively wins a token it didn't ask
+        for: another process's request at a later time must succeed even
+        though the releaser has an earlier admission order."""
+        boss = Superintendent()
+        boss.register_process("A")
+        boss.register_process("B")
+        boss.acquire("A", 0.0)
+        boss.release("A", 0.0)
+        assert boss.acquire("B", 10.0)
+
+    def test_release_with_until_hint(self):
+        """The hint re-enters the process into passive contention at the
+        given time (its supervisor knows when its threads wake)."""
+        boss = Superintendent()
+        boss.register_process("A")
+        boss.register_process("B")
+        boss.acquire("A", 0.0)
+        boss.release("A", 0.0, until=50.0)
+        # Before the hint, B's request wins even though A is first by order.
+        assert boss.acquire("B", 10.0)
+        boss.release("B", 10.0)
+        # An explicit request from A is always a fresh ask and can win.
+        assert boss.acquire("A", 20.0)
+
+    def test_next_eligible_time(self):
+        boss = Superintendent()
+        boss.register_process("A")
+        boss.acquire("A", 0.0)
+        boss.register_process("B")
+        boss.release("B", 0.0, until=30.0)
+        assert boss.next_eligible_time(0.0) == 30.0
+
+    def test_next_eligible_time_ignores_uninterested(self):
+        boss = Superintendent()
+        boss.register_process("A")
+        boss.register_process("B")
+        boss.acquire("A", 0.0)
+        boss.release("B", 0.0)  # no hint: out of contention
+        assert boss.next_eligible_time(0.0) is None
+
+    def test_unregister_frees_token(self):
+        boss = Superintendent()
+        boss.register_process("A")
+        boss.acquire("A", 0.0)
+        boss.unregister_process("A")
+        assert boss.holder is None
+
+    def test_decay_usage_shares_across_processes(self):
+        boss = Superintendent()
+        boss.register_process("A")
+        boss.register_process("B")
+        counts = {"A": 0, "B": 0}
+        now = 0.0
+        for _ in range(200):
+            # Both supervisors ask every round (busy processes).
+            for pid in ("A", "B"):
+                boss.acquire(pid, now)
+            holder = boss.holder
+            counts[holder] += 1
+            boss.charge(holder, 1.0)
+            # Stay in passive contention, as a busy supervisor does.
+            boss.release(holder, now, until=now)
+            now += 1.0
+        assert abs(counts["A"] - counts["B"]) <= 20
+
+    def test_priority_process_wins(self):
+        boss = Superintendent()
+        boss.register_process("A", priority=0)
+        boss.register_process("B", priority=2)
+        # Both ask at the same instant; B should win the free token.
+        boss.release("A", 0.0)
+        boss.release("B", 0.0)
+        assert not boss.acquire("A", 1.0) or boss.holder == "A"
+        boss2 = Superintendent()
+        boss2.register_process("A", priority=0)
+        boss2.register_process("B", priority=2)
+        # Simulate simultaneous eligibility, then arbitrate.
+        assert boss2.acquire("B", 0.0)
+
+    def test_unknown_process_rejected(self):
+        boss = Superintendent()
+        with pytest.raises(RegulationStateError):
+            boss.acquire("ghost", 0.0)
+
+    def test_contains(self):
+        boss = Superintendent()
+        boss.register_process("A")
+        assert "A" in boss
+        assert "B" not in boss

@@ -1,0 +1,86 @@
+"""Exponential suspension timer (paper section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigError
+from repro.core.suspension import SuspensionTimer
+
+
+class TestDoubling:
+    def test_first_poor_imposes_initial(self):
+        timer = SuspensionTimer(initial=1.0, maximum=256.0)
+        assert timer.on_poor() == 1.0
+
+    def test_consecutive_poors_double(self):
+        timer = SuspensionTimer(initial=1.0, maximum=256.0)
+        imposed = [timer.on_poor() for _ in range(6)]
+        assert imposed == [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+
+    def test_cap_is_respected(self):
+        timer = SuspensionTimer(initial=1.0, maximum=8.0)
+        imposed = [timer.on_poor() for _ in range(6)]
+        assert imposed == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+        assert timer.saturated
+
+    def test_good_resets(self):
+        timer = SuspensionTimer(initial=1.0, maximum=256.0)
+        for _ in range(5):
+            timer.on_poor()
+        timer.on_good()
+        assert timer.current == 1.0
+        assert timer.consecutive_poor == 0
+        assert timer.on_poor() == 1.0
+
+    def test_consecutive_poor_counter(self):
+        timer = SuspensionTimer()
+        for k in range(4):
+            assert timer.consecutive_poor == k
+            timer.on_poor()
+
+    def test_reset_alias(self):
+        timer = SuspensionTimer()
+        timer.on_poor()
+        timer.reset()
+        assert timer.current == timer.initial
+
+
+class TestValidation:
+    def test_initial_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            SuspensionTimer(initial=0.0)
+
+    def test_maximum_at_least_initial(self):
+        with pytest.raises(ConfigError):
+            SuspensionTimer(initial=4.0, maximum=2.0)
+
+
+class TestInvariants:
+    @given(
+        st.floats(0.01, 100.0),
+        st.floats(1.0, 1e6),
+        st.lists(st.booleans(), max_size=60),
+    )
+    def test_k_th_poor_formula(self, initial, factor, events):
+        """Imposed suspension is always min(initial * 2**k, maximum)."""
+        maximum = initial * factor
+        timer = SuspensionTimer(initial=initial, maximum=maximum)
+        k = 0
+        for poor in events:
+            if poor:
+                imposed = timer.on_poor()
+                assert imposed == pytest.approx(min(initial * 2.0**k, maximum))
+                k += 1
+            else:
+                timer.on_good()
+                k = 0
+
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_current_bounded(self, events):
+        timer = SuspensionTimer(initial=0.5, maximum=32.0)
+        for poor in events:
+            timer.on_poor() if poor else timer.on_good()
+            assert 0.5 <= timer.current <= 32.0

@@ -1,0 +1,92 @@
+"""Thread isolation (Figure 9) and automatic calibration (Figure 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenarios import calibration_trial, thread_isolation_trial
+from repro.simos.workload import busy_fraction
+
+
+class TestThreadIsolation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return thread_isolation_trial(seed=11, duration=300.0)
+
+    def test_threads_alternate_not_overlap(self, result):
+        # Time-multiplex isolation: overlap of the two grovel threads'
+        # executing time is tiny.
+        assert result.mutual_overlap < 0.05
+
+    def test_priority_thread_runs_more(self, result):
+        duty = result.duty
+        c = duty.duty_fraction(result.threads["grovelC"], 0.0, result.duration)
+        d = duty.duty_fraction(result.threads["grovelD"], 0.0, result.duration)
+        # C (the fuller disk) has the higher priority.
+        assert c > d
+
+    def test_load_on_c_shifts_execution_to_d(self, result):
+        duty = result.duty
+        (c_busy,) = [
+            b for b in result.schedules["diskC"]
+            if not any(b2.start == b.start for b2 in result.schedules["diskD"])
+        ]
+        c_frac = duty.duty_fraction(result.threads["grovelC"], c_busy.start + 20, c_busy.end)
+        d_frac = duty.duty_fraction(result.threads["grovelD"], c_busy.start + 20, c_busy.end)
+        assert d_frac > c_frac
+
+    def test_cpu_load_suspends_both(self, result):
+        duty = result.duty
+        (cpu_busy,) = result.schedules["cpu"]
+        lo, hi = cpu_busy.start + 20, cpu_busy.end
+        c_frac = duty.duty_fraction(result.threads["grovelC"], lo, hi)
+        d_frac = duty.duty_fraction(result.threads["grovelD"], lo, hi)
+        free = duty.duty_fraction(
+            result.threads["grovelC"], 0.0, result.schedules["diskC"][0].start
+        )
+        assert c_frac + d_frac < free  # markedly less active under CPU load
+
+    def test_without_isolation_threads_overlap(self):
+        ablation = thread_isolation_trial(seed=11, duration=120.0, isolation=False)
+        isolated = thread_isolation_trial(seed=11, duration=120.0, isolation=True)
+        assert ablation.mutual_overlap > isolated.mutual_overlap
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # A compressed version of the 48-hour experiment: 4 "hours" of
+        # 10-minute diurnal cycles, 1 hour of probation.
+        return calibration_trial(
+            seed=13, hours=4.0, probation_hours=1.0, diurnal_hours=1.0, scale=0.3
+        )
+
+    def test_worst_case_start_inflates_initial_target(self, result):
+        """Starting inside a burst, the first target is markedly too slow.
+
+        (The paper's full 48-hour run shows a 3.3x inflation; this
+        compressed run demonstrates the same shape at smaller magnitude.)
+        """
+        assert result.initial_target is not None
+        assert result.final_target is not None
+        assert result.initial_target > 1.25 * result.final_target
+
+    def test_target_converges_downward(self, result):
+        hours = [h for h, _ in result.target_trajectory]
+        values = [v for _, v in result.target_trajectory]
+        assert len(values) >= 3
+        # Last observed target below the first (convergence toward ideal).
+        assert values[-1] < values[0]
+
+    def test_execution_mostly_in_idle_periods(self, result):
+        """Paper: 94% of execution while the dummy was idle."""
+        assert result.execution_in_idle > 0.7
+
+    def test_probation_constrains_activity(self, result):
+        probation = [f for h, f in result.activity if h < 1]
+        assert probation
+        # Probation duty cap (0.25) plus regulation keeps activity low.
+        assert max(probation) <= 0.4
+
+    def test_schedule_itself_is_half_busy(self, result):
+        assert 0.3 <= result.schedule_busy_fraction <= 0.7

@@ -1,0 +1,143 @@
+"""CPU scheduler: strict priority + round-robin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simos.cpu import CPU, CpuPriority
+from repro.simos.engine import Engine, SimulationError
+
+
+def run_bursts(requests, quantum=0.02):
+    """Submit (tid, service, priority) bursts at t=0; return completion times."""
+    engine = Engine()
+    cpu = CPU(engine, quantum=quantum)
+    done = {}
+    for tid, service, priority in requests:
+        cpu.request(tid, service, priority, lambda tid=tid: done.setdefault(tid, engine.now))
+    engine.run()
+    return done
+
+
+class TestSingleThread:
+    def test_burst_takes_service_time(self):
+        done = run_bursts([("a", 1.0, CpuPriority.NORMAL)])
+        assert done["a"] == pytest.approx(1.0)
+
+    def test_zero_burst_completes_immediately(self):
+        done = run_bursts([("a", 0.0, CpuPriority.NORMAL)])
+        assert done["a"] == pytest.approx(0.0)
+
+    def test_negative_service_rejected(self):
+        engine = Engine()
+        cpu = CPU(engine)
+        with pytest.raises(SimulationError):
+            cpu.request("a", -1.0, 0, lambda: None)
+
+    def test_quantum_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            CPU(Engine(), quantum=0.0)
+
+
+class TestSharing:
+    def test_equal_priority_shares_fairly(self):
+        done = run_bursts(
+            [("a", 1.0, CpuPriority.NORMAL), ("b", 1.0, CpuPriority.NORMAL)]
+        )
+        # Interleaved round-robin: both finish near 2.0.
+        assert done["a"] == pytest.approx(2.0, abs=0.05)
+        assert done["b"] == pytest.approx(2.0, abs=0.05)
+
+    def test_strict_priority_starves_lower(self):
+        done = run_bursts(
+            [("hi", 1.0, CpuPriority.NORMAL), ("lo", 1.0, CpuPriority.LOW)]
+        )
+        assert done["hi"] == pytest.approx(1.0, abs=0.05)
+        assert done["lo"] == pytest.approx(2.0, abs=0.05)
+
+    def test_three_way_round_robin(self):
+        done = run_bursts(
+            [(n, 0.6, CpuPriority.NORMAL) for n in ("a", "b", "c")]
+        )
+        for n in ("a", "b", "c"):
+            assert done[n] == pytest.approx(1.8, abs=0.1)
+
+
+class TestPreemption:
+    def test_higher_priority_preempts(self):
+        engine = Engine()
+        cpu = CPU(engine, quantum=0.02)
+        done = {}
+        cpu.request("lo", 1.0, CpuPriority.LOW, lambda: done.setdefault("lo", engine.now))
+        # A normal-priority burst arrives mid-run.
+        engine.call_at(
+            0.5,
+            lambda: cpu.request(
+                "hi", 0.3, CpuPriority.NORMAL, lambda: done.setdefault("hi", engine.now)
+            ),
+        )
+        engine.run()
+        assert done["hi"] == pytest.approx(0.8, abs=0.05)
+        assert done["lo"] == pytest.approx(1.3, abs=0.05)
+        assert cpu.stats.preemptions >= 1
+
+    def test_work_is_conserved_under_preemption(self):
+        engine = Engine()
+        cpu = CPU(engine)
+        done = {}
+        cpu.request("lo", 0.9, CpuPriority.LOW, lambda: done.setdefault("lo", engine.now))
+        engine.call_at(
+            0.3,
+            lambda: cpu.request(
+                "hi", 0.2, CpuPriority.HIGH, lambda: done.setdefault("hi", engine.now)
+            ),
+        )
+        engine.run()
+        # Total busy time equals total demanded service.
+        assert cpu.stats.busy_time == pytest.approx(1.1, abs=1e-6)
+
+
+class TestDebugRemoval:
+    def test_remove_running_thread_returns_remaining(self):
+        engine = Engine()
+        cpu = CPU(engine, quantum=10.0)  # one long slice
+        done = {}
+        cpu.request("a", 1.0, CpuPriority.NORMAL, lambda: done.setdefault("a", engine.now))
+        engine.run(until=0.4)
+        remaining = cpu.remove("a")
+        assert remaining == pytest.approx(0.6, abs=0.01)
+        engine.run()
+        assert "a" not in done  # never completed
+
+    def test_remove_queued_thread(self):
+        engine = Engine()
+        cpu = CPU(engine)
+        done = {}
+        cpu.request("a", 1.0, CpuPriority.NORMAL, lambda: done.setdefault("a", engine.now))
+        cpu.request("b", 1.0, CpuPriority.NORMAL, lambda: done.setdefault("b", engine.now))
+        remaining = cpu.remove("b")
+        assert remaining == pytest.approx(1.0)
+        engine.run()
+        assert done["a"] == pytest.approx(1.0, abs=0.05)
+        assert "b" not in done
+
+    def test_remove_unknown_returns_none(self):
+        assert CPU(Engine()).remove("ghost") is None
+
+
+class TestAccounting:
+    def test_thread_time_tracks_consumption(self):
+        engine = Engine()
+        cpu = CPU(engine)
+        cpu.request("a", 0.5, CpuPriority.NORMAL, lambda: None)
+        engine.run()
+        assert cpu.thread_time("a") == pytest.approx(0.5)
+
+    def test_utilization(self):
+        engine = Engine()
+        cpu = CPU(engine)
+        cpu.request("a", 1.0, CpuPriority.NORMAL, lambda: None)
+        engine.run()
+        engine.call_at(2.0, lambda: None)
+        engine.run()
+        assert cpu.utilization() == pytest.approx(0.5, abs=0.01)

@@ -1,0 +1,105 @@
+"""Disk queue disciplines: throughput vs fairness."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simos.disk import Disk
+from repro.simos.engine import Engine, SimulationError
+
+
+def run_batch(scheduler: str, n: int = 120, seed: int = 3):
+    """Serve ``n`` random requests queued up front; return (disk, makespan)."""
+    engine = Engine()
+    disk = Disk(engine, scheduler=scheduler, seed=seed)
+    rng = random.Random(seed)
+    remaining = [n]
+
+    def done():
+        remaining[0] -= 1
+
+    for _ in range(n):
+        disk.submit("read", rng.randrange(1_000_000), 8192, done)
+    engine.run()
+    assert remaining[0] == 0
+    return disk, engine.now
+
+
+class TestSchedulers:
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SimulationError):
+            Disk(Engine(), scheduler="magic")
+
+    def test_favor_small_maps_to_smallest(self):
+        disk = Disk(Engine(), favor_small=True)
+        assert disk._scheduler == "smallest"
+
+    def test_all_schedulers_complete_the_batch(self):
+        for scheduler in Disk.SCHEDULERS:
+            disk, makespan = run_batch(scheduler)
+            assert disk.stats.requests == 120
+            assert makespan > 0
+
+    def test_sstf_beats_fcfs_on_makespan(self):
+        """Seek-optimizing disciplines raise throughput on a deep queue."""
+        _, fcfs = run_batch("fcfs")
+        _, sstf = run_batch("sstf")
+        assert sstf < 0.8 * fcfs
+
+    def test_elevator_beats_fcfs_on_makespan(self):
+        _, fcfs = run_batch("fcfs")
+        _, elevator = run_batch("elevator")
+        assert elevator < 0.85 * fcfs
+
+    def test_sstf_starves_distant_requests(self):
+        """SSTF's positional favoritism: under a steady stream of requests
+        near the head, a distant request waits far longer than under the
+        elevator — the kind of scheduling asymmetry section 3 warns breaks
+        the symmetric-contention assumption."""
+
+        def far_completion(scheduler: str) -> float:
+            engine = Engine()
+            disk = Disk(engine, scheduler=scheduler, seed=5)
+            rng = random.Random(5)
+            far_done: list[float] = []
+            # Prime the queue with near work, then add the distant request,
+            # then keep near work arriving slightly faster than service.
+            for _ in range(5):
+                disk.submit("read", rng.randrange(20_000), 8192, lambda: None)
+            disk.submit("read", 1_000_000, 8192, lambda: far_done.append(engine.now))
+
+            def feed(i: int = 0):
+                if i >= 150:
+                    return
+                disk.submit("read", rng.randrange(20_000), 8192, lambda: None)
+                engine.call_after(0.004, feed, i + 1)
+
+            feed()
+            engine.run()
+            assert far_done
+            return far_done[0]
+
+        assert far_completion("sstf") > 2.0 * far_completion("elevator")
+
+    def test_fcfs_preserves_arrival_order(self):
+        engine = Engine()
+        disk = Disk(engine, scheduler="fcfs")
+        order = []
+        for i, block in enumerate((900_000, 10, 500_000)):
+            disk.submit("read", block, 4096, lambda i=i: order.append(i))
+        engine.run()
+        assert order == [0, 1, 2]
+
+    def test_sstf_reorders_by_position(self):
+        engine = Engine()
+        disk = Disk(engine, scheduler="sstf")
+        order = []
+        # The first request starts service immediately and parks the head
+        # at the far end; SSTF then serves by proximity from there.
+        disk.submit("read", 900_000, 4096, lambda: order.append("far"))
+        disk.submit("read", 10, 4096, lambda: order.append("near"))
+        disk.submit("read", 800_000, 4096, lambda: order.append("far2"))
+        engine.run()
+        assert order == ["far", "far2", "near"]

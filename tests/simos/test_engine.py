@@ -1,0 +1,156 @@
+"""Discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simos.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.call_at(3.0, fired.append, "c")
+        engine.call_at(1.0, fired.append, "a")
+        engine.call_at(2.0, fired.append, "b")
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        engine = Engine()
+        fired = []
+        for name in "abcde":
+            engine.call_at(1.0, fired.append, name)
+        engine.run()
+        assert fired == list("abcde")
+
+    def test_call_after_relative(self):
+        engine = Engine()
+        times = []
+        engine.call_after(0.5, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [0.5]
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        engine.call_at(7.5, lambda: None)
+        engine.run()
+        assert engine.now == 7.5
+
+    def test_no_past_scheduling(self):
+        engine = Engine()
+        engine.call_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.call_at(4.0, lambda: None)
+
+    def test_no_negative_delay(self):
+        with pytest.raises(SimulationError):
+            Engine().call_after(-1.0, lambda: None)
+
+    def test_no_infinite_time(self):
+        with pytest.raises(SimulationError):
+            Engine().call_at(float("inf"), lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        handle = engine.call_at(1.0, fired.append, "x")
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        handle = engine.call_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        engine.run()
+
+    def test_pending_counts_exclude_cancelled(self):
+        engine = Engine()
+        keep = engine.call_at(1.0, lambda: None)
+        drop = engine.call_at(2.0, lambda: None)
+        drop.cancel()
+        assert engine.pending == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_at_horizon(self):
+        engine = Engine()
+        fired = []
+        engine.call_at(1.0, fired.append, "a")
+        engine.call_at(10.0, fired.append, "b")
+        engine.run(until=5.0)
+        assert fired == ["a"]
+        assert engine.now == 5.0  # clock tiles to the horizon
+
+    def test_run_resumes_where_it_stopped(self):
+        engine = Engine()
+        fired = []
+        engine.call_at(10.0, fired.append, "b")
+        engine.run(until=5.0)
+        engine.run(until=15.0)
+        assert fired == ["b"]
+
+    def test_max_events_budget(self):
+        engine = Engine()
+        fired = []
+        for i in range(10):
+            engine.call_at(float(i), fired.append, i)
+        engine.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_events_can_schedule_events(self):
+        engine = Engine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                engine.call_after(1.0, chain, n + 1)
+
+        engine.call_at(0.0, chain, 0)
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert engine.now == 5.0
+
+    def test_step_returns_false_when_empty(self):
+        assert not Engine().step()
+
+    def test_drain(self):
+        engine = Engine()
+        engine.call_at(1.0, lambda: None)
+        engine.drain()
+        assert engine.pending == 0
+
+
+class TestProperties:
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=200))
+    def test_arbitrary_schedules_fire_sorted(self, times):
+        engine = Engine()
+        fired = []
+        for t in times:
+            engine.call_at(t, lambda t=t: fired.append(engine.now))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(st.lists(st.tuples(st.floats(0.0, 100.0), st.booleans()), max_size=100))
+    def test_cancellation_subset_fires(self, entries):
+        engine = Engine()
+        fired = []
+        expected = 0
+        for t, keep in entries:
+            handle = engine.call_at(t, lambda: fired.append(None))
+            if keep:
+                expected += 1
+            else:
+                handle.cancel()
+        engine.run()
+        assert len(fired) == expected

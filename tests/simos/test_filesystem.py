@@ -1,0 +1,283 @@
+"""Filesystem: extents, allocation, journal, relocation, SIS merges."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simos.engine import SimulationError
+from repro.simos.filesystem import Extent, Volume, populate_volume
+
+
+def make_volume(blocks=10_000) -> Volume:
+    return Volume("C", "C", total_blocks=blocks)
+
+
+class TestAllocation:
+    def test_create_file_accounts_blocks(self):
+        vol = make_volume()
+        f = vol.create_file("a", 10 * 4096, when=0.0)
+        assert f.blocks == 10
+        assert vol.used_blocks == 10
+        assert vol.free_blocks == 10_000 - 10
+
+    def test_delete_frees_blocks(self):
+        vol = make_volume()
+        f = vol.create_file("a", 10 * 4096, when=0.0)
+        vol.delete_file(f.file_id, when=1.0)
+        assert vol.free_blocks == 10_000
+        assert vol.file_count == 0
+
+    def test_free_extents_coalesce(self):
+        vol = make_volume()
+        files = [vol.create_file(f"f{i}", 4096, when=0.0) for i in range(5)]
+        for f in files:
+            vol.delete_file(f.file_id, when=1.0)
+        assert vol.largest_free_extent() == 10_000
+
+    def test_fragmented_allocation(self):
+        vol = make_volume()
+        f = vol.create_file("a", 100 * 4096, when=0.0, fragments=5, spread_seed=3)
+        assert f.fragments == 5
+        assert f.blocks == 100
+
+    def test_full_volume_rejected(self):
+        vol = make_volume(blocks=10)
+        with pytest.raises(SimulationError, match="full"):
+            vol.create_file("a", 11 * 4096, when=0.0)
+
+    def test_duplicate_path_rejected(self):
+        vol = make_volume()
+        vol.create_file("a", 4096, when=0.0)
+        with pytest.raises(SimulationError):
+            vol.create_file("a", 4096, when=0.0)
+
+    def test_no_contiguous_run(self):
+        vol = make_volume(blocks=100)
+        # Fragment the free space completely with alternating files.
+        keep = []
+        for i in range(50):
+            keep.append(vol.create_file(f"k{i}", 4096, when=0.0))
+            vol.create_file(f"d{i}", 4096, when=0.0)
+        for f in keep:
+            vol.delete_file(f.file_id, when=1.0)
+        with pytest.raises(SimulationError, match="contiguous"):
+            vol.allocate(2, fragments=1)
+
+
+class TestJournal:
+    def test_create_logs_record(self):
+        vol = make_volume()
+        f = vol.create_file("a", 4096, when=1.5)
+        records = vol.journal_since(0)
+        assert len(records) == 1
+        assert records[0].reason == "create"
+        assert records[0].file_id == f.file_id
+        assert records[0].when == 1.5
+
+    def test_journal_since_is_exclusive(self):
+        vol = make_volume()
+        vol.create_file("a", 4096, when=0.0)
+        usn = vol.last_usn
+        vol.create_file("b", 4096, when=1.0)
+        records = vol.journal_since(usn)
+        assert [r.reason for r in records] == ["create"]
+        assert vol.journal_since(vol.last_usn) == []
+
+    def test_modify_and_delete_logged(self):
+        vol = make_volume()
+        f = vol.create_file("a", 4096, when=0.0)
+        vol.modify_file(f.file_id, when=1.0, new_content_id=99)
+        vol.delete_file(f.file_id, when=2.0)
+        reasons = [r.reason for r in vol.journal_since(0)]
+        assert reasons == ["create", "modify", "delete"]
+
+    def test_usns_strictly_increase(self):
+        vol = make_volume()
+        for i in range(10):
+            vol.create_file(f"f{i}", 4096, when=0.0)
+        usns = [r.usn for r in vol.journal_since(0)]
+        assert usns == sorted(usns)
+        assert len(set(usns)) == len(usns)
+
+
+class TestReadPlan:
+    def test_covers_whole_file(self):
+        vol = make_volume()
+        f = vol.create_file("a", 300_000, when=0.0, fragments=4, spread_seed=1)
+        plan = vol.read_plan(f.file_id)
+        assert sum(nbytes for _, nbytes in plan) == 300_000
+
+    def test_chunk_cap(self):
+        vol = make_volume()
+        f = vol.create_file("a", 1_000_000, when=0.0)
+        plan = vol.read_plan(f.file_id, chunk_bytes=65536)
+        assert all(nbytes <= 65536 for _, nbytes in plan)
+
+    def test_disk_block_offset_applied(self):
+        vol = Volume("C", "C", total_blocks=100, start_block=5000)
+        f = vol.create_file("a", 4096, when=0.0)
+        plan = vol.read_plan(f.file_id)
+        assert plan[0][0] >= 5000
+
+
+class TestRelocation:
+    def test_contiguous_file_needs_no_plan(self):
+        vol = make_volume()
+        f = vol.create_file("a", 40_960, when=0.0, fragments=1)
+        assert vol.relocation_plan(f.file_id) is None
+
+    def test_plan_and_commit_defragment(self):
+        vol = make_volume()
+        f = vol.create_file("a", 40 * 4096, when=0.0, fragments=4, spread_seed=7)
+        plan = vol.relocation_plan(f.file_id)
+        assert plan is not None
+        reads, writes, new_extents = plan
+        assert sum(n for _, n in reads) == f.size
+        assert sum(n for _, n in writes) == f.size
+        assert len(new_extents) == 1
+        vol.commit_relocation(f.file_id, new_extents, when=1.0)
+        assert vol.file(f.file_id).fragments == 1
+        # Block accounting is conserved.
+        assert vol.used_blocks == 40
+
+    def test_abort_restores_free_space(self):
+        vol = make_volume()
+        f = vol.create_file("a", 40 * 4096, when=0.0, fragments=4, spread_seed=7)
+        free_before = vol.free_blocks
+        plan = vol.relocation_plan(f.file_id)
+        assert plan is not None
+        _, _, new_extents = plan
+        vol.abort_relocation(new_extents)
+        assert vol.free_blocks == free_before
+
+    def test_relocation_logged(self):
+        vol = make_volume()
+        f = vol.create_file("a", 40 * 4096, when=0.0, fragments=4, spread_seed=7)
+        _, _, new_extents = vol.relocation_plan(f.file_id)
+        vol.commit_relocation(f.file_id, new_extents, when=2.0)
+        assert vol.journal_since(0)[-1].reason == "relocate"
+
+
+class TestSisMerge:
+    def test_merge_reclaims_blocks(self):
+        vol = make_volume()
+        a = vol.create_file("a", 10 * 4096, when=0.0, content_id=7)
+        b = vol.create_file("b", 10 * 4096, when=0.0, content_id=7)
+        reclaimed = vol.merge_duplicate(b.file_id, a.file_id, when=1.0)
+        assert reclaimed == 10
+        assert vol.used_blocks == 10
+        assert vol.file(b.file_id).sis_link == a.file_id
+
+    def test_merge_requires_equal_content(self):
+        vol = make_volume()
+        a = vol.create_file("a", 4096, when=0.0, content_id=1)
+        b = vol.create_file("b", 4096, when=0.0, content_id=2)
+        with pytest.raises(SimulationError):
+            vol.merge_duplicate(b.file_id, a.file_id, when=1.0)
+
+    def test_double_merge_is_noop(self):
+        vol = make_volume()
+        a = vol.create_file("a", 4096, when=0.0, content_id=1)
+        b = vol.create_file("b", 4096, when=0.0, content_id=1)
+        vol.merge_duplicate(b.file_id, a.file_id, when=1.0)
+        assert vol.merge_duplicate(b.file_id, a.file_id, when=2.0) == 0
+
+    def test_link_reads_through_to_keeper(self):
+        vol = make_volume()
+        a = vol.create_file("a", 8 * 4096, when=0.0, content_id=1)
+        b = vol.create_file("b", 8 * 4096, when=0.0, content_id=1)
+        vol.merge_duplicate(b.file_id, a.file_id, when=1.0)
+        assert vol.read_plan(b.file_id) == vol.read_plan(a.file_id)
+
+    def test_modify_clears_link(self):
+        vol = make_volume()
+        a = vol.create_file("a", 4096, when=0.0, content_id=1)
+        b = vol.create_file("b", 4096, when=0.0, content_id=1)
+        vol.merge_duplicate(b.file_id, a.file_id, when=1.0)
+        vol.modify_file(b.file_id, when=2.0, new_content_id=5)
+        assert vol.file(b.file_id).sis_link is None
+
+
+class TestPopulate:
+    def test_populate_respects_parameters(self):
+        vol = Volume("C", "C", total_blocks=200_000)
+        rng = random.Random(1)
+        files = populate_volume(
+            vol, rng, file_count=100, duplicate_fraction=0.5
+        )
+        assert len(files) == 100
+        assert vol.file_count == 100  # fillers deleted
+        content_ids = [f.content_id for f in files]
+        assert len(set(content_ids)) < 100  # duplicates exist
+
+    def test_aging_spreads_files(self):
+        """Aged layout: files are interleaved with holes, not densely packed."""
+        vol = Volume("C", "C", total_blocks=200_000)
+        rng = random.Random(2)
+        files = populate_volume(vol, rng, file_count=100)
+        first_starts = [f.extents[0].start for f in files]
+        span = max(first_starts) - min(first_starts)
+        used = sum(f.blocks for f in files)
+        # The deleted fillers leave the live files spread over a region
+        # substantially larger than their own footprint.
+        assert span > 1.5 * used
+
+
+class TestInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(5, 60))
+    def test_block_conservation_under_churn(self, seed, operations):
+        """used + free == total after any create/delete/relocate sequence."""
+        vol = make_volume(blocks=5_000)
+        rng = random.Random(seed)
+        live: list[int] = []
+        for i in range(operations):
+            action = rng.random()
+            if action < 0.5 or not live:
+                blocks = rng.randint(1, 40)
+                if blocks <= vol.free_blocks:
+                    try:
+                        f = vol.create_file(
+                            f"f{i}", blocks * 4096, when=float(i),
+                            fragments=rng.randint(1, 4),
+                            spread_seed=rng.randrange(1 << 20),
+                        )
+                        live.append(f.file_id)
+                    except SimulationError:
+                        pass  # fragmentation can defeat allocation
+            elif action < 0.8:
+                fid = live.pop(rng.randrange(len(live)))
+                vol.delete_file(fid, when=float(i))
+            else:
+                fid = rng.choice(live)
+                plan = vol.relocation_plan(fid)
+                if plan is not None:
+                    vol.commit_relocation(fid, plan[2], when=float(i))
+            assert vol.used_blocks + vol.free_blocks == 5_000
+            total_file_blocks = sum(vol.file(fid).blocks for fid in live)
+            assert total_file_blocks == vol.used_blocks
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_extents_never_overlap(self, seed):
+        vol = make_volume(blocks=3_000)
+        rng = random.Random(seed)
+        for i in range(20):
+            try:
+                vol.create_file(
+                    f"f{i}", rng.randint(1, 50) * 4096, when=0.0,
+                    fragments=rng.randint(1, 5),
+                    spread_seed=rng.randrange(1 << 20),
+                )
+            except SimulationError:
+                break
+        claimed: set[int] = set()
+        for f in vol.files():
+            for extent in f.extents:
+                blocks = set(range(extent.start, extent.end))
+                assert not (blocks & claimed)
+                claimed |= blocks

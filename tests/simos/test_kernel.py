@@ -1,0 +1,295 @@
+"""Kernel: thread lifecycle, effects, and the debug interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simos.cpu import CpuPriority
+from repro.simos.effects import (
+    Condition,
+    Delay,
+    DiskRead,
+    DiskWrite,
+    SignalCondition,
+    UseCPU,
+    WaitCondition,
+    Yield,
+)
+from repro.simos.engine import SimulationError
+from repro.simos.kernel import Kernel, ThreadState
+
+
+class TestLifecycle:
+    def test_thread_runs_to_completion(self):
+        kernel = Kernel()
+        log = []
+
+        def body():
+            log.append(kernel.now)
+            yield Delay(1.0)
+            log.append(kernel.now)
+            return "done"
+
+        thread = kernel.spawn("t", body())
+        kernel.run()
+        assert log == [0.0, 1.0]
+        assert thread.state is ThreadState.DONE
+        assert thread.result == "done"
+
+    def test_start_after(self):
+        kernel = Kernel()
+        seen = []
+
+        def body():
+            seen.append(kernel.now)
+            yield Delay(0.0)
+
+        kernel.spawn("t", body(), start_after=5.0)
+        kernel.run()
+        assert seen == [5.0]
+
+    def test_thread_exception_surfaces_in_run(self):
+        kernel = Kernel()
+
+        def body():
+            yield Delay(1.0)
+            raise RuntimeError("boom")
+
+        thread = kernel.spawn("t", body())
+        with pytest.raises(SimulationError):
+            kernel.run()
+        assert thread.state is ThreadState.FAILED
+        assert isinstance(thread.error, RuntimeError)
+
+    def test_unknown_effect_fails_thread(self):
+        kernel = Kernel()
+
+        def body():
+            yield "not an effect"
+
+        kernel.spawn("t", body())
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+
+class TestEffects:
+    def test_delay_advances_time(self):
+        kernel = Kernel()
+        times = []
+
+        def body():
+            yield Delay(2.0)
+            times.append(kernel.now)
+            yield Delay(3.0)
+            times.append(kernel.now)
+
+        kernel.spawn("t", body())
+        kernel.run()
+        assert times == [2.0, 5.0]
+
+    def test_cpu_effect_respects_priority(self):
+        kernel = Kernel()
+        finish = {}
+
+        def burner(name, n=50, slice_len=0.02):
+            for _ in range(n):
+                yield UseCPU(slice_len)
+            finish[name] = kernel.now
+
+        kernel.spawn("hi", burner("hi"), priority=CpuPriority.NORMAL)
+        kernel.spawn("lo", burner("lo"), priority=CpuPriority.LOW)
+        kernel.run()
+        assert finish["hi"] == pytest.approx(1.0, abs=0.1)
+        assert finish["lo"] == pytest.approx(2.0, abs=0.1)
+
+    def test_disk_effects(self):
+        kernel = Kernel()
+        kernel.add_disk("C")
+
+        def body():
+            yield DiskRead("C", 0, 65536)
+            yield DiskWrite("C", 100, 4096)
+
+        kernel.spawn("t", body())
+        kernel.run()
+        assert kernel.disks["C"].stats.requests == 2
+
+    def test_missing_disk_fails(self):
+        kernel = Kernel()
+
+        def body():
+            yield DiskRead("nope", 0, 4096)
+
+        kernel.spawn("t", body())
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_condition_wait_and_signal(self):
+        kernel = Kernel()
+        cond = Condition("work")
+        got = []
+
+        def consumer():
+            payload = yield WaitCondition(cond)
+            got.append((kernel.now, payload))
+
+        def producer():
+            yield Delay(3.0)
+            yield SignalCondition(cond, payload="item")
+
+        kernel.spawn("c", consumer())
+        kernel.spawn("p", producer())
+        kernel.run()
+        assert got == [(3.0, "item")]
+
+    def test_signal_broadcast(self):
+        kernel = Kernel()
+        cond = Condition()
+        woken = []
+
+        def waiter(name):
+            yield WaitCondition(cond)
+            woken.append(name)
+
+        def signaller():
+            yield Delay(1.0)
+            yield SignalCondition(cond, broadcast=True)
+
+        for n in ("a", "b", "c"):
+            kernel.spawn(n, waiter(n))
+        kernel.spawn("s", signaller())
+        kernel.run()
+        assert sorted(woken) == ["a", "b", "c"]
+
+    def test_external_signal(self):
+        kernel = Kernel()
+        cond = Condition()
+        woken = []
+
+        def waiter():
+            yield WaitCondition(cond)
+            woken.append(kernel.now)
+
+        kernel.spawn("w", waiter())
+        kernel.engine.call_at(4.0, kernel.signal, cond)
+        kernel.run()
+        assert woken == [4.0]
+
+    def test_yield_effect(self):
+        kernel = Kernel()
+        order = []
+
+        def spinner(name):
+            for _ in range(3):
+                order.append(name)
+                yield Yield()
+
+        kernel.spawn("a", spinner("a"))
+        kernel.spawn("b", spinner("b"))
+        kernel.run()
+        # Yield lets same-time threads interleave.
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+
+class TestDebugInterface:
+    def test_suspend_stops_cpu_consumption(self):
+        kernel = Kernel()
+        finish = {}
+
+        def burner():
+            yield UseCPU(1.0)
+            finish["t"] = kernel.now
+
+        thread = kernel.spawn("t", burner())
+        kernel.engine.call_at(0.3, kernel.suspend_thread, thread)
+        kernel.engine.call_at(2.3, kernel.resume_thread, thread)
+        kernel.run()
+        # 0.3 s of work done, 2.0 s suspended, 0.7 s more work.
+        assert finish["t"] == pytest.approx(3.0, abs=0.05)
+
+    def test_suspend_parks_disk_completion(self):
+        kernel = Kernel()
+        kernel.add_disk("C")
+        finish = {}
+
+        def body():
+            yield DiskRead("C", 500_000, 65536)
+            finish["t"] = kernel.now
+
+        thread = kernel.spawn("t", body())
+        # Suspend almost immediately; the disk op completes while the
+        # thread is suspended, but the thread only advances on resume.
+        kernel.engine.call_at(0.001, kernel.suspend_thread, thread)
+        kernel.engine.call_at(5.0, kernel.resume_thread, thread)
+        kernel.run()
+        assert finish["t"] == pytest.approx(5.0, abs=0.01)
+
+    def test_suspend_during_sleep(self):
+        kernel = Kernel()
+        finish = {}
+
+        def body():
+            yield Delay(1.0)
+            finish["t"] = kernel.now
+
+        thread = kernel.spawn("t", body())
+        kernel.engine.call_at(0.5, kernel.suspend_thread, thread)
+        kernel.engine.call_at(3.0, kernel.resume_thread, thread)
+        kernel.run()
+        assert finish["t"] == pytest.approx(3.0, abs=0.01)
+
+    def test_suspend_resume_idempotent(self):
+        kernel = Kernel()
+
+        def body():
+            yield Delay(1.0)
+
+        thread = kernel.spawn("t", body())
+        kernel.suspend_thread(thread)
+        kernel.suspend_thread(thread)
+        kernel.resume_thread(thread)
+        kernel.resume_thread(thread)
+        kernel.run()
+        assert thread.state is ThreadState.DONE
+
+    def test_suspend_before_first_step(self):
+        kernel = Kernel()
+        seen = []
+
+        def body():
+            seen.append(kernel.now)
+            yield Delay(0.0)
+
+        thread = kernel.spawn("t", body())
+        kernel.suspend_thread(thread)
+        kernel.engine.call_at(2.0, kernel.resume_thread, thread)
+        kernel.run()
+        assert seen == [2.0]
+
+
+class TestListeners:
+    def test_lifecycle_events_emitted(self):
+        kernel = Kernel()
+        events = []
+        kernel.add_listener(lambda kind, thread, now: events.append(kind))
+
+        def body():
+            yield Delay(1.0)
+
+        kernel.spawn("t", body())
+        kernel.run()
+        assert events[0] == "spawn"
+        assert "run" in events
+        assert "block" in events
+        assert events[-1] == "exit"
+
+    def test_duplicate_disk_rejected(self):
+        kernel = Kernel()
+        kernel.add_disk("C")
+        with pytest.raises(SimulationError):
+            kernel.add_disk("C")
+
+    def test_duplicate_handler_rejected(self):
+        kernel = Kernel()
+        with pytest.raises(SimulationError):
+            kernel.register_handler(Delay, lambda t, e: None)

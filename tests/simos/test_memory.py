@@ -1,0 +1,133 @@
+"""Memory model and the section-3 asymmetry limitation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MannersConfig
+from repro.core.signtest import Judgment
+from repro.simos.engine import SimulationError
+from repro.simos.kernel import Kernel
+from repro.simos.memory import MemoryManager, TouchMemory
+from repro.simos.sim_manners import MannersTestpoint, SimManners
+
+
+class TestResidencyPolicy:
+    def test_fits_in_memory_all_resident(self):
+        kernel = Kernel()
+        mem = MemoryManager(kernel.engine, frames=100)
+        mem.declare("a", 40)
+        mem.declare("b", 50)
+        assert mem.residency("a") == 1.0
+        assert mem.residency("b") == 1.0
+        assert not mem.oversubscribed
+
+    def test_oversubscription_favors_first(self):
+        kernel = Kernel()
+        mem = MemoryManager(kernel.engine, frames=100)
+        mem.declare("old", 80)
+        mem.declare("new", 80)
+        assert mem.residency("old") == 1.0
+        assert mem.residency("new") == pytest.approx(0.25)
+        assert mem.oversubscribed
+
+    def test_fault_probability_complements_residency(self):
+        kernel = Kernel()
+        mem = MemoryManager(kernel.engine, frames=50)
+        mem.declare("a", 100)
+        assert mem.fault_probability("a") == pytest.approx(0.5)
+
+    def test_undeclared_process_rejected(self):
+        kernel = Kernel()
+        mem = MemoryManager(kernel.engine, frames=10)
+        with pytest.raises(SimulationError):
+            mem.residency("ghost")
+
+    def test_validation(self):
+        kernel = Kernel()
+        with pytest.raises(SimulationError):
+            MemoryManager(kernel.engine, frames=0)
+        mem = MemoryManager(kernel.engine, frames=10)
+        with pytest.raises(SimulationError):
+            mem.declare("a", 0)
+
+
+class TestTouchEffect:
+    def test_resident_touches_are_free(self):
+        kernel = Kernel()
+        mem = MemoryManager(kernel.engine, frames=100)
+        mem.attach(kernel)
+        mem.declare("app", 50)
+
+        def body():
+            for _ in range(100):
+                yield TouchMemory()
+
+        kernel.spawn("t", body(), process="app")
+        kernel.run()
+        assert kernel.now == pytest.approx(0.0)
+        assert mem.faults["app"] == 0
+
+    def test_thrashing_costs_fault_delays(self):
+        kernel = Kernel()
+        mem = MemoryManager(kernel.engine, frames=50, fault_service=0.01)
+        mem.attach(kernel)
+        mem.declare("fav", 50)
+        mem.declare("victim", 50)  # zero residency
+
+        def body():
+            for _ in range(100):
+                yield TouchMemory()
+
+        kernel.spawn("t", body(), process="victim")
+        kernel.run()
+        assert mem.faults["victim"] == 100
+        assert kernel.now == pytest.approx(1.0)
+
+
+class TestAsymmetryLimitation:
+    def test_favored_li_process_evades_regulation(self):
+        """Section 3, demonstrated: a favored low-importance process
+        thrashes the high-importance process without its own progress
+        dropping, so progress-based regulation never engages."""
+        kernel = Kernel(seed=1)
+        mem = MemoryManager(kernel.engine, frames=100, fault_service=0.01)
+        mem.attach(kernel)
+        # The LI process registered first (long-resident service): favored.
+        mem.declare("li", 80)
+        mem.declare("hi", 80)
+
+        config = MannersConfig(
+            bootstrap_testpoints=10, probation_period=0.0, averaging_n=100,
+            min_testpoint_interval=0.05,
+        )
+        manners = SimManners(kernel, config)
+
+        def li_body():
+            done = 0.0
+            for _ in range(4000):
+                yield TouchMemory()
+                done += 1.0
+                yield MannersTestpoint((done,))
+
+        hi_progress = {"touches": 0}
+
+        def hi_body():
+            for _ in range(4000):
+                yield TouchMemory()
+                hi_progress["touches"] += 1
+
+        li = kernel.spawn("li", li_body(), process="li")
+        manners.regulate(li)
+        kernel.spawn("hi", hi_body(), process="hi")
+        kernel.run(until=200.0)
+
+        # The HI process thrashed...
+        assert mem.faults["hi"] > 1000
+        # ...the LI process did not...
+        assert mem.faults["li"] < 100
+        # ...so MS Manners saw no progress drop and never suspended it:
+        # the asymmetry invalidates the key assumption, as the paper says.
+        trace = manners.traces[li]
+        poors = sum(1 for r in trace.records if r.judgment is Judgment.POOR)
+        assert poors <= 2

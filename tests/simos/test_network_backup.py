@@ -1,0 +1,142 @@
+"""Network link, backup agent, and the section-3 external-resource limit."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.backup import BackupAgent
+from repro.core.config import MannersConfig
+from repro.core.signtest import Judgment
+from repro.simos.engine import SimulationError
+from repro.simos.filesystem import Volume, populate_volume
+from repro.simos.kernel import Kernel
+from repro.simos.network import NetSend, NetworkLink
+from repro.simos.sim_manners import SimManners
+
+
+def machine(seed=1, file_count=30, bandwidth=1_250_000.0):
+    kernel = Kernel(seed=seed)
+    kernel.add_disk("C")
+    volume = Volume("C", "C", total_blocks=120_000)
+    rng = random.Random(seed)
+    populate_volume(
+        volume, rng, file_count=file_count,
+        size_range=(32 * 1024, 128 * 1024), fragment_range=(1, 2),
+    )
+    link = NetworkLink(kernel.engine, "uplink", bandwidth=bandwidth)
+    link.attach(kernel)
+    return kernel, volume, link
+
+
+class TestNetworkLink:
+    def test_transfer_time_matches_bandwidth(self):
+        kernel, volume, link = machine()
+        done = []
+
+        def body():
+            yield NetSend("uplink", 1_250_000)
+            done.append(kernel.now)
+
+        kernel.spawn("t", body())
+        kernel.run()
+        # 1.25 MB at 1.25 MB/s plus latency.
+        assert done[0] == pytest.approx(1.0 + link.latency, rel=0.02)
+
+    def test_congestion_slows_transfers(self):
+        kernel, volume, link = machine()
+        link.set_congestion(4.0)
+        done = []
+
+        def body():
+            yield NetSend("uplink", 1_250_000)
+            done.append(kernel.now)
+
+        kernel.spawn("t", body())
+        kernel.run()
+        assert done[0] == pytest.approx(4.0 + link.latency, rel=0.02)
+
+    def test_transfers_serialize(self):
+        kernel, volume, link = machine()
+        order = []
+
+        def sender(name):
+            yield NetSend("uplink", 625_000)
+            order.append((name, kernel.now))
+
+        kernel.spawn("a", sender("a"))
+        kernel.spawn("b", sender("b"))
+        kernel.run()
+        assert order[0][1] == pytest.approx(0.5, abs=0.05)
+        assert order[1][1] == pytest.approx(1.0, abs=0.05)
+
+    def test_unknown_link_fails(self):
+        kernel, volume, link = machine()
+
+        def body():
+            yield NetSend("wan", 100)
+
+        kernel.spawn("t", body())
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_duplicate_attach_rejected(self):
+        kernel, volume, link = machine()
+        dup = NetworkLink(kernel.engine, "uplink")
+        with pytest.raises(SimulationError):
+            dup.attach(kernel)
+
+    def test_congestion_validation(self):
+        kernel, volume, link = machine()
+        with pytest.raises(SimulationError):
+            link.set_congestion(0.5)
+
+
+class TestBackupAgent:
+    def test_backs_up_every_file(self):
+        kernel, volume, link = machine()
+        backup = BackupAgent(kernel, volume, "uplink")
+        backup.spawn()
+        kernel.run()
+        assert backup.stats.files_backed_up == 30
+        assert backup.stats.bytes_uploaded == link.stats.bytes_sent
+        assert backup.result.elapsed is not None
+
+    def test_single_metric_covers_disk_and_network(self):
+        """Regulated backup on an idle machine runs unimpeded."""
+        kernel, volume, link = machine()
+        config = MannersConfig(
+            bootstrap_testpoints=10, probation_period=0.0, averaging_n=200,
+            min_testpoint_interval=0.05, initial_suspension=0.5, max_suspension=16.0,
+        )
+        manners = SimManners(kernel, config)
+        backup = BackupAgent(kernel, volume, "uplink", manners=manners)
+        thread = backup.spawn()
+        kernel.run(until=600.0)
+        assert backup.result.elapsed is not None
+        trace = manners.traces[thread]
+        poors = sum(1 for r in trace.records if r.judgment is Judgment.POOR)
+        assert poors <= 2
+
+
+class TestExternalResourceLimitation:
+    def test_remote_congestion_triggers_suspension(self):
+        """Section 3, demonstrated: congestion *outside the machine* slows
+        the backup's progress, and resource-independent regulation
+        suspends it even though the local machine is idle — 'which may
+        not be as desired'."""
+        kernel, volume, link = machine(file_count=200)
+        config = MannersConfig(
+            bootstrap_testpoints=10, probation_period=0.0, averaging_n=200,
+            min_testpoint_interval=0.05, initial_suspension=0.5, max_suspension=16.0,
+        )
+        manners = SimManners(kernel, config)
+        backup = BackupAgent(kernel, volume, "uplink", manners=manners)
+        thread = backup.spawn()
+        # Remote congestion arrives at t = 5 s.
+        kernel.engine.call_at(5.0, link.set_congestion, 5.0)
+        kernel.run(until=60.0)
+        trace = manners.traces[thread]
+        poors = [r for r in trace.records if r.judgment is Judgment.POOR and r.when > 5.0]
+        assert poors, "external congestion is indistinguishable from local contention"

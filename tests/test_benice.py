@@ -1,0 +1,168 @@
+"""BeNice: external regulation and adaptive polling."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.defragmenter import Defragmenter
+from repro.benice.benice import BeNice
+from repro.benice.polling import AdaptivePoller
+from repro.core.config import MannersConfig
+from repro.core.errors import ConfigError
+from repro.simos.effects import Delay, DiskRead
+from repro.simos.filesystem import Volume, populate_volume
+from repro.simos.kernel import Kernel
+from repro.simos.perfcounters import PerfCounterRegistry
+
+
+class TestAdaptivePoller:
+    def test_interval_grows_when_counters_stale(self):
+        poller = AdaptivePoller(initial_interval=0.3, window=8)
+        for _ in range(8):
+            poller.record_poll(progress_changed=False)
+        assert poller.interval > 0.3
+
+    def test_interval_shrinks_when_always_fresh(self):
+        poller = AdaptivePoller(initial_interval=1.0, min_interval=0.1, window=8)
+        for _ in range(8):
+            poller.record_poll(progress_changed=True)
+        assert poller.interval < 1.0
+
+    def test_lower_limit_respected(self):
+        poller = AdaptivePoller(initial_interval=0.2, min_interval=0.1, window=8)
+        for _ in range(100):
+            poller.record_poll(progress_changed=True)
+        assert poller.interval >= 0.1
+
+    def test_upper_limit_respected(self):
+        poller = AdaptivePoller(initial_interval=1.0, max_interval=4.0, window=8)
+        for _ in range(100):
+            poller.record_poll(progress_changed=False)
+        assert poller.interval <= 4.0
+
+    def test_mixed_stream_is_stable(self):
+        poller = AdaptivePoller(initial_interval=0.5, window=8)
+        rng = random.Random(1)
+        for _ in range(200):
+            poller.record_poll(progress_changed=rng.random() < 0.7)
+        assert 0.1 <= poller.interval <= 10.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AdaptivePoller(initial_interval=0.05, min_interval=0.1)
+        with pytest.raises(ConfigError):
+            AdaptivePoller(window=2)
+        with pytest.raises(ConfigError):
+            AdaptivePoller(raise_threshold=0.1, lower_threshold=0.2)
+        with pytest.raises(ConfigError):
+            AdaptivePoller(factor=1.0)
+
+
+def _fragmented_machine(seed=1, file_count=50):
+    kernel = Kernel(seed=seed)
+    kernel.add_disk("C")
+    volume = Volume("C", "C", total_blocks=80_000)
+    rng = random.Random(seed)
+    populate_volume(
+        volume, rng, file_count=file_count,
+        size_range=(16 * 1024, 96 * 1024), fragment_range=(2, 5),
+    )
+    return kernel, volume
+
+
+BENICE_CONFIG = MannersConfig(
+    bootstrap_testpoints=8,
+    probation_period=0.0,
+    averaging_n=200,
+    min_testpoint_interval=0.05,
+    initial_suspension=0.5,
+    max_suspension=16.0,
+)
+
+
+class TestBeNiceEndToEnd:
+    def test_regulates_unmodified_defragmenter(self):
+        """BeNice suspends the defragmenter when a disk hog appears."""
+        kernel, volume = _fragmented_machine(file_count=300)
+        registry = PerfCounterRegistry()
+        defrag = Defragmenter(kernel, [volume], registry=registry)
+        threads = defrag.spawn()
+        benice = BeNice(
+            kernel, registry, "defrag",
+            ("C.blocks_moved", "C.move_ops"), threads,
+            config=BENICE_CONFIG,
+        )
+        benice.spawn()
+
+        def hog():
+            yield Delay(5.0)
+            for i in range(2000):
+                yield DiskRead("C", (i * 53) % 70_000, 65536)
+
+        kernel.spawn("hog", hog(), process="hog")
+        kernel.run(until=600.0)
+        assert benice.stats.polls > 10
+        assert benice.stats.suspensions > 0
+        assert benice.stats.total_suspension_time > 0.0
+
+    def test_no_suspensions_on_idle_machine(self):
+        kernel, volume = _fragmented_machine()
+        registry = PerfCounterRegistry()
+        defrag = Defragmenter(kernel, [volume], registry=registry)
+        threads = defrag.spawn()
+        benice = BeNice(
+            kernel, registry, "defrag",
+            ("C.blocks_moved", "C.move_ops"), threads,
+            config=BENICE_CONFIG,
+        )
+        benice.spawn()
+        kernel.run(until=600.0)
+        assert defrag.results["C"].elapsed is not None
+        # On an idle machine suspensions are rare blips at most.
+        assert benice.stats.total_suspension_time <= 2.0
+
+    def test_overhead_is_small(self):
+        """The suspend-poll-resume cycle costs the target only a few
+        percent (Figure 5's BeNice column is ~1.5% over unregulated)."""
+        kernel, volume = _fragmented_machine(seed=7)
+        defrag = Defragmenter(kernel, [volume])
+        defrag.spawn()
+        kernel.run()
+        unregulated = defrag.results["C"].elapsed
+
+        kernel2, volume2 = _fragmented_machine(seed=7)
+        registry = PerfCounterRegistry()
+        defrag2 = Defragmenter(kernel2, [volume2], registry=registry)
+        threads = defrag2.spawn()
+        benice = BeNice(
+            kernel2, registry, "defrag",
+            ("C.blocks_moved", "C.move_ops"), threads,
+            config=BENICE_CONFIG,
+        )
+        benice.spawn()
+        kernel2.run(until=3000.0)
+        with_benice = defrag2.results["C"].elapsed
+        assert with_benice is not None
+        overhead = with_benice / unregulated - 1.0
+        assert overhead < 0.10
+
+    def test_monitor_exits_with_target(self):
+        kernel, volume = _fragmented_machine(file_count=10)
+        registry = PerfCounterRegistry()
+        defrag = Defragmenter(kernel, [volume], registry=registry)
+        threads = defrag.spawn()
+        benice = BeNice(
+            kernel, registry, "defrag",
+            ("C.blocks_moved", "C.move_ops"), threads,
+            config=BENICE_CONFIG,
+        )
+        monitor = benice.spawn()
+        kernel.run(until=3000.0)
+        assert not monitor.alive or monitor.state.value == "done"
+
+    def test_requires_counters(self):
+        kernel = Kernel()
+        with pytest.raises(ValueError):
+            BeNice(kernel, PerfCounterRegistry(), "x", (), ())

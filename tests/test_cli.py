@@ -1,0 +1,94 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_info_prints_defaults(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out
+        assert "min samples to condemn" in out
+        assert "5" in out
+
+    def test_module_entrypoint(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "info"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "MS Manners" in result.stdout
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestFigures:
+    def test_writes_all_tsvs(self, tmp_path, capsys):
+        code = main(
+            ["figures", "--out", str(tmp_path), "--scale", "0.15", "--hours", "2"]
+        )
+        assert code == 0
+        for name in (
+            "fig7_duty.tsv",
+            "fig8_progress.tsv",
+            "fig9_isolation.tsv",
+            "fig10_calibration.tsv",
+        ):
+            path = tmp_path / name
+            assert path.exists(), name
+            lines = path.read_text().splitlines()
+            assert len(lines) >= 2  # header + data
+            assert "\t" in lines[0]
+
+
+@pytest.mark.slow
+class TestBeNiceCommand:
+    def test_regulates_real_process(self, tmp_path):
+        counter = tmp_path / "progress.json"
+        worker_code = (
+            "import json, os, sys, time\n"
+            "done = 0\n"
+            "while True:\n"
+            "    time.sleep(0.005)\n"
+            "    done += 1\n"
+            "    tmp = sys.argv[1] + '.tmp'\n"
+            "    open(tmp, 'w').write(json.dumps({'items': done}))\n"
+            "    os.replace(tmp, sys.argv[1])\n"
+        )
+        worker = subprocess.Popen([sys.executable, "-c", worker_code, str(counter)])
+        try:
+            deadline = time.monotonic() + 10.0
+            while not counter.exists() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            result = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "benice",
+                    "--pid", str(worker.pid),
+                    "--counters", str(counter),
+                    "--names", "items",
+                    "--duration", "3",
+                    "--min-testpoint-interval", "0.01",
+                ],
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            assert result.returncode == 0, result.stderr
+            assert "polls" in result.stdout
+            assert worker.poll() is None  # target left running
+        finally:
+            worker.kill()
+            worker.wait()

@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed as a subprocess at a small scale; the assertion
+is that it exits cleanly and prints its headline output.  These keep the
+documentation honest — an example that no longer runs fails the suite.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_defrag_vs_database(self):
+        out = run_example("defrag_vs_database.py", "--scale", "0.15")
+        assert "MS Manners" in out
+        assert "shape check" in out
+
+    def test_groveler_vs_setup(self):
+        out = run_example("groveler_vs_setup.py", "--scale", "0.15")
+        assert "Groveler" in out
+
+    def test_calibration_demo(self):
+        out = run_example("calibration_demo.py", "--hours", "2")
+        assert "initial target duration" in out
+
+    def test_multi_metric_indexer(self):
+        out = run_example("multi_metric_indexer.py")
+        assert "rates inferred by ridge regression" in out
+
+    def test_benice_external(self):
+        out = run_example("benice_external.py")
+        assert "no application changes were required" in out
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py", timeout=60.0)
+        assert "worker items completed" in out
+
+    def test_duty_trace_demo(self):
+        out = run_example("duty_trace_demo.py", "--scale", "0.2")
+        assert "Figure 7" in out and "Figure 8" in out
+
+    def test_regulate_real_process(self):
+        out = run_example("regulate_real_process.py", timeout=90.0)
+        assert "worker resumed and untouched" in out

@@ -1,0 +1,152 @@
+"""PosixBeNice: regulating a real OS process with SIGSTOP/SIGCONT."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.config import MannersConfig
+from repro.realtime.posix_benice import JsonFileCounters, PosixBeNice
+
+#: A real child process that does "work" and publishes a cumulative counter
+#: to a JSON file.  It slows down 10x when the slowdown marker file exists,
+#: standing in for resource contention.
+_WORKER = r"""
+import json, os, sys, time
+counter_path, marker_path = sys.argv[1], sys.argv[2]
+done = 0
+while True:
+    time.sleep(0.05 if os.path.exists(marker_path) else 0.005)
+    done += 1
+    tmp = counter_path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump({"items": done}, f)
+    os.replace(tmp, counter_path)
+"""
+
+FAST_CONFIG = MannersConfig(
+    bootstrap_testpoints=8,
+    probation_period=0.0,
+    averaging_n=60,
+    min_testpoint_interval=0.01,
+    initial_suspension=0.2,
+    max_suspension=1.0,
+    hung_threshold=10.0,
+)
+
+
+@pytest.fixture
+def worker(tmp_path):
+    counter = tmp_path / "progress.json"
+    marker = tmp_path / "slow.marker"
+    process = subprocess.Popen(
+        [sys.executable, "-c", _WORKER, str(counter), str(marker)]
+    )
+    # Wait for the first counter write.
+    deadline = time.monotonic() + 10.0
+    while not counter.exists() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert counter.exists(), "worker never started producing"
+    yield process, counter, marker
+    process.kill()
+    process.wait()
+
+
+class TestJsonFileCounters:
+    def test_reads_values(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"a": 5, "b": 7}))
+        reader = JsonFileCounters(path, ["a", "b"])
+        assert reader() == (5.0, 7.0)
+
+    def test_missing_file_returns_zeros_then_last(self, tmp_path):
+        path = tmp_path / "c.json"
+        reader = JsonFileCounters(path, ["a"])
+        assert reader() == (0.0,)
+        path.write_text(json.dumps({"a": 3}))
+        assert reader() == (3.0,)
+        path.unlink()
+        assert reader() == (3.0,)  # last known values survive a bad read
+
+    def test_torn_regression_guarded(self, tmp_path):
+        path = tmp_path / "c.json"
+        reader = JsonFileCounters(path, ["a"])
+        path.write_text(json.dumps({"a": 10}))
+        assert reader() == (10.0,)
+        path.write_text(json.dumps({"a": 4}))  # torn write
+        assert reader() == (10.0,)
+
+    def test_requires_names(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonFileCounters(tmp_path / "c.json", [])
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_healthy_worker_not_suspended(self, worker):
+        process, counter, marker = worker
+        poller_config = FAST_CONFIG
+        benice = PosixBeNice(
+            process.pid,
+            JsonFileCounters(counter, ["items"]),
+            config=poller_config,
+        )
+        with benice:
+            time.sleep(3.0)
+        assert benice.stats.polls > 3
+        # An unimpeded worker accrues at most a rare false suspension.
+        assert benice.stats.total_suspension_time <= 0.6
+
+    def test_slowdown_triggers_sigstop_backoff(self, worker):
+        process, counter, marker = worker
+        benice = PosixBeNice(
+            process.pid,
+            JsonFileCounters(counter, ["items"]),
+            config=FAST_CONFIG,
+        )
+        with benice:
+            time.sleep(2.5)  # calibrate at full speed
+            before = benice.stats.suspensions
+            marker.write_text("contention")  # 10x slowdown begins
+            time.sleep(4.0)
+            during = benice.stats.suspensions
+            marker.unlink()  # contention ends
+            time.sleep(2.0)
+        assert during > before, "the slowdown must be recognized and punished"
+        assert benice.stats.total_suspension_time > 0.0
+        # The target must be left running.
+        assert process.poll() is None
+
+    def test_stop_always_resumes_target(self, worker):
+        process, counter, marker = worker
+        benice = PosixBeNice(
+            process.pid, JsonFileCounters(counter, ["items"]), config=FAST_CONFIG
+        )
+        benice.start()
+        time.sleep(1.0)
+        benice.stop()
+        # After stop, the worker keeps making progress.
+        v1 = json.loads(counter.read_text())["items"]
+        time.sleep(0.5)
+        v2 = json.loads(counter.read_text())["items"]
+        assert v2 > v1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PosixBeNice(0, lambda: (0.0,))
+
+    def test_double_start_rejected(self, worker):
+        process, counter, marker = worker
+        benice = PosixBeNice(
+            process.pid, JsonFileCounters(counter, ["items"]), config=FAST_CONFIG
+        )
+        benice.start()
+        try:
+            with pytest.raises(Exception):
+                benice.start()
+        finally:
+            benice.stop()

@@ -1,0 +1,135 @@
+"""Wall-clock adapter regulating real Python threads."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.config import MannersConfig
+from repro.core.errors import RegulationStateError
+from repro.core.persistence import TargetStore
+from repro.realtime.adapter import RealTimeRegulator
+
+FAST_RT = MannersConfig(
+    bootstrap_testpoints=5,
+    probation_period=0.0,
+    averaging_n=50,
+    min_testpoint_interval=0.005,
+    initial_suspension=0.05,
+    max_suspension=0.4,
+    hung_threshold=5.0,
+)
+
+
+class TestSingleThread:
+    def test_unimpeded_when_alone(self):
+        regulator = RealTimeRegulator(FAST_RT)
+        count = 0.0
+        start = time.monotonic()
+        for _ in range(60):
+            time.sleep(0.002)
+            count += 1.0
+            regulator.testpoint([count])
+        elapsed = time.monotonic() - start
+        # ~0.12 s of work; regulation overhead must stay small.
+        assert elapsed < 1.0
+        regulator.release()
+
+    def test_decision_returned(self):
+        regulator = RealTimeRegulator(FAST_RT)
+        decision = regulator.testpoint([0.0])
+        assert decision.processed
+
+    def test_closed_regulator_rejects(self):
+        regulator = RealTimeRegulator(FAST_RT)
+        regulator.testpoint([0.0])
+        regulator.close()
+        with pytest.raises(RegulationStateError):
+            regulator.testpoint([1.0])
+
+    def test_context_manager(self):
+        with RealTimeRegulator(FAST_RT) as regulator:
+            regulator.testpoint([0.0])
+
+
+class TestMultiThread:
+    def test_two_threads_share(self):
+        regulator = RealTimeRegulator(FAST_RT)
+        done = {"a": 0, "b": 0}
+        stop = time.monotonic() + 1.5
+
+        def worker(name):
+            count = 0.0
+            while time.monotonic() < stop:
+                time.sleep(0.002)
+                count += 1.0
+                regulator.testpoint([count])
+                done[name] += 1
+            regulator.release()
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert done["a"] > 20 and done["b"] > 20
+        ratio = done["a"] / max(done["b"], 1)
+        assert 0.4 <= ratio <= 2.5  # decay-usage sharing is roughly fair
+
+    def test_priority_registration(self):
+        regulator = RealTimeRegulator(FAST_RT)
+        regulator.register(priority=3)
+        tid = threading.get_ident()
+        assert tid in regulator.supervisor.thread_ids()
+        regulator.set_priority(5)
+        regulator.release()
+
+    def test_close_unblocks_waiters(self):
+        regulator = RealTimeRegulator(FAST_RT)
+        errors = []
+        started = threading.Event()
+
+        def worker():
+            count = 0.0
+            try:
+                for _ in range(10_000):
+                    count += 1.0
+                    regulator.testpoint([count])
+                    started.set()
+            except RegulationStateError:
+                pass  # expected once closed
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        started.wait(timeout=5.0)
+        regulator.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert errors == []
+
+
+class TestPersistence:
+    def test_targets_survive_restart(self, tmp_path):
+        store = TargetStore(tmp_path)
+        first = RealTimeRegulator(FAST_RT, app_id="rt-app", store=store)
+        count = 0.0
+        for _ in range(40):
+            time.sleep(0.001)
+            count += 1.0
+            first.testpoint([count])
+        first.close()
+        assert store.load("rt-app") is not None
+
+        second = RealTimeRegulator(FAST_RT, app_id="rt-app", store=store)
+        second.testpoint([0.0])
+        tid = threading.get_ident()
+        assert not second.supervisor.regulator(tid).in_bootstrap
+        second.close()
+
+    def test_app_id_requires_store(self):
+        with pytest.raises(ValueError):
+            RealTimeRegulator(FAST_RT, app_id="x")

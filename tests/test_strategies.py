@@ -1,0 +1,114 @@
+"""Section-2 baseline strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.base import RegulationMode
+from repro.experiments.related import STRATEGIES, related_strategy_trial
+from repro.simos.effects import Delay, UseCPU
+from repro.simos.kernel import Kernel
+from repro.simos.workload import Burst
+from repro.strategies.baselines import InputIdleGate, ProcessQueueGate, ScheduledWindows
+
+
+def spin_thread(kernel, log):
+    """A worker that records the times at which it makes progress."""
+    for _ in range(100_000):
+        yield UseCPU(0.01)
+        log.append(kernel.now)
+        yield Delay(0.09)
+
+
+class TestScheduledWindows:
+    def test_runs_only_inside_windows(self):
+        kernel = Kernel()
+        log: list[float] = []
+        worker = kernel.spawn("w", spin_thread(kernel, log), process="w")
+        ScheduledWindows(kernel, [worker], [Burst(10.0, 20.0)]).spawn()
+        kernel.run(until=30.0)
+        inside = [t for t in log if 10.0 <= t <= 21.5]
+        outside = [t for t in log if t < 10.0 or t > 22.0]
+        assert inside
+        assert len(outside) <= 2  # boundary polling slack
+
+    def test_multiple_windows(self):
+        kernel = Kernel()
+        log: list[float] = []
+        worker = kernel.spawn("w", spin_thread(kernel, log), process="w")
+        ScheduledWindows(
+            kernel, [worker], [Burst(5.0, 8.0), Burst(15.0, 18.0)]
+        ).spawn()
+        kernel.run(until=25.0)
+        assert any(5.0 <= t <= 9.5 for t in log)
+        assert any(15.0 <= t <= 19.5 for t in log)
+        assert not any(10.5 <= t <= 14.5 for t in log)
+
+
+class TestInputIdleGate:
+    def test_waits_for_idle_threshold(self):
+        kernel = Kernel()
+        log: list[float] = []
+        worker = kernel.spawn("w", spin_thread(kernel, log), process="w")
+        InputIdleGate(kernel, [worker], last_input=lambda: 0.0, idle_threshold=10.0).spawn()
+        kernel.run(until=20.0)
+        assert log
+        assert min(log) >= 10.0
+
+    def test_fresh_input_suspends(self):
+        kernel = Kernel()
+        log: list[float] = []
+        worker = kernel.spawn("w", spin_thread(kernel, log), process="w")
+        last = {"t": 0.0}
+        InputIdleGate(
+            kernel, [worker], last_input=lambda: last["t"], idle_threshold=5.0
+        ).spawn()
+        # Keyboard activity at t = 10 re-suspends the worker until 15+.
+        kernel.engine.call_at(10.0, lambda: last.__setitem__("t", 10.0))
+        kernel.run(until=20.0)
+        assert not any(11.5 <= t <= 14.0 for t in log)
+        assert any(t >= 15.0 for t in log)
+
+
+class TestProcessQueueGate:
+    def test_starves_while_hi_process_alive(self):
+        kernel = Kernel()
+        log: list[float] = []
+        worker = kernel.spawn("w", spin_thread(kernel, log), process="w")
+
+        def hi_body():
+            yield Delay(12.0)
+
+        hi = kernel.spawn("hi", hi_body(), process="hi")
+        ProcessQueueGate(kernel, [worker], hi_processes=lambda: (hi,)).spawn()
+        kernel.run(until=20.0)
+        assert not any(t < 12.0 for t in log)
+        assert any(t > 13.5 for t in log)
+
+
+class TestRelatedTrials:
+    SCALE = 0.3
+
+    def test_queue_scan_starves_defragmenter(self):
+        r = related_strategy_trial("queue-scan", seed=7, scale=self.SCALE)
+        assert not r.li_finished
+        assert r.hi_time < 1.3 * r.extras["hi2_time"]
+
+    def test_screensaver_fails_on_server(self):
+        saver = related_strategy_trial("screensaver", seed=7, scale=self.SCALE)
+        manners = related_strategy_trial("ms-manners", seed=7, scale=self.SCALE)
+        assert saver.hi_time > 1.4 * manners.hi_time
+
+    def test_scheduled_caught_by_unanticipated_load(self):
+        r = related_strategy_trial("scheduled", seed=7, scale=self.SCALE)
+        assert r.extras["hi2_time"] > 1.4 * r.hi_time
+
+    def test_manners_wins_overall(self):
+        manners = related_strategy_trial("ms-manners", seed=7, scale=self.SCALE)
+        unreg = related_strategy_trial("unregulated", seed=7, scale=self.SCALE)
+        assert manners.hi_time < 0.75 * unreg.hi_time
+        assert manners.li_finished
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            related_strategy_trial("voodoo", seed=1)
