@@ -19,17 +19,21 @@ overhead visible in the paper's Figure 5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Sequence
+from typing import TYPE_CHECKING, Generator, Sequence
 
 from repro.benice.polling import AdaptivePoller
 from repro.core.config import DEFAULT_CONFIG, MannersConfig
 from repro.core.controller import ThreadRegulator
 from repro.core.signtest import Judgment
+from repro.obs import events as obs_events
 from repro.simos.cpu import CpuPriority
 from repro.simos.effects import Delay, Effect, UseCPU
 from repro.simos.kernel import Kernel, SimThread
 from repro.simos.perfcounters import PerfCounterRegistry
 from repro.simos.trace import TestpointTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["BeNiceStats", "BeNice"]
 
@@ -63,6 +67,7 @@ class BeNice:
         target_threads: Sequence[SimThread],
         config: MannersConfig = DEFAULT_CONFIG,
         poller: AdaptivePoller | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         """Configure BeNice for one target.
 
@@ -88,7 +93,10 @@ class BeNice:
         self._poller = poller or AdaptivePoller(
             initial_interval=max(config.min_testpoint_interval, 0.3)
         )
-        self.regulator = ThreadRegulator(config)
+        self._telemetry = (
+            None if telemetry is None else telemetry.scoped(f"benice:{target_process}")
+        )
+        self.regulator = ThreadRegulator(config, telemetry=self._telemetry)
         self.stats = BeNiceStats()
         self.trace = TestpointTrace()
         self.thread: SimThread | None = None
@@ -124,6 +132,21 @@ class BeNice:
                 self.stats.polls_without_progress += 1
             self._poller.record_poll(changed)
             decision = self.regulator.on_testpoint(self._kernel.now, 0, values)
+            tel = self._telemetry
+            if tel is not None:
+                tel.metrics.inc("benice_polls")
+                if not changed:
+                    tel.metrics.inc("benice_idle_polls")
+                tel.metrics.gauge("benice_poll_interval").set(self._poller.interval)
+                tel.emit(
+                    obs_events.BeNicePoll(
+                        t=self._kernel.now,
+                        src=tel.label,
+                        interval=self._poller.interval,
+                        changed=changed,
+                        delay=decision.delay,
+                    )
+                )
             if decision.processed:
                 self.trace.record(
                     self._kernel.now,
@@ -137,6 +160,13 @@ class BeNice:
                 self.stats.suspensions += 1
                 self.stats.total_suspension_time += decision.delay
                 yield Delay(decision.delay)
+                if tel is not None:
+                    tel.tick(self._kernel.now)
+                    tel.emit(
+                        obs_events.SuspensionEnded(
+                            t=self._kernel.now, src=tel.label, slept=decision.delay
+                        )
+                    )
             for t in self._targets:
                 self._kernel.resume_thread(t)
         self.stats.final_interval = self._poller.interval

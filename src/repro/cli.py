@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands:
+Four commands:
 
 * ``info`` — version, default configuration, and the derived section-6
   quantities (minimum samples, reaction time, steady-state cost).
@@ -10,11 +10,18 @@ Three commands:
   BeNice (section 7.2).
 * ``figures`` — regenerate the trace figures' data (Figures 7, 8, 9, 10)
   as tab-separated files ready for any plotting tool.
+* ``obs`` — inspect regulation telemetry: ``obs summarize TRACE.jsonl``
+  prints the regulation timeline and aggregates of a JSONL event trace
+  (written via ``--trace-out`` on ``figures`` or ``benice``).
+
+All commands respect a global ``--quiet`` flag (suppresses progress
+output; errors still go to stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import signal
 import sys
 import time
@@ -24,21 +31,74 @@ from repro import __version__
 from repro.core.config import DEFAULT_CONFIG, MannersConfig
 from repro.core.queueing import reaction_time, suspended_fraction
 
-__all__ = ["main"]
+__all__ = ["Output", "main"]
 
 
-def _cmd_info(args: argparse.Namespace) -> int:
+class Output:
+    """Console output helper: progress to stdout, errors to stderr.
+
+    ``--quiet`` silences :meth:`say`; :meth:`error` and :meth:`result`
+    always print (results are the command's product, not progress chatter).
+    """
+
+    def __init__(self, quiet: bool = False) -> None:
+        self.quiet = quiet
+
+    def say(self, message: str = "") -> None:
+        """Progress/status line; suppressed under ``--quiet``."""
+        if not self.quiet:
+            print(message)
+
+    def result(self, message: str = "") -> None:
+        """Primary command output; always printed."""
+        print(message)
+
+    def error(self, message: str) -> None:
+        """Error line, to stderr; never suppressed."""
+        print(f"error: {message}", file=sys.stderr)
+
+
+def _make_telemetry(trace_out: str | None, metrics_out: str | None):
+    """Build a Telemetry handle for ``--trace-out``/``--metrics-out``.
+
+    Returns ``(telemetry, finish)`` where ``finish(out)`` flushes/closes
+    everything and reports what was written.  Both ``None`` when neither
+    flag was given — the regulation stack then runs with telemetry fully
+    disabled (the zero-overhead path).
+    """
+    if trace_out is None and metrics_out is None:
+        return None, lambda out: None
+
+    from repro.obs import JsonlSink, MetricsRegistry, Telemetry
+
+    sink = JsonlSink(trace_out) if trace_out is not None else None
+    telemetry = Telemetry(sink=sink, metrics=MetricsRegistry())
+
+    def finish(out: Output) -> None:
+        if metrics_out is not None:
+            with open(metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(telemetry.metrics.snapshot(), handle, indent=2)
+                handle.write("\n")
+            out.say(f"  metrics snapshot -> {metrics_out}")
+        telemetry.close()
+        if trace_out is not None:
+            out.say(f"  event trace -> {trace_out}")
+
+    return telemetry, finish
+
+
+def _cmd_info(args: argparse.Namespace, out: Output) -> int:
     config = DEFAULT_CONFIG
-    print(f"repro {__version__} — MS Manners (Douceur & Bolosky, SOSP'99)")
-    print()
-    print("default configuration (the paper's experimental values):")
+    out.result(f"repro {__version__} — MS Manners (Douceur & Bolosky, SOSP'99)")
+    out.result()
+    out.result("default configuration (the paper's experimental values):")
     for key, value in config.as_dict().items():
-        print(f"  {key:<24} {value}")
-    print()
-    print("derived (section 6.1):")
-    print(f"  min samples to condemn    {config.min_poor_samples}")
-    print(f"  reaction @ 300ms cadence  {reaction_time(config.alpha, 0.3):.1f} s")
-    print(
+        out.result(f"  {key:<24} {value}")
+    out.result()
+    out.result("derived (section 6.1):")
+    out.result(f"  min samples to condemn    {config.min_poor_samples}")
+    out.result(f"  reaction @ 300ms cadence  {reaction_time(config.alpha, 0.3):.1f} s")
+    out.result(
         f"  steady-state LI cost      "
         f"{suspended_fraction(config.alpha, config.beta):.1%}"
     )
@@ -60,18 +120,22 @@ def _config_from_args(args: argparse.Namespace) -> MannersConfig:
     return DEFAULT_CONFIG.with_overrides(**overrides) if overrides else DEFAULT_CONFIG
 
 
-def _cmd_benice(args: argparse.Namespace) -> int:
+def _cmd_benice(args: argparse.Namespace, out: Output) -> int:
     from repro.realtime.posix_benice import JsonFileCounters, PosixBeNice
 
     names = [n.strip() for n in args.names.split(",") if n.strip()]
     if not names:
-        print("error: --names must list at least one counter", file=sys.stderr)
+        out.error("--names must list at least one counter")
         return 2
     config = _config_from_args(args)
+    telemetry, finish_telemetry = _make_telemetry(args.trace_out, args.metrics_out)
     benice = PosixBeNice(
-        args.pid, JsonFileCounters(args.counters, names), config=config
+        args.pid,
+        JsonFileCounters(args.counters, names),
+        config=config,
+        telemetry=telemetry,
     )
-    print(
+    out.say(
         f"regulating pid {args.pid} on counters {names} from {args.counters} "
         f"(alpha={config.alpha}, beta={config.beta}); ctrl-C to stop"
     )
@@ -86,7 +150,7 @@ def _cmd_benice(args: argparse.Namespace) -> int:
     try:
         while not stop["flag"] and benice.target_alive:
             time.sleep(0.5)
-            if args.verbose:
+            if args.verbose and not out.quiet:
                 stats = benice.stats
                 print(
                     f"  polls={stats.polls} suspensions={stats.suspensions} "
@@ -99,14 +163,15 @@ def _cmd_benice(args: argparse.Namespace) -> int:
     finally:
         benice.stop()
     stats = benice.stats
-    print(
-        f"\ndone: {stats.polls} polls, {stats.suspensions} suspensions, "
+    out.result(
+        f"done: {stats.polls} polls, {stats.suspensions} suspensions, "
         f"{stats.total_suspension_time:.1f}s frozen"
     )
+    finish_telemetry(out)
     return 0
 
 
-def _cmd_figures(args: argparse.Namespace) -> int:
+def _cmd_figures(args: argparse.Namespace, out: Output) -> int:
     from repro.apps.base import RegulationMode
     from repro.experiments import (
         calibration_trial,
@@ -114,33 +179,39 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         thread_isolation_trial,
     )
 
-    out = Path(args.out)
-    out.mkdir(parents=True, exist_ok=True)
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
     scale = args.scale
+    telemetry, finish_telemetry = _make_telemetry(args.trace_out, args.metrics_out)
 
-    print(f"regenerating trace-figure data at scale {scale} into {out}/ ...")
+    out.say(f"regenerating trace-figure data at scale {scale} into {outdir}/ ...")
 
     # Figures 7 and 8 come from one traced MS Manners run.
     result = defrag_database_trial(
-        RegulationMode.MS_MANNERS, seed=4242, scale=scale, with_traces=True
+        RegulationMode.MS_MANNERS,
+        seed=4242,
+        scale=scale,
+        with_traces=True,
+        telemetry=telemetry,
     )
     duty = result.extras["duty"]
     thread = result.extras["defrag_thread"]
     trace = result.extras["testpoints"]
     end = result.li_time or 2000.0
-    with open(out / "fig7_duty.tsv", "w", encoding="utf-8") as handle:
+    with open(outdir / "fig7_duty.tsv", "w", encoding="utf-8") as handle:
         handle.write("time_s\tduty\n")
         for t, fraction in duty.binned(thread, 0.0, end, 10.0):
             handle.write(f"{t:.1f}\t{fraction:.4f}\n")
-    with open(out / "fig8_progress.tsv", "w", encoding="utf-8") as handle:
+    with open(outdir / "fig8_progress.tsv", "w", encoding="utf-8") as handle:
         handle.write("time_s\tnormalized_progress\n")
         for t, value in trace.normalized_progress(0.0, end, window=2.0):
             handle.write(f"{t:.1f}\t{value:.4f}\n")
-    print("  fig7_duty.tsv, fig8_progress.tsv")
+    out.say("  fig7_duty.tsv, fig8_progress.tsv")
+    finish_telemetry(out)
 
     # Figure 9: per-thread duty series.
     isolation = thread_isolation_trial(seed=11, duration=300.0)
-    with open(out / "fig9_isolation.tsv", "w", encoding="utf-8") as handle:
+    with open(outdir / "fig9_isolation.tsv", "w", encoding="utf-8") as handle:
         handle.write("time_s\tgrovelC\tgrovelD\n")
         c_series = isolation.duty.binned(
             isolation.threads["grovelC"], 0.0, isolation.duration, 5.0
@@ -150,26 +221,46 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         )
         for (t, c), (_, d) in zip(c_series, d_series):
             handle.write(f"{t:.1f}\t{c:.4f}\t{d:.4f}\n")
-    print("  fig9_isolation.tsv")
+    out.say("  fig9_isolation.tsv")
 
     # Figure 10: target trajectory + activity.
     calibration = calibration_trial(
         seed=13, hours=args.hours, probation_hours=args.hours / 4.0,
         diurnal_hours=args.hours / 2.0, scale=min(scale, 0.5),
     )
-    with open(out / "fig10_calibration.tsv", "w", encoding="utf-8") as handle:
+    with open(outdir / "fig10_calibration.tsv", "w", encoding="utf-8") as handle:
         handle.write("hour\ttarget_duration_s\tactivity\n")
         activity = dict(calibration.activity)
         for hour, target in calibration.target_trajectory:
             handle.write(f"{hour}\t{target:.4f}\t{activity.get(hour, 0.0):.4f}\n")
-    print("  fig10_calibration.tsv")
+    out.say("  fig10_calibration.tsv")
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace, out: Output) -> int:
+    from repro.core.errors import MannersError
+    from repro.obs.report import summarize_file
+
+    if args.obs_command == "summarize":
+        try:
+            out.result(summarize_file(args.trace, width=args.width))
+        except FileNotFoundError:
+            out.error(f"no such trace file: {args.trace}")
+            return 2
+        except MannersError as exc:
+            out.error(str(exc))
+            return 2
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="repro", description="MS Manners reproduction toolkit"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -194,20 +285,49 @@ def main(argv: list[str] | None = None) -> int:
     )
     benice.add_argument("--duration", type=float, default=0.0, help="stop after N s")
     benice.add_argument("--verbose", action="store_true")
+    benice.add_argument(
+        "--trace-out", dest="trace_out", default=None,
+        help="write the telemetry event trace to this JSONL file",
+    )
+    benice.add_argument(
+        "--metrics-out", dest="metrics_out", default=None,
+        help="write a final metrics snapshot to this JSON file",
+    )
 
     figures = sub.add_parser("figures", help="regenerate trace-figure data (TSV)")
     figures.add_argument("--out", default="figures", help="output directory")
     figures.add_argument("--scale", type=float, default=0.3)
     figures.add_argument("--hours", type=float, default=4.0)
+    figures.add_argument(
+        "--trace-out", dest="trace_out", default=None,
+        help="write the fig6/7/8 run's telemetry event trace to this JSONL file",
+    )
+    figures.add_argument(
+        "--metrics-out", dest="metrics_out", default=None,
+        help="write the fig6/7/8 run's metrics snapshot to this JSON file",
+    )
+
+    obs = sub.add_parser("obs", help="inspect regulation telemetry")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize", help="summarize a JSONL event trace"
+    )
+    summarize.add_argument("trace", help="path to a --trace-out JSONL file")
+    summarize.add_argument(
+        "--width", type=int, default=72, help="plot width in characters"
+    )
 
     args = parser.parse_args(argv)
+    out = Output(quiet=args.quiet)
     if args.command == "info":
-        return _cmd_info(args)
+        return _cmd_info(args, out)
     if args.command == "benice":
         args.duration_deadline = time.monotonic() + args.duration
-        return _cmd_benice(args)
+        return _cmd_benice(args, out)
     if args.command == "figures":
-        return _cmd_figures(args)
+        return _cmd_figures(args, out)
+    if args.command == "obs":
+        return _cmd_obs(args, out)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

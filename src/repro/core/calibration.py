@@ -25,12 +25,16 @@ whole regulated thread rather than to any single metric set.
 from __future__ import annotations
 
 import math
-from typing import Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 from repro.core.averaging import ExponentialAverager
 from repro.core.config import MannersConfig
 from repro.core.errors import MetricError
 from repro.core.regression import RidgeCalibrator
+from repro.obs import events as obs_events
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["Calibrator", "MedianScale", "SingleMetricCalibrator", "make_calibrator"]
 
@@ -149,11 +153,18 @@ class SingleMetricCalibrator:
     ``dp / target_rate``.
     """
 
-    __slots__ = ("_avg", "_median")
+    __slots__ = ("_avg", "_median", "_telemetry", "_set_index")
 
-    def __init__(self, window: int) -> None:
+    def __init__(
+        self,
+        window: int,
+        telemetry: "Telemetry | None" = None,
+        set_index: int = 0,
+    ) -> None:
         self._avg = ExponentialAverager(window)
         self._median = MedianScale()
+        self._telemetry = telemetry
+        self._set_index = set_index
 
     @property
     def arity(self) -> int:
@@ -180,6 +191,22 @@ class SingleMetricCalibrator:
             raise MetricError(f"progress delta must be finite and non-negative: {dp}")
         self._median.observe(duration, self._mean_duration(deltas))
         self._avg.update(dp / duration)
+        tel = self._telemetry
+        if tel is not None:
+            if tel.emitting:
+                tel.emit(
+                    obs_events.TargetUpdated(
+                        t=tel.now,
+                        src=tel.label,
+                        set_index=self._set_index,
+                        sample_count=self._avg.sample_count,
+                        target_rate=self._avg.value,
+                        scale=self._median.scale,
+                    )
+                )
+            if self._avg.value is not None:
+                tel.metrics.gauge("target_rate").set(self._avg.value)
+            tel.metrics.gauge("calibration_scale").set(self._median.scale)
 
     def _mean_duration(self, deltas: Sequence[float]) -> float:
         rate = self._avg.value
@@ -210,20 +237,30 @@ class SingleMetricCalibrator:
             self._median.import_state(state["median_scale"])
 
 
-def make_calibrator(arity: int, config: MannersConfig) -> Calibrator:
+def make_calibrator(
+    arity: int,
+    config: MannersConfig,
+    telemetry: "Telemetry | None" = None,
+    set_index: int = 0,
+) -> Calibrator:
     """Build the appropriate calibrator for a metric set of ``arity`` metrics.
 
     One metric: exponential averaging of the rate (section 6.2).  Several
     concurrent metrics: ridge regression over decayed sufficient statistics
-    (section 6.3).
+    (section 6.3).  With ``telemetry``, the calibrator emits a
+    ``target_updated`` event per absorbed sample, tagged ``set_index``.
     """
     if arity < 1:
         raise MetricError(f"metric set must have at least one metric, got {arity}")
     if arity == 1:
-        return SingleMetricCalibrator(config.averaging_n)
+        return SingleMetricCalibrator(
+            config.averaging_n, telemetry=telemetry, set_index=set_index
+        )
     return RidgeCalibrator(
         arity,
         theta=config.theta,
         nu=config.ridge_nu,
         min_rate=config.min_metric_rate,
+        telemetry=telemetry,
+        set_index=set_index,
     )

@@ -20,10 +20,14 @@ summed per-metric target durations for several.
 from __future__ import annotations
 
 import math
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.core.errors import MetricError
 from repro.core.signtest import Judgment, SignTest
+from repro.obs import events as obs_events
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["RateComparator", "StatisticalComparator", "DirectComparator"]
 
@@ -65,10 +69,17 @@ class StatisticalComparator:
     verdicts consume the sample window.
     """
 
-    __slots__ = ("_test",)
+    __slots__ = ("_test", "_telemetry")
 
-    def __init__(self, alpha: float = 0.05, beta: float = 0.2, max_samples: int = 4096) -> None:
+    def __init__(
+        self,
+        alpha: float = 0.05,
+        beta: float = 0.2,
+        max_samples: int = 4096,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
         self._test = SignTest(alpha=alpha, beta=beta, max_samples=max_samples)
+        self._telemetry = telemetry
 
     @property
     def sample_count(self) -> int:
@@ -82,7 +93,26 @@ class StatisticalComparator:
 
     def observe(self, measured_duration: float, target_duration: float) -> Judgment:
         """Fold in one comparison; return the sign test's current verdict."""
-        return self._test.add_sample(_is_below_target(measured_duration, target_duration))
+        below = _is_below_target(measured_duration, target_duration)
+        tel = self._telemetry
+        if tel is None:
+            return self._test.add_sample(below)
+        # The window resets on a definitive verdict; capture its size first.
+        samples = self._test.sample_count + 1
+        below_count = self._test.below_count + (1 if below else 0)
+        verdict = self._test.add_sample(below)
+        if verdict is not Judgment.INDETERMINATE:
+            tel.emit(
+                obs_events.JudgmentIssued(
+                    t=tel.now,
+                    src=tel.label,
+                    judgment=verdict.value,
+                    samples=samples,
+                    below=below_count,
+                )
+            )
+            tel.metrics.inc(f"signtest_{verdict.value}_windows")
+        return verdict
 
     def reset(self) -> None:
         """Discard the current sample window."""

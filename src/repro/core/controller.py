@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.calibration import Calibrator, make_calibrator
 from repro.core.comparator import RateComparator, StatisticalComparator
@@ -42,6 +42,10 @@ from repro.core.config import DEFAULT_CONFIG, MannersConfig
 from repro.core.errors import MetricError, RegulationStateError
 from repro.core.signtest import Judgment
 from repro.core.suspension import SuspensionTimer
+from repro.obs import events as obs_events
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["TestpointDecision", "RegulatorStats", "ThreadRegulator"]
 
@@ -139,14 +143,23 @@ class ThreadRegulator:
         config: MannersConfig = DEFAULT_CONFIG,
         comparator: RateComparator | None = None,
         start_time: float | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self._config = config
+        self._telemetry = telemetry
         self._comparator = comparator or StatisticalComparator(
-            alpha=config.alpha, beta=config.beta, max_samples=config.max_sign_samples
+            alpha=config.alpha,
+            beta=config.beta,
+            max_samples=config.max_sign_samples,
+            telemetry=telemetry,
         )
         self._suspension = SuspensionTimer(
-            initial=config.initial_suspension, maximum=config.max_suspension
+            initial=config.initial_suspension,
+            maximum=config.max_suspension,
+            telemetry=telemetry,
         )
+        #: Telemetry-only probation tracking (never affects decisions).
+        self._was_in_probation = False
         self._sets: dict[int, _MetricSetState] = {}
         #: Time the thread was last released (previous testpoint arrival plus
         #: its mandated delay); ``None`` until the priming testpoint.
@@ -245,6 +258,10 @@ class ThreadRegulator:
         self.stats.testpoints += 1
         if self._start_time is None:
             self._start_time = now
+        tel = self._telemetry
+        if tel is not None:
+            tel.tick(now)
+            tel.metrics.inc("testpoints")
 
         arity = len(counters)
         set_state = self._ensure_set(index, arity)
@@ -257,6 +274,15 @@ class ThreadRegulator:
             set_state.last_counters = values
             self._processed_testpoints += 1
             self.stats.processed += 1
+            if tel is not None:
+                tel.metrics.inc("testpoints_processed")
+                tel.emit(
+                    obs_events.PhaseTransition(
+                        t=now,
+                        src=tel.label,
+                        phase="bootstrap" if self.in_bootstrap else "regulating",
+                    )
+                )
             return TestpointDecision(processed=True, bootstrap=self.in_bootstrap)
 
         # Lightweight gate (section 7.1): absorb rapid successive calls.
@@ -268,7 +294,19 @@ class ThreadRegulator:
         gate = self._config.min_testpoint_interval
         if (0.0 <= since_release < gate) or (since_release < 0.0 and since_arrival < gate):
             self.stats.lightweight += 1
+            if tel is not None:
+                tel.metrics.inc("testpoints_lightweight")
             return TestpointDecision(processed=False)
+
+        if tel is not None:
+            in_probation_now = self.in_probation(now)
+            if self._was_in_probation and not in_probation_now:
+                tel.emit(
+                    obs_events.PhaseTransition(
+                        t=now, src=tel.label, phase="probation_ended"
+                    )
+                )
+            self._was_in_probation = in_probation_now
 
         off_protocol = now < self._resume_at - _OFF_PROTOCOL_SLACK
         if off_protocol:
@@ -282,20 +320,49 @@ class ThreadRegulator:
         if set_state.last_counters is None:
             # First report for a set introduced mid-run: baseline only.
             set_state.last_counters = values
+            was_bootstrap = self.in_bootstrap
             self._processed_testpoints += 1
             self.stats.processed += 1
+            if tel is not None:
+                tel.metrics.inc("testpoints_processed")
+                self._note_bootstrap_exit(tel, was_bootstrap, now)
             self._finish(now, delay=0.0)
             return TestpointDecision(processed=True, bootstrap=self.in_bootstrap)
 
         deltas = tuple(new - old for new, old in zip(values, set_state.last_counters))
         set_state.last_counters = values
+        was_bootstrap = self.in_bootstrap
         self._processed_testpoints += 1
         self.stats.processed += 1
+        if tel is not None:
+            tel.metrics.inc("testpoints_processed")
+            self._note_bootstrap_exit(tel, was_bootstrap, now)
+            if off_protocol:
+                tel.metrics.inc("off_protocol_samples")
 
         # Hung-thread discard (section 7.1): an interval spanning a large
         # external delay carries no usable rate information.
         if duration > self._config.hung_threshold:
             self.stats.hung_discards += 1
+            if tel is not None:
+                tel.metrics.inc("discards_hung")
+                tel.emit(
+                    obs_events.SampleDiscarded(
+                        t=now, src=tel.label, reason="hung", duration=duration
+                    )
+                )
+                tel.emit(
+                    obs_events.TestpointProcessed(
+                        t=now,
+                        src=tel.label,
+                        set_index=index,
+                        duration=duration,
+                        deltas=deltas,
+                        bootstrap=self.in_bootstrap,
+                        off_protocol=off_protocol,
+                        discarded_hung=True,
+                    )
+                )
             self._finish(now, delay=0.0)
             return TestpointDecision(
                 processed=True,
@@ -311,9 +378,28 @@ class ThreadRegulator:
         # away because they would not have executed under strict regulation.
         calibrated = False
         if not off_protocol and duration > 0.0:
+            if tel is not None:
+                if tel.emitting:
+                    tel.emit(
+                        obs_events.CalibrationSample(
+                            t=now,
+                            src=tel.label,
+                            set_index=index,
+                            duration=duration,
+                            deltas=deltas,
+                        )
+                    )
+                tel.metrics.inc("calibration_samples")
             set_state.calibrator.update(duration, deltas)
             self.stats.calibration_samples += 1
             calibrated = True
+        elif tel is not None and off_protocol:
+            tel.metrics.inc("discards_subsample")
+            tel.emit(
+                obs_events.SampleDiscarded(
+                    t=now, src=tel.label, reason="subsample", duration=duration
+                )
+            )
 
         bootstrap = self.in_bootstrap
         warming = set_state.calibrator.sample_count < _SET_WARMUP_SAMPLES
@@ -326,12 +412,28 @@ class ThreadRegulator:
             judgment = self._comparator.observe(duration, target_duration)
             if judgment is Judgment.POOR:
                 self.stats.poor_judgments += 1
+                # Backoff level of the suspension being imposed now (the
+                # on_poor call below increments consecutive_poor).
+                level = self._suspension.consecutive_poor
                 delay = self._suspension.on_poor()
+                if tel is not None:
+                    tel.metrics.inc("judgments_poor")
+                    tel.metrics.inc("suspensions")
+                    tel.metrics.histogram("suspension_delay").observe(delay)
+                    tel.emit(
+                        obs_events.SuspensionStarted(
+                            t=now, src=tel.label, delay=delay, level=level
+                        )
+                    )
             elif judgment is Judgment.GOOD:
                 self.stats.good_judgments += 1
                 self._suspension.on_good()
+                if tel is not None:
+                    tel.metrics.inc("judgments_good")
             else:
                 self.stats.indeterminate += 1
+                if tel is not None:
+                    tel.metrics.inc("judgments_indeterminate")
 
         # Probationary duty-cycle cap (section 4.3): until the probation
         # period expires, the thread may execute at most ``probation_duty``
@@ -346,6 +448,32 @@ class ThreadRegulator:
             self.stats.probation_suspension += probation_delay
 
         self.stats.total_suspension += delay
+        if tel is not None:
+            tel.metrics.counter("execution_seconds").inc(duration)
+            tel.metrics.counter("suspension_seconds").inc(delay)
+            tel.metrics.histogram("testpoint_duration").observe(duration)
+            tel.metrics.gauge("backoff_level").set(
+                float(self._suspension.consecutive_poor)
+            )
+            if target_duration is not None:
+                tel.metrics.gauge("target_duration").set(target_duration)
+            if tel.emitting:
+                tel.emit(
+                    obs_events.TestpointProcessed(
+                        t=now,
+                        src=tel.label,
+                        set_index=index,
+                        duration=duration,
+                        target_duration=target_duration,
+                        deltas=deltas,
+                        delay=delay,
+                        judgment=None if judgment is None else judgment.value,
+                        calibrated=calibrated,
+                        bootstrap=bootstrap,
+                        probation_delay=probation_delay,
+                        off_protocol=off_protocol,
+                    )
+                )
         self._finish(now, delay)
         return TestpointDecision(
             processed=True,
@@ -376,6 +504,14 @@ class ThreadRegulator:
         self._interval_start = now + delay
         self._resume_at = now + delay
 
+    def _note_bootstrap_exit(
+        self, tel: "Telemetry", was_bootstrap: bool, now: float
+    ) -> None:
+        if was_bootstrap and not self.in_bootstrap:
+            tel.emit(
+                obs_events.PhaseTransition(t=now, src=tel.label, phase="regulating")
+            )
+
     def _ensure_set(self, index: int, arity: int) -> _MetricSetState:
         state = self._sets.get(index)
         if state is None:
@@ -383,7 +519,12 @@ class ThreadRegulator:
                 raise MetricError(
                     f"metric set {index} must have at least one metric"
                 )
-            state = _MetricSetState(arity, make_calibrator(arity, self._config))
+            state = _MetricSetState(
+                arity,
+                make_calibrator(
+                    arity, self._config, telemetry=self._telemetry, set_index=index
+                ),
+            )
             self._sets[index] = state
         return state
 

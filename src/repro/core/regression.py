@@ -57,6 +57,8 @@ class RidgeCalibrator:
         "_sum_d",
         "_count",
         "_median",
+        "_telemetry",
+        "_set_index",
     )
 
     def __init__(
@@ -65,6 +67,8 @@ class RidgeCalibrator:
         theta: float,
         nu: float = 0.1,
         min_rate: float = 1e-9,
+        telemetry=None,
+        set_index: int = 0,
     ) -> None:
         if arity < 1:
             raise MetricError(f"metric set must have at least one metric, got {arity}")
@@ -97,6 +101,8 @@ class RidgeCalibrator:
         from repro.core.calibration import MedianScale
 
         self._median = MedianScale()
+        self._telemetry = telemetry
+        self._set_index = set_index
 
     # -- state -------------------------------------------------------------------
     @property
@@ -169,6 +175,22 @@ class RidgeCalibrator:
         self._sum_dp += dp
         self._sum_d = self._theta * self._sum_d + duration
         self._count += 1
+        tel = self._telemetry
+        if tel is not None:
+            if tel.emitting:
+                from repro.obs import events as obs_events
+
+                tel.emit(
+                    obs_events.TargetUpdated(
+                        t=tel.now,
+                        src=tel.label,
+                        set_index=self._set_index,
+                        sample_count=self._count,
+                        target_rate=None,
+                        scale=self._median.scale,
+                    )
+                )
+            tel.metrics.gauge("calibration_scale").set(self._median.scale)
 
     def coefficients(self) -> np.ndarray:
         """Solve the ridge-regularized normal equations for ``c_k = 1/r_k``.

@@ -23,9 +23,14 @@ genuinely separate OS processes.
 from __future__ import annotations
 
 import math
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.core.scheduling import MultiplexArbiter
+from repro.obs import events as obs_events
+from repro.obs.telemetry import scope_label
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["Superintendent"]
 
@@ -33,8 +38,11 @@ __all__ = ["Superintendent"]
 class Superintendent:
     """Shares the machine-wide execution token among regulated processes."""
 
-    def __init__(self, usage_decay: float = 0.9) -> None:
+    def __init__(
+        self, usage_decay: float = 0.9, telemetry: "Telemetry | None" = None
+    ) -> None:
         self._arbiter = MultiplexArbiter(usage_decay=usage_decay)
+        self._telemetry = telemetry
 
     # -- membership --------------------------------------------------------------
     def register_process(self, pid: Hashable, priority: int = 0) -> None:
@@ -61,7 +69,19 @@ class Superintendent:
         across repeated contention comes from decay usage.
         """
         self._arbiter.set_eligible_at(pid, min(self._arbiter.eligible_at(pid), now))
-        return self._arbiter.acquire(now) == pid
+        before = self._arbiter.owner
+        holds = self._arbiter.acquire(now) == pid
+        tel = self._telemetry
+        if tel is not None and holds and before != pid:
+            tel.tick(now)
+            tel.metrics.inc("token_handoffs")
+            if tel.emitting:
+                tel.emit(
+                    obs_events.TokenHandoff(
+                        t=now, src=tel.label, process=scope_label(pid), action="acquired"
+                    )
+                )
+        return holds
 
     def release(self, pid: Hashable, now: float, until: float | None = None) -> None:
         """Give up the token, optionally declaring when ``pid`` next wants it.
@@ -73,8 +93,18 @@ class Superintendent:
         :meth:`acquire` — a released process must never win a token it is
         not asking for.
         """
+        was_holder = self._arbiter.owner == pid
         self._arbiter.set_eligible_at(pid, until if until is not None else math.inf)
         self._arbiter.release(pid)
+        tel = self._telemetry
+        if tel is not None and was_holder:
+            tel.tick(now)
+            if tel.emitting:
+                tel.emit(
+                    obs_events.TokenHandoff(
+                        t=now, src=tel.label, process=scope_label(pid), action="released"
+                    )
+                )
 
     def charge(self, pid: Hashable, amount: float) -> None:
         """Accrue execution usage against a process (decay-usage sharing)."""

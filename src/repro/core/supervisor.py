@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import TYPE_CHECKING, Hashable, Sequence
 
 from repro.core.comparator import RateComparator
 from repro.core.config import DEFAULT_CONFIG, MannersConfig
@@ -41,6 +41,11 @@ from repro.core.controller import TestpointDecision, ThreadRegulator
 from repro.core.errors import RegulationStateError
 from repro.core.scheduling import MultiplexArbiter
 from repro.core.superintendent import Superintendent
+from repro.obs import events as obs_events
+from repro.obs.telemetry import scope_label
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["Supervisor", "ThreadRecord"]
 
@@ -67,12 +72,14 @@ class Supervisor:
         superintendent: Superintendent | None = None,
         process_id: Hashable = "process",
         process_priority: int = 0,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self._config = config
         self._arbiter = MultiplexArbiter(usage_decay=config.usage_decay)
         self._threads: dict[Hashable, ThreadRecord] = {}
         self._superintendent = superintendent
         self._pid = process_id
+        self._telemetry = telemetry
         if superintendent is not None and process_id not in superintendent:
             superintendent.register_process(process_id, priority=process_priority)
 
@@ -101,7 +108,12 @@ class Supervisor:
         """
         if tid in self._threads:
             raise RegulationStateError(f"thread {tid!r} already registered")
-        regulator = ThreadRegulator(config or self._config, comparator=comparator)
+        tel = self._telemetry
+        regulator = ThreadRegulator(
+            config or self._config,
+            comparator=comparator,
+            telemetry=None if tel is None else tel.scoped(scope_label(tid)),
+        )
         self._threads[tid] = ThreadRecord(regulator=regulator)
         self._arbiter.add(tid, priority=priority)
         return regulator
@@ -183,6 +195,19 @@ class Supervisor:
         owner = self._arbiter.acquire(now)
         if owner is not None:
             self._record(owner).released_at = now
+            tel = self._telemetry
+            if tel is not None:
+                tel.tick(now)
+                tel.metrics.inc("slot_grants")
+                if tel.emitting:
+                    tel.emit(
+                        obs_events.SlotGranted(
+                            t=now,
+                            src=tel.label,
+                            process=scope_label(self._pid),
+                            thread=scope_label(owner),
+                        )
+                    )
         return owner
 
     @property
@@ -229,6 +254,19 @@ class Supervisor:
         if now - started <= self._config.hung_threshold:
             return None
         record.hung = True
+        tel = self._telemetry
+        if tel is not None:
+            tel.tick(now)
+            tel.metrics.inc("slot_evictions")
+            tel.emit(
+                obs_events.SlotEvicted(
+                    t=now,
+                    src=tel.label,
+                    process=scope_label(self._pid),
+                    thread=scope_label(owner),
+                    idle_for=now - started,
+                )
+            )
         if record.released_at is not None:
             used = max(now - record.released_at, 0.0)
             self._arbiter.charge(owner, used)

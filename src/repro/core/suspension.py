@@ -16,7 +16,13 @@ execution probes.  The cap bounds the worst-case resumption latency
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.errors import ConfigError
+from repro.obs import events as obs_events
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["SuspensionTimer"]
 
@@ -31,9 +37,14 @@ class SuspensionTimer:
     ``min(initial * 2**k, maximum)`` for ``k = 0, 1, 2, ...``.
     """
 
-    __slots__ = ("initial", "maximum", "_current", "_consecutive_poor")
+    __slots__ = ("initial", "maximum", "_current", "_consecutive_poor", "_telemetry")
 
-    def __init__(self, initial: float = 1.0, maximum: float = 256.0) -> None:
+    def __init__(
+        self,
+        initial: float = 1.0,
+        maximum: float = 256.0,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
         if initial <= 0:
             raise ConfigError(f"initial suspension must be positive, got {initial}")
         if maximum < initial:
@@ -44,6 +55,7 @@ class SuspensionTimer:
         self.maximum = float(maximum)
         self._current = self.initial
         self._consecutive_poor = 0
+        self._telemetry = telemetry
 
     # -- state -----------------------------------------------------------------
     @property
@@ -78,6 +90,14 @@ class SuspensionTimer:
 
     def on_good(self) -> None:
         """Record a GOOD judgment; restore the initial suspension time."""
+        tel = self._telemetry
+        if tel is not None and self._consecutive_poor > 0:
+            tel.emit(
+                obs_events.BackoffReset(
+                    t=tel.now, src=tel.label, from_level=self._consecutive_poor
+                )
+            )
+            tel.metrics.inc("backoff_resets")
         self._current = self.initial
         self._consecutive_poor = 0
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.apps.base import RegulationMode
 from repro.apps.database import DatabaseServer, LoadWorkload
 from repro.apps.defragmenter import Defragmenter
 from repro.core.config import MannersConfig

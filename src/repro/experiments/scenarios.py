@@ -21,11 +21,10 @@ Experimental protocol, following section 9.1-9.2:
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.analysis.stats import box_stats
 from repro.apps.base import RegulationMode
 from repro.apps.database import DatabaseServer, LoadWorkload
 from repro.apps.defragmenter import Defragmenter
@@ -35,13 +34,16 @@ from repro.apps.installer import Installer, InstallWorkload
 from repro.benice.benice import BeNice
 from repro.core.config import MannersConfig
 from repro.simos.cpu import CpuPriority
-from repro.simos.disk import CDROM_PARAMS, DiskParams
+from repro.simos.disk import CDROM_PARAMS
 from repro.simos.filesystem import Volume, populate_volume
 from repro.simos.kernel import Kernel
 from repro.simos.perfcounters import PerfCounterRegistry
 from repro.simos.sim_manners import SimManners
 from repro.simos.trace import DutyTrace
 from repro.simos.workload import Burst, bursty_schedule, busy_fraction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import Telemetry
 
 __all__ = [
     "EXPERIMENT_CONFIG",
@@ -138,13 +140,16 @@ def defrag_database_trial(
     with_traces: bool = False,
     run_database: bool = True,
     config: MannersConfig = EXPERIMENT_CONFIG,
+    telemetry: "Telemetry | None" = None,
 ) -> TrialResult:
     """One trial of the defragmenter / SQL-Server experiment.
 
     The defragmenter starts at t = 0 on the shared disk; the database bulk
     load is applied at t = 30 (``run_database=False`` gives the
     idle-system runs of Figure 5).  Returns the database load time
-    (``hi_time``) and the defragmenter pass time (``li_time``).
+    (``hi_time``) and the defragmenter pass time (``li_time``).  With
+    ``telemetry``, the regulation stack (MS Manners or BeNice) emits its
+    structured event trace through it.
     """
     kernel = _build_kernel(seed)
     registry = PerfCounterRegistry()
@@ -167,7 +172,7 @@ def defrag_database_trial(
             CpuPriority.LOW if mode is RegulationMode.CPU_PRIORITY else CpuPriority.NORMAL
         )
         if mode is RegulationMode.MS_MANNERS:
-            manners = SimManners(kernel, config)
+            manners = SimManners(kernel, config, telemetry=telemetry)
         defrag = Defragmenter(
             kernel,
             [volume],
@@ -184,6 +189,7 @@ def defrag_database_trial(
                 counter_names=("C.blocks_moved", "C.move_ops"),
                 target_threads=threads,
                 config=config,
+                telemetry=telemetry,
             )
             benice.spawn()
 

@@ -1,0 +1,82 @@
+"""Regulation telemetry: structured events, metrics, sinks, and reports.
+
+The paper's whole mechanism is an *inference* — contention is deduced from
+progress-rate dynamics — so observing those dynamics is the only way to
+debug a misbehaving regulator or compare runs.  This package provides:
+
+* :mod:`repro.obs.events` — typed, versioned event records for every
+  regulation-relevant moment (testpoints, judgments, suspensions,
+  calibration, slot/token arbitration, BeNice polls);
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry with
+  point-in-time snapshots;
+* :mod:`repro.obs.sinks` — null (default), in-memory, and JSONL sinks;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` handle threaded
+  through the decision engines and substrates;
+* :mod:`repro.obs.report` — JSONL trace → regulation timeline + aggregate
+  report (the ``repro obs summarize`` CLI).
+
+Overhead contract: every instrumented component accepts
+``telemetry: Telemetry | None = None``; with ``None`` (the default) the
+added cost is a single pointer comparison per call site — no clock reads,
+no allocation — so determinism and the tier-1 suite are unaffected.  See
+``docs/observability.md``.
+"""
+
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EVENT_TYPES,
+    BackoffReset,
+    BeNicePoll,
+    CalibrationSample,
+    Event,
+    JudgmentIssued,
+    PhaseTransition,
+    SampleDiscarded,
+    SlotEvicted,
+    SlotGranted,
+    SuspensionEnded,
+    SuspensionStarted,
+    TargetUpdated,
+    TestpointProcessed,
+    TokenHandoff,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import read_events, summarize, summarize_file
+from repro.obs.sinks import EventSink, JsonlSink, MemorySink, NullSink
+from repro.obs.telemetry import Telemetry, scope_label
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "BackoffReset",
+    "BeNicePoll",
+    "CalibrationSample",
+    "Counter",
+    "Event",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "JudgmentIssued",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "PhaseTransition",
+    "SampleDiscarded",
+    "SlotEvicted",
+    "SlotGranted",
+    "SuspensionEnded",
+    "SuspensionStarted",
+    "TargetUpdated",
+    "Telemetry",
+    "TestpointProcessed",
+    "TokenHandoff",
+    "event_from_dict",
+    "event_to_dict",
+    "read_events",
+    "scope_label",
+    "summarize",
+    "summarize_file",
+]

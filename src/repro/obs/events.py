@@ -1,0 +1,292 @@
+"""Typed, versioned telemetry event records.
+
+Every regulation-relevant moment in the system is described by one of the
+frozen dataclasses below.  Events are *data*: they carry a substrate
+timestamp ``t`` (simulated or wall-clock seconds — whatever clock the
+embedding substrate feeds the regulator), a ``src`` label identifying the
+emitting scope (usually a thread or process name), and kind-specific
+fields.  They never hold live object references, so a JSONL trace written
+on one machine replays losslessly on another.
+
+Serialization: :func:`event_to_dict` produces a flat JSON-safe dict with
+two envelope keys — ``k`` (the event kind) and ``v`` (the schema version)
+— and :func:`event_from_dict` reverses it.  Bump
+:data:`EVENT_SCHEMA_VERSION` whenever a field is added, removed, or
+changes meaning; :func:`event_from_dict` refuses versions it does not
+understand rather than silently misreading them.
+
+Enum-valued quantities (judgments) are carried as their string values so
+that a trace is self-describing without importing this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Mapping
+
+from repro.core.errors import MannersError
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "Event",
+    "TestpointProcessed",
+    "JudgmentIssued",
+    "SuspensionStarted",
+    "SuspensionEnded",
+    "BackoffReset",
+    "CalibrationSample",
+    "TargetUpdated",
+    "PhaseTransition",
+    "SampleDiscarded",
+    "SlotGranted",
+    "SlotEvicted",
+    "TokenHandoff",
+    "BeNicePoll",
+    "event_to_dict",
+    "event_from_dict",
+]
+
+#: Version stamped into every serialized event (the ``v`` envelope key).
+EVENT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Common envelope of all telemetry events."""
+
+    #: Discriminator used in the serialized form's ``k`` key.
+    kind: ClassVar[str] = "event"
+
+    #: Substrate timestamp, in seconds (simulated or wall clock).
+    t: float
+    #: Emitting scope — typically a thread or process label.
+    src: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class TestpointProcessed(Event):
+    """One processed (non-lightweight) testpoint and its full decision."""
+
+    kind: ClassVar[str] = "testpoint"
+
+    set_index: int = 0
+    duration: float = 0.0
+    target_duration: float | None = None
+    deltas: tuple[float, ...] = ()
+    delay: float = 0.0
+    judgment: str | None = None
+    calibrated: bool = False
+    bootstrap: bool = False
+    probation_delay: float = 0.0
+    off_protocol: bool = False
+    discarded_hung: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class JudgmentIssued(Event):
+    """The statistical comparator closed a sign-test window."""
+
+    kind: ClassVar[str] = "judgment"
+
+    judgment: str = ""
+    #: Samples in the window that produced the verdict.
+    samples: int = 0
+    #: Below-target samples among them.
+    below: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SuspensionStarted(Event):
+    """A POOR judgment (or probation cap) imposed a suspension."""
+
+    kind: ClassVar[str] = "suspension_started"
+
+    delay: float = 0.0
+    #: Consecutive-poor backoff level after this judgment (1 = first poor).
+    level: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SuspensionEnded(Event):
+    """The substrate released a thread after serving its suspension."""
+
+    kind: ClassVar[str] = "suspension_ended"
+
+    #: Seconds the thread actually spent suspended/parked.
+    slept: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class BackoffReset(Event):
+    """A GOOD judgment reset the exponential backoff to its initial value."""
+
+    kind: ClassVar[str] = "backoff_reset"
+
+    #: Consecutive-poor level the timer was at before the reset.
+    from_level: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationSample(Event):
+    """One on-protocol sample was folded into a metric set's calibrator."""
+
+    kind: ClassVar[str] = "calibration_sample"
+
+    set_index: int = 0
+    duration: float = 0.0
+    deltas: tuple[float, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class TargetUpdated(Event):
+    """A calibrator's target changed after absorbing a sample."""
+
+    kind: ClassVar[str] = "target_updated"
+
+    set_index: int = 0
+    sample_count: int = 0
+    #: Calibrated rate for single-metric sets; ``None`` for regression sets.
+    target_rate: float | None = None
+    #: Median-correction factor, when the calibrator tracks one.
+    scale: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseTransition(Event):
+    """A regulator crossed a lifecycle boundary.
+
+    ``phase`` values: ``"bootstrap"`` (priming testpoint seen),
+    ``"regulating"`` (bootstrap testpoints exhausted), and
+    ``"probation_ended"`` (the probationary duty-cycle cap expired).
+    """
+
+    kind: ClassVar[str] = "phase"
+
+    phase: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class SampleDiscarded(Event):
+    """A measured interval contributed no calibration/rate information.
+
+    ``reason`` is ``"hung"`` (interval exceeded the hung threshold —
+    presumed external delay) or ``"subsample"`` (off-protocol testpoint
+    excluded from calibration, section 4.3).
+    """
+
+    kind: ClassVar[str] = "discard"
+
+    reason: str = ""
+    duration: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class SlotGranted(Event):
+    """A supervisor seated a thread in its process's execution slot."""
+
+    kind: ClassVar[str] = "slot_granted"
+
+    process: str = ""
+    thread: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class SlotEvicted(Event):
+    """A supervisor evicted the slot owner as hung."""
+
+    kind: ClassVar[str] = "slot_evicted"
+
+    process: str = ""
+    thread: str = ""
+    #: Seconds since the evicted thread last testpointed or was released.
+    idle_for: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class TokenHandoff(Event):
+    """The machine-wide execution token changed hands.
+
+    ``action`` is ``"acquired"`` or ``"released"``.
+    """
+
+    kind: ClassVar[str] = "token"
+
+    process: str = ""
+    action: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class BeNicePoll(Event):
+    """One BeNice suspend-poll-resume cycle and its outcome."""
+
+    kind: ClassVar[str] = "benice_poll"
+
+    interval: float = 0.0
+    changed: bool = False
+    delay: float = 0.0
+
+
+#: Registry of concrete event classes by serialized kind.
+EVENT_TYPES: dict[str, type[Event]] = {
+    cls.kind: cls
+    for cls in (
+        TestpointProcessed,
+        JudgmentIssued,
+        SuspensionStarted,
+        SuspensionEnded,
+        BackoffReset,
+        CalibrationSample,
+        TargetUpdated,
+        PhaseTransition,
+        SampleDiscarded,
+        SlotGranted,
+        SlotEvicted,
+        TokenHandoff,
+        BeNicePoll,
+    )
+}
+
+_FIELDS_CACHE: dict[type, tuple[str, ...]] = {}
+
+
+def _field_names(cls: type) -> tuple[str, ...]:
+    names = _FIELDS_CACHE.get(cls)
+    if names is None:
+        names = tuple(f.name for f in fields(cls))
+        _FIELDS_CACHE[cls] = names
+    return names
+
+
+def event_to_dict(event: Event) -> dict[str, Any]:
+    """Serialize an event to a flat JSON-safe dict (with ``k``/``v`` keys)."""
+    out: dict[str, Any] = {"k": event.kind, "v": EVENT_SCHEMA_VERSION}
+    for name in _field_names(type(event)):
+        value = getattr(event, name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[name] = value
+    return out
+
+
+def event_from_dict(data: Mapping[str, Any]) -> Event:
+    """Reconstruct an event serialized by :func:`event_to_dict`."""
+    version = data.get("v")
+    if version != EVENT_SCHEMA_VERSION:
+        raise MannersError(
+            f"unsupported telemetry event schema version {version!r} "
+            f"(this build reads version {EVENT_SCHEMA_VERSION})"
+        )
+    kind = data.get("k")
+    cls = EVENT_TYPES.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise MannersError(f"unknown telemetry event kind {kind!r}")
+    kwargs: dict[str, Any] = {}
+    for name in _field_names(cls):
+        if name not in data:
+            continue
+        value = data[name]
+        if name == "deltas" and value is not None:
+            value = tuple(float(v) for v in value)
+        kwargs[name] = value
+    return cls(**kwargs)

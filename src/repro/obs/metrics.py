@@ -1,0 +1,193 @@
+"""In-process metrics registry: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments with
+point-in-time snapshots.  It is deliberately minimal — no labels, no
+exposition formats, no background threads — because its job is to make a
+regulation run *inspectable* (testpoints/sec, duty cycle, suspension-time
+distribution, sign-test verdict counts, calibration drift) at near-zero
+cost on the enabled path and literally-one-branch cost when telemetry is
+absent (the instrumented components then never touch the registry at all).
+
+All instruments are get-or-create by name, so independent components can
+contribute to the same counter without coordination.  Snapshots are plain
+dicts ready for ``json.dumps``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default histogram bucket upper bounds (seconds): geometric, spanning the
+#: regulator's dynamic range from the lightweight gate to the suspension cap.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0,
+    16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+)
+
+
+class Counter:
+    """Monotone accumulator (accepts float increments, e.g. seconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} increment must be >= 0")
+        self.value += amount
+
+
+class Gauge:
+    """Last-value-wins instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max and quantile estimates."""
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.name = name
+        self.bounds = bounds
+        #: counts[i] observes values <= bounds[i]; the last slot is +inf.
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the histogram."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float | None:
+        """Mean observation, or ``None`` when empty."""
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> float | None:
+        """Bucket-resolution quantile estimate (upper bound of the bucket).
+
+        Returns ``None`` when empty; the overflow bucket reports the true
+        maximum observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank and n:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max
+        return self.max
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary of the histogram's state."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": [
+                [bound, n] for bound, n in zip(self.bounds, self.counts)
+            ]
+            + [["+inf", self.counts[-1]]],
+        }
+
+
+class MetricsRegistry:
+    """Flat get-or-create namespace of counters, gauges, and histograms."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first use."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The histogram named ``name``, created on first use."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Shorthand: increment the counter named ``name``."""
+        self.counter(name).inc(amount)
+
+    def snapshot(self) -> dict:
+        """Point-in-time JSON-safe view of every instrument.
+
+        Includes a ``derived`` section with the duty cycle (execution time
+        over execution-plus-suspension time) when the standard counters are
+        present.
+        """
+        out: dict = {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(self._histograms.items())
+            },
+            "derived": {},
+        }
+        executed = self._counters.get("execution_seconds")
+        suspended = self._counters.get("suspension_seconds")
+        if executed is not None and suspended is not None:
+            denominator = executed.value + suspended.value
+            if denominator > 0:
+                out["derived"]["duty_cycle"] = executed.value / denominator
+        return out

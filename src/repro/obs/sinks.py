@@ -1,0 +1,116 @@
+"""Event sinks: where emitted telemetry events go.
+
+Three implementations of the one-method ``emit(event)`` protocol:
+
+* :class:`NullSink` — swallows events; the default inside a
+  :class:`~repro.obs.telemetry.Telemetry` handle so that attaching a
+  registry without a trace file costs only the event construction.
+* :class:`MemorySink` — appends events to a list; for tests and for the
+  in-process trace recorders.
+* :class:`JsonlSink` — serializes each event as one JSON line to a file,
+  durable across runs and readable by ``repro obs summarize``.
+
+Sinks never raise out of ``emit`` paths into the regulator; a sink that
+fails would otherwise convert an observability problem into a regulation
+outage.  :class:`JsonlSink` therefore records write errors in
+``write_errors`` and drops the event instead of propagating.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Protocol, runtime_checkable
+
+from repro.obs.events import Event, event_to_dict
+
+__all__ = ["EventSink", "NullSink", "MemorySink", "JsonlSink"]
+
+
+@runtime_checkable
+class EventSink(Protocol):
+    """Destination for telemetry events."""
+
+    def emit(self, event: Event) -> None:
+        """Accept one event (must not raise into the caller)."""
+        ...  # pragma: no cover - protocol stub
+
+    def close(self) -> None:
+        """Flush and release any underlying resources."""
+        ...  # pragma: no cover - protocol stub
+
+
+class NullSink:
+    """Discards every event."""
+
+    __slots__ = ()
+
+    def emit(self, event: Event) -> None:
+        """Discard the event."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class MemorySink:
+    """Keeps every event in order, for tests and in-process analysis."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(self, event: Event) -> None:
+        """Append the event."""
+        self.events.append(event)
+
+    def close(self) -> None:
+        """Nothing to release (events remain available)."""
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """The recorded events of one kind, oldest first."""
+        return [e for e in self.events if e.kind == kind]
+
+    def kinds(self) -> list[str]:
+        """Event kinds in emission order (with repeats)."""
+        return [e.kind for e in self.events]
+
+
+class JsonlSink:
+    """Writes one JSON object per event to a file.
+
+    The file handle is opened eagerly (so misconfiguration fails at setup,
+    not mid-run) and buffered by the underlying stream; call :meth:`close`
+    (or use the sink as a context manager) to flush.
+    """
+
+    __slots__ = ("path", "write_errors", "_handle")
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = os.fspath(path)
+        self.write_errors = 0
+        self._handle: IO[str] | None = open(self.path, "w", encoding="utf-8")
+
+    def emit(self, event: Event) -> None:
+        """Serialize and write the event; failures are counted, not raised."""
+        if self._handle is None:
+            self.write_errors += 1
+            return
+        try:
+            self._handle.write(json.dumps(event_to_dict(event)) + "\n")
+        except (OSError, ValueError, TypeError):
+            self.write_errors += 1
+
+    def close(self) -> None:
+        """Flush and close the trace file (idempotent)."""
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

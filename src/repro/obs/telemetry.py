@@ -1,0 +1,92 @@
+"""The ``Telemetry`` handle threaded through instrumented components.
+
+One handle bundles an event sink, a metrics registry, and the current
+substrate time.  Components accept ``telemetry: Telemetry | None = None``
+and guard every emission with ``if telemetry is not None`` — when absent,
+the instrumented path costs exactly one branch: no clock reads, no event
+allocation, no dictionary lookups.  This keeps :mod:`repro.core` pure and
+deterministic with telemetry off (the tier-1 guarantee).
+
+Time: the core components are time-fed — they receive ``now`` from their
+substrate and never read a clock.  The handle follows the same discipline:
+the outermost instrumented call site (the regulator's testpoint, the
+supervisor's poll, the BeNice loop) calls :meth:`Telemetry.tick` with the
+substrate's ``now``, and deeper components (comparator, calibrator,
+suspension timer) stamp their events with :attr:`Telemetry.now`.
+
+Scoping: :meth:`Telemetry.scoped` derives a child handle that shares the
+sink, registry, and clock but carries its own ``label`` (stamped into each
+event's ``src`` field), so per-thread regulators emit attributable events
+without the event sites knowing about threads.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.events import Event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import EventSink, NullSink
+
+__all__ = ["Telemetry", "scope_label"]
+
+
+def scope_label(entity: Any) -> str:
+    """A human-readable label for a thread/process identity.
+
+    Simulated threads expose ``.name``; realtime thread ids and process
+    keys fall back to ``str``.
+    """
+    name = getattr(entity, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    return str(entity)
+
+
+class Telemetry:
+    """Sink + metrics + substrate clock, shared by one regulation stack."""
+
+    __slots__ = ("sink", "metrics", "label", "emitting", "_root", "_now")
+
+    def __init__(
+        self,
+        sink: EventSink | None = None,
+        metrics: MetricsRegistry | None = None,
+        label: str = "",
+    ) -> None:
+        self.sink: EventSink = sink if sink is not None else NullSink()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.label = label
+        #: False when the sink is a ``NullSink``: per-testpoint emit sites
+        #: may then skip event *construction* entirely (metrics still run).
+        self.emitting = not isinstance(self.sink, NullSink)
+        self._root = self
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """The most recently ticked substrate time (shared across scopes)."""
+        return self._root._now
+
+    def tick(self, now: float) -> None:
+        """Feed the substrate's current time (shared across scopes)."""
+        self._root._now = now
+
+    def scoped(self, label: str) -> "Telemetry":
+        """A child handle with its own ``src`` label, sharing everything else."""
+        child = object.__new__(Telemetry)
+        child.sink = self.sink
+        child.metrics = self.metrics
+        child.label = label
+        child.emitting = self.emitting
+        child._root = self._root
+        child._now = 0.0  # unused; ``now`` delegates to the root
+        return child
+
+    def emit(self, event: Event) -> None:
+        """Hand one event to the sink."""
+        self.sink.emit(event)
+
+    def close(self) -> None:
+        """Close the sink (flushes file-backed sinks)."""
+        self.sink.close()

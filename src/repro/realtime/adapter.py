@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.config import DEFAULT_CONFIG, MannersConfig
 from repro.core.controller import TestpointDecision
@@ -38,6 +38,10 @@ from repro.core.errors import RegulationStateError
 from repro.core.persistence import TargetStore
 from repro.core.superintendent import Superintendent
 from repro.core.supervisor import Supervisor
+from repro.obs import events as obs_events
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["RealTimeRegulator"]
 
@@ -55,14 +59,17 @@ class RealTimeRegulator:
         store: TargetStore | None = None,
         superintendent: Superintendent | None = None,
         process_id: object = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if (app_id is None) != (store is None):
             raise ValueError("app_id and store must be provided together")
         self._config = config
+        self._telemetry = telemetry
         self._supervisor = Supervisor(
             config,
             superintendent=superintendent,
             process_id=process_id if process_id is not None else "realtime",
+            telemetry=telemetry,
         )
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -130,7 +137,16 @@ class RealTimeRegulator:
                 self._cond.wait(timeout=timeout if timeout > 0 else 0.01)
             self._cond.notify_all()
             self._maybe_save_locked()
-        self._supervisor.regulator(tid).mark_resumed(time.monotonic())
+        resumed = time.monotonic()
+        self._supervisor.regulator(tid).mark_resumed(resumed)
+        tel = self._telemetry
+        if tel is not None and decision.delay > 0.0:
+            tel.tick(resumed)
+            tel.emit(
+                obs_events.SuspensionEnded(
+                    t=resumed, src=str(tid), slept=resumed - now
+                )
+            )
         return decision
 
     def release(self) -> None:

@@ -37,12 +37,16 @@ import signal
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.benice.polling import AdaptivePoller
 from repro.core.config import DEFAULT_CONFIG, MannersConfig
 from repro.core.controller import ThreadRegulator
 from repro.core.errors import RegulationStateError
+from repro.obs import events as obs_events
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["JsonFileCounters", "PosixBeNiceStats", "PosixBeNice"]
 
@@ -103,6 +107,7 @@ class PosixBeNice:
         read_counters: Callable[[], Sequence[float]],
         config: MannersConfig = DEFAULT_CONFIG,
         poller: AdaptivePoller | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if pid <= 0:
             raise ValueError(f"pid must be positive, got {pid}")
@@ -112,7 +117,10 @@ class PosixBeNice:
         self._poller = poller or AdaptivePoller(
             initial_interval=max(config.min_testpoint_interval, 0.3)
         )
-        self.regulator = ThreadRegulator(config)
+        self._telemetry = (
+            None if telemetry is None else telemetry.scoped(f"benice:{pid}")
+        )
+        self.regulator = ThreadRegulator(config, telemetry=self._telemetry)
         self.stats = PosixBeNiceStats()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
@@ -163,13 +171,37 @@ class PosixBeNice:
             self.stats.polls += 1
             self._poller.record_poll(changed)
             decision = self.regulator.on_testpoint(time.monotonic(), 0, values)
+            tel = self._telemetry
+            if tel is not None:
+                tel.metrics.inc("benice_polls")
+                if not changed:
+                    tel.metrics.inc("benice_idle_polls")
+                tel.metrics.gauge("benice_poll_interval").set(self._poller.interval)
+                tel.emit(
+                    obs_events.BeNicePoll(
+                        t=tel.now,
+                        src=tel.label,
+                        interval=self._poller.interval,
+                        changed=changed,
+                        delay=decision.delay,
+                    )
+                )
             if decision.delay > 0:
                 self.stats.suspensions += 1
                 self.stats.total_suspension_time += decision.delay
                 self._freeze()
+                frozen_at = time.monotonic()
                 interrupted = self._stop.wait(timeout=decision.delay)
                 self._resume()
-                self.regulator.mark_resumed(time.monotonic())
+                resumed = time.monotonic()
+                self.regulator.mark_resumed(resumed)
+                if tel is not None:
+                    tel.tick(resumed)
+                    tel.emit(
+                        obs_events.SuspensionEnded(
+                            t=resumed, src=tel.label, slept=resumed - frozen_at
+                        )
+                    )
                 if interrupted:
                     break
 

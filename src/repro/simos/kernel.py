@@ -171,6 +171,13 @@ class Kernel:
         """Subscribe to thread lifecycle events ``(kind, thread, now)``."""
         self._listeners.append(listener)
 
+    def remove_listener(self, listener: Listener) -> None:
+        """Unsubscribe a listener; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     # -- thread lifecycle ------------------------------------------------------------
     def spawn(
         self,

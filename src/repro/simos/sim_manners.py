@@ -22,7 +22,7 @@ thread for the dynamic-behaviour figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.core.config import DEFAULT_CONFIG, MannersConfig
 from repro.core.controller import TestpointDecision, ThreadRegulator
@@ -30,10 +30,15 @@ from repro.core.errors import RegulationStateError
 from repro.core.persistence import TargetStore
 from repro.core.superintendent import Superintendent
 from repro.core.supervisor import Supervisor
+from repro.obs import events as obs_events
+from repro.obs.telemetry import scope_label
 from repro.simos.effects import Effect
 from repro.simos.engine import EventHandle
 from repro.simos.kernel import Kernel, SimThread
 from repro.simos.trace import TestpointTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["MannersTestpoint", "SetThreadPriority", "SimManners"]
 
@@ -69,6 +74,7 @@ class SimManners:
         kernel: Kernel,
         config: MannersConfig = DEFAULT_CONFIG,
         machine_wide: bool = True,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         """``machine_wide=False`` gives every process its *own*
         superintendent, disabling cross-process time-multiplex isolation —
@@ -76,12 +82,18 @@ class SimManners:
         self._kernel = kernel
         self._config = config
         self._machine_wide = machine_wide
-        self._superintendent = Superintendent(usage_decay=config.usage_decay)
+        self._telemetry = telemetry
+        self._superintendent = Superintendent(
+            usage_decay=config.usage_decay, telemetry=telemetry
+        )
         self._supervisors: dict[Hashable, Supervisor] = {}
         #: SimThread -> (supervisor, waiting decision delivery pending?)
         self._registration: dict[SimThread, Supervisor] = {}
         #: Threads parked in a testpoint, with the decision to deliver.
         self._waiting: dict[SimThread, TestpointDecision] = {}
+        #: Telemetry-only: park time of each suspended thread, for
+        #: suspension_ended events.
+        self._parked_at: dict[SimThread, float] = {}
         self.traces: dict[SimThread, TestpointTrace] = {}
         self._timer: EventHandle | None = None
         kernel.register_handler(MannersTestpoint, self._on_testpoint_effect)
@@ -107,6 +119,11 @@ class SimManners:
                 self._config,
                 superintendent=boss,
                 process_id=process,
+                telemetry=(
+                    None
+                    if self._telemetry is None
+                    else self._telemetry.scoped(scope_label(process))
+                ),
             )
             self._supervisors[process] = sup
         return sup
@@ -178,6 +195,8 @@ class SimManners:
         # selects it.
         thread.blocked_on = "manners"
         self._waiting[thread] = decision
+        if self._telemetry is not None and decision.delay > 0.0:
+            self._parked_at[thread] = now
         self._pump()
 
     def _on_set_priority(self, thread: SimThread, effect: Effect) -> None:
@@ -197,6 +216,7 @@ class SimManners:
         if sup is None:
             return
         self._waiting.pop(thread, None)
+        self._parked_at.pop(thread, None)
         sup.unregister_thread(thread)
         self._pump()
 
@@ -217,6 +237,18 @@ class SimManners:
                 owner = sup.poll(now)
                 if owner is not None and owner in self._waiting:
                     decision = self._waiting.pop(owner)
+                    tel = self._telemetry
+                    if tel is not None:
+                        parked = self._parked_at.pop(owner, None)
+                        if parked is not None:
+                            tel.tick(now)
+                            tel.emit(
+                                obs_events.SuspensionEnded(
+                                    t=now,
+                                    src=scope_label(owner),
+                                    slept=now - parked,
+                                )
+                            )
                     owner.blocked_on = "manners-released"
                     self._kernel.engine.call_after(
                         0.0, self._kernel.deliver, owner, decision

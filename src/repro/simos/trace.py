@@ -20,21 +20,41 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.signtest import Judgment
+from repro.obs import events as obs_events
 from repro.simos.kernel import Kernel, SimThread
 
 __all__ = ["DutyTrace", "TestpointRecord", "TestpointTrace"]
 
 
 class DutyTrace:
-    """Binary executing/blocked timeline per traced thread."""
+    """Binary executing/blocked timeline per traced thread.
+
+    Subscribes to the kernel's thread-event bus on construction; call
+    :meth:`close` (or use the instance as a context manager) to detach when
+    tracing is done, so discarded traces stop costing a callback per event.
+    """
 
     def __init__(self, kernel: Kernel, blocked_labels: tuple[str, ...] = ("manners",)) -> None:
         self._kernel = kernel
         self._blocked_labels = blocked_labels
         self._traced: dict[SimThread, list[tuple[float, int]]] = {}
+        self._closed = False
         kernel.add_listener(self._on_event)
+
+    def close(self) -> None:
+        """Detach from the kernel event bus (idempotent); data stays readable."""
+        if not self._closed:
+            self._kernel.remove_listener(self._on_event)
+            self._closed = True
+
+    def __enter__(self) -> "DutyTrace":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def watch(self, thread: SimThread) -> None:
         """Start tracing a thread (records its current state immediately)."""
@@ -131,6 +151,29 @@ class TestpointTrace:
         self._records.append(
             TestpointRecord(when, duration, target_duration, judgment, delay)
         )
+
+    def record_event(self, event: "obs_events.TestpointProcessed") -> None:
+        """Append one telemetry ``testpoint`` event (the event-bus form)."""
+        self.record(
+            event.t,
+            event.duration,
+            event.target_duration,
+            None if event.judgment is None else Judgment(event.judgment),
+            event.delay,
+        )
+
+    @classmethod
+    def from_events(cls, events: "Iterable[obs_events.Event]") -> "TestpointTrace":
+        """Build a trace from a telemetry event stream (e.g. a JSONL replay).
+
+        Only ``testpoint`` events contribute; everything else is ignored, so
+        a full mixed trace can be passed as-is.
+        """
+        trace = cls()
+        for event in events:
+            if isinstance(event, obs_events.TestpointProcessed):
+                trace.record_event(event)
+        return trace
 
     @property
     def records(self) -> list[TestpointRecord]:

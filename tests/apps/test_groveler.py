@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.apps.groveler import Groveler
 from repro.core.config import MannersConfig
 from repro.simos.filesystem import Volume, populate_volume

@@ -11,7 +11,6 @@ from hypothesis import strategies as st
 from repro.core.clock import ManualClock
 from repro.core.config import MannersConfig
 from repro.core.controller import ThreadRegulator
-from repro.core.signtest import Judgment
 
 
 @st.composite

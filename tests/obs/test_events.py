@@ -1,0 +1,98 @@
+"""Event records: serialization round-trips and schema guards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MannersError
+from repro.obs import events as obs_events
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EVENT_TYPES,
+    event_from_dict,
+    event_to_dict,
+)
+
+#: One representative instance of every event type, with non-default fields.
+SAMPLE_EVENTS = [
+    obs_events.TestpointProcessed(
+        t=1.5,
+        src="defrag:C",
+        set_index=2,
+        duration=0.4,
+        target_duration=0.3,
+        deltas=(10.0, 2.0),
+        delay=1.0,
+        judgment="poor",
+        calibrated=True,
+        bootstrap=False,
+        probation_delay=0.25,
+        off_protocol=False,
+        discarded_hung=False,
+    ),
+    obs_events.JudgmentIssued(t=2.0, src="a", judgment="good", samples=8, below=2),
+    obs_events.SuspensionStarted(t=3.0, src="a", delay=2.0, level=1),
+    obs_events.SuspensionEnded(t=5.0, src="a", slept=2.0),
+    obs_events.BackoffReset(t=6.0, src="a", from_level=3),
+    obs_events.CalibrationSample(t=7.0, src="a", set_index=1, duration=0.5, deltas=(3.0,)),
+    obs_events.TargetUpdated(
+        t=8.0, src="a", set_index=1, sample_count=12, target_rate=9.5, scale=1.1
+    ),
+    obs_events.PhaseTransition(t=9.0, src="a", phase="regulating"),
+    obs_events.SampleDiscarded(t=10.0, src="a", reason="hung", duration=40.0),
+    obs_events.SlotGranted(t=11.0, src="p", process="p", thread="t1"),
+    obs_events.SlotEvicted(t=12.0, src="p", process="p", thread="t1", idle_for=31.0),
+    obs_events.TokenHandoff(t=13.0, src="", process="p", action="acquired"),
+    obs_events.BeNicePoll(t=14.0, src="benice:x", interval=0.3, changed=True, delay=0.0),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("event", SAMPLE_EVENTS, ids=lambda e: e.kind)
+    def test_to_dict_from_dict_round_trips(self, event):
+        data = event_to_dict(event)
+        assert data["k"] == event.kind
+        assert data["v"] == EVENT_SCHEMA_VERSION
+        assert event_from_dict(data) == event
+
+    def test_every_registered_type_is_covered(self):
+        assert {type(e) for e in SAMPLE_EVENTS} == set(EVENT_TYPES.values())
+
+    def test_deltas_serialize_as_list(self):
+        data = event_to_dict(SAMPLE_EVENTS[0])
+        assert data["deltas"] == [10.0, 2.0]
+        assert isinstance(event_from_dict(data).deltas, tuple)
+
+    def test_kinds_are_unique(self):
+        assert len(EVENT_TYPES) == len(SAMPLE_EVENTS)
+
+
+class TestSchemaGuards:
+    def test_unknown_version_rejected(self):
+        data = event_to_dict(SAMPLE_EVENTS[1])
+        data["v"] = EVENT_SCHEMA_VERSION + 1
+        with pytest.raises(MannersError, match="schema version"):
+            event_from_dict(data)
+
+    def test_missing_version_rejected(self):
+        data = event_to_dict(SAMPLE_EVENTS[1])
+        del data["v"]
+        with pytest.raises(MannersError, match="schema version"):
+            event_from_dict(data)
+
+    def test_unknown_kind_rejected(self):
+        data = event_to_dict(SAMPLE_EVENTS[1])
+        data["k"] = "no-such-event"
+        with pytest.raises(MannersError, match="unknown telemetry event kind"):
+            event_from_dict(data)
+
+    def test_missing_optional_field_defaults(self):
+        data = event_to_dict(obs_events.SuspensionStarted(t=1.0, delay=2.0, level=1))
+        del data["level"]
+        event = event_from_dict(data)
+        assert event.delay == 2.0
+        assert event.level == 0
+
+    def test_events_are_immutable(self):
+        with pytest.raises(AttributeError):
+            SAMPLE_EVENTS[2].delay = 99.0

@@ -1,0 +1,68 @@
+"""Event sinks: memory recording, JSONL round-trips, and failure isolation."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import events as obs_events
+from repro.obs.report import read_events
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink
+
+from .test_events import SAMPLE_EVENTS
+
+
+class TestNullSink:
+    def test_swallows_and_closes(self):
+        sink = NullSink()
+        sink.emit(obs_events.PhaseTransition(t=0.0, phase="bootstrap"))
+        sink.close()
+
+
+class TestMemorySink:
+    def test_records_in_order(self):
+        sink = MemorySink()
+        for event in SAMPLE_EVENTS:
+            sink.emit(event)
+        assert sink.events == SAMPLE_EVENTS
+        assert sink.kinds() == [e.kind for e in SAMPLE_EVENTS]
+
+    def test_of_kind_filters(self):
+        sink = MemorySink()
+        for event in SAMPLE_EVENTS:
+            sink.emit(event)
+        judgments = sink.of_kind("judgment")
+        assert len(judgments) == 1
+        assert judgments[0].judgment == "good"
+
+
+class TestJsonlSink:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            for event in SAMPLE_EVENTS:
+                sink.emit(event)
+        assert read_events(path) == SAMPLE_EVENTS
+
+    def test_lines_are_self_describing_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(SAMPLE_EVENTS[0])
+        (line,) = path.read_text().splitlines()
+        data = json.loads(line)
+        assert data["k"] == "testpoint"
+        assert data["v"] == 1
+
+    def test_emit_after_close_counts_errors_not_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        sink.emit(SAMPLE_EVENTS[0])
+        assert sink.write_errors == 1
+
+    def test_unserializable_event_counted_not_raised(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        # A judgment carrying a non-JSON value must not take down the run.
+        bad = obs_events.JudgmentIssued(t=0.0, judgment=object())  # type: ignore[arg-type]
+        sink.emit(bad)
+        sink.close()
+        assert sink.write_errors == 1

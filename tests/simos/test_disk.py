@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.simos.bus import Bus
-from repro.simos.disk import CDROM_PARAMS, Disk, DiskParams
+from repro.simos.disk import CDROM_PARAMS, Disk
 from repro.simos.engine import Engine, SimulationError
 
 

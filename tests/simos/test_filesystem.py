@@ -9,7 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.simos.engine import SimulationError
-from repro.simos.filesystem import Extent, Volume, populate_volume
+from repro.simos.filesystem import Volume, populate_volume
 
 
 def make_volume(blocks=10_000) -> Volume:

@@ -7,7 +7,7 @@ import pytest
 from repro.core.config import MannersConfig
 from repro.core.errors import RegulationStateError
 from repro.core.signtest import Judgment
-from repro.simos.effects import Delay, DiskRead, UseCPU
+from repro.simos.effects import Delay, DiskRead
 from repro.simos.kernel import Kernel
 from repro.simos.sim_manners import MannersTestpoint, SetThreadPriority, SimManners
 

@@ -54,6 +54,80 @@ class TestFigures:
             assert "\t" in lines[0]
 
 
+class TestObsSummarize:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        from repro.obs import JsonlSink, MetricsRegistry, Telemetry
+
+        from .obs.test_telemetry_regulator import run_episode
+
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            run_episode(Telemetry(sink=sink, metrics=MetricsRegistry()))
+        return path
+
+    def test_summarize_prints_regulation_timeline(self, trace_path, capsys):
+        assert main(["obs", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "regulation timeline:" in out
+        assert "SUSPEND" in out
+        assert "RESET backoff" in out
+
+    def test_missing_trace_is_an_error(self, tmp_path, capsys):
+        assert main(["obs", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "error: no such trace file" in captured.err
+
+    def test_corrupt_trace_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["obs", "summarize", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuiet:
+    def test_quiet_suppresses_progress_not_results(self, tmp_path, capsys):
+        code = main(
+            [
+                "--quiet", "figures",
+                "--out", str(tmp_path),
+                "--scale", "0.15",
+                "--hours", "2",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""  # all figures output is progress
+        assert (tmp_path / "fig7_duty.tsv").exists()
+
+    def test_quiet_keeps_info_results(self, capsys):
+        assert main(["--quiet", "info"]) == 0
+        assert "alpha" in capsys.readouterr().out
+
+
+class TestTraceOut:
+    def test_figures_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "figures",
+                "--out", str(tmp_path),
+                "--scale", "0.15",
+                "--hours", "2",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        assert trace.exists() and trace.stat().st_size > 0
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["testpoints"] > 0
+        out = capsys.readouterr().out
+        assert "event trace ->" in out
+        assert "metrics snapshot ->" in out
+
+
 @pytest.mark.slow
 class TestBeNiceCommand:
     def test_regulates_real_process(self, tmp_path):

@@ -4,8 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.apps.base import RegulationMode
-from repro.experiments.related import STRATEGIES, related_strategy_trial
+from repro.experiments.related import related_strategy_trial
 from repro.simos.effects import Delay, UseCPU
 from repro.simos.kernel import Kernel
 from repro.simos.workload import Burst
