@@ -13,6 +13,10 @@ Four commands:
 * ``obs`` — inspect regulation telemetry: ``obs summarize TRACE.jsonl``
   prints the regulation timeline and aggregates of a JSONL event trace
   (written via ``--trace-out`` on ``figures`` or ``benice``).
+* ``faults`` — the chaos harness: ``faults run --scenario NAME --seed N``
+  executes one named fault-injection scenario against the simulator and
+  reports whether the resilience layer absorbed it (exit 0) or not
+  (exit 1); ``faults list`` names the scenarios.
 
 All commands respect a global ``--quiet`` flag (suppresses progress
 output; errors still go to stderr).
@@ -237,6 +241,50 @@ def _cmd_figures(args: argparse.Namespace, out: Output) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace, out: Output) -> int:
+    from repro.core.errors import FaultError
+    from repro.faults import SCENARIOS, run_scenario
+
+    if args.faults_command == "list":
+        for name, fn in sorted(SCENARIOS.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            out.result(f"  {name:<22} {summary}")
+        return 0
+    if args.faults_command == "run":
+        extra_sink = None
+        if args.trace_out is not None:
+            from repro.obs import JsonlSink
+
+            extra_sink = JsonlSink(args.trace_out)
+        try:
+            report = run_scenario(args.scenario, seed=args.seed, extra_sink=extra_sink)
+        except FaultError as exc:
+            out.error(str(exc))
+            return 2
+        finally:
+            if extra_sink is not None:
+                extra_sink.close()
+        if args.json:
+            out.result(json.dumps(report.as_dict(), indent=2))
+        else:
+            verdict = "ok" if report.ok else "FAILED"
+            out.result(
+                f"{report.name} seed={report.seed}: {verdict} "
+                f"(sim_time={report.sim_time:.1f}s testpoints={report.testpoints} "
+                f"suspensions={report.suspensions} fingerprint={report.fingerprint})"
+            )
+            out.say(f"  injected:   {', '.join(report.injected) or '-'}")
+            out.say(f"  anomalies:  {', '.join(sorted(set(report.anomalies))) or '-'}")
+            out.say(f"  recoveries: {', '.join(sorted(set(report.recoveries))) or '-'}")
+            for check, passed in report.checks:
+                out.say(f"  [{'pass' if passed else 'FAIL'}] {check}")
+        if args.trace_out is not None:
+            out.say(f"  event trace -> {args.trace_out}")
+        return 0 if report.ok else 1
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def _cmd_obs(args: argparse.Namespace, out: Output) -> int:
     from repro.core.errors import MannersError
     from repro.obs.report import summarize_file
@@ -307,6 +355,26 @@ def main(argv: list[str] | None = None) -> int:
         help="write the fig6/7/8 run's metrics snapshot to this JSON file",
     )
 
+    faults = sub.add_parser("faults", help="run fault-injection chaos scenarios")
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    faults_run = faults_sub.add_parser(
+        "run", help="execute one named chaos scenario"
+    )
+    faults_run.add_argument(
+        "--scenario", required=True, help="scenario name (see 'faults list')"
+    )
+    faults_run.add_argument(
+        "--seed", type=int, default=1, help="simulation seed (default 1)"
+    )
+    faults_run.add_argument(
+        "--trace-out", dest="trace_out", default=None,
+        help="also write the scenario's event trace to this JSONL file",
+    )
+    faults_run.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    faults_sub.add_parser("list", help="list the available scenarios")
+
     obs = sub.add_parser("obs", help="inspect regulation telemetry")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     summarize = obs_sub.add_parser(
@@ -326,6 +394,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_benice(args, out)
     if args.command == "figures":
         return _cmd_figures(args, out)
+    if args.command == "faults":
+        return _cmd_faults(args, out)
     if args.command == "obs":
         return _cmd_obs(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -100,6 +100,18 @@ class MannersConfig:
     #: eligible regulated threads.
     usage_decay: float = 0.9
 
+    # --- resilience guards (section 4.1 sanity checks; section 7.1) ----------
+    #: A measured progress rate more than this many times above the
+    #: calibrated target rate is treated as a measurement anomaly (clock
+    #: glitch, counter burst from a torn read) and discarded without
+    #: touching calibration or the sign test.
+    rate_spike_factor: float = 1000.0
+    #: Supervisor watchdog: a slot-owning thread that has not testpointed
+    #: within this multiple of its typical testpoint spacing is presumed
+    #: stalled and evicted so sibling threads keep running.  0 disables the
+    #: watchdog (the coarse ``hung_threshold`` still applies).
+    watchdog_multiplier: float = 0.0
+
     def __post_init__(self) -> None:
         self.validate()
 
@@ -119,8 +131,9 @@ class MannersConfig:
             f"initial_suspension must be positive, got {self.initial_suspension}",
         )
         _require(
-            self.max_suspension >= self.initial_suspension,
-            "max_suspension must be >= initial_suspension",
+            math.isfinite(self.max_suspension)
+            and self.max_suspension >= self.initial_suspension,
+            "max_suspension must be finite and >= initial_suspension",
         )
         _require(
             self.min_testpoint_interval >= 0,
@@ -140,6 +153,15 @@ class MannersConfig:
         _require(self.ridge_nu >= 0, "ridge_nu must be non-negative")
         _require(self.min_metric_rate > 0, "min_metric_rate must be positive")
         _require(0.0 < self.usage_decay < 1.0, "usage_decay must be in (0, 1)")
+        _require(
+            math.isfinite(self.rate_spike_factor) and self.rate_spike_factor > 1.0,
+            f"rate_spike_factor must be finite and > 1, got {self.rate_spike_factor}",
+        )
+        _require(
+            math.isfinite(self.watchdog_multiplier) and self.watchdog_multiplier >= 0.0,
+            "watchdog_multiplier must be finite and non-negative "
+            f"(0 disables), got {self.watchdog_multiplier}",
+        )
 
     @property
     def theta(self) -> float:

@@ -27,7 +27,13 @@ Responsibilities, mapped to the paper:
   calibration (section 4.3);
 * hung-thread discard: an interval longer than the hung threshold is
   presumed to contain external delay and contributes no rate measurement
-  (section 7.1).
+  (section 7.1);
+* clock-anomaly guards (section 4.1's sanity checks under the fault model
+  of ``docs/robustness.md``): a backward timestamp, a zero-elapsed
+  interval, or an implausible rate spike (more than
+  ``rate_spike_factor`` times the calibrated rate) discards the sample —
+  rebasing baselines, perturbing neither the calibrated target nor the
+  sign test — and reports an ``anomaly`` event.
 """
 
 from __future__ import annotations
@@ -87,6 +93,11 @@ class TestpointDecision:
             hang / external delay.
         off_protocol: Whether this testpoint arrived before the previous
             suspension had been served (application overriding regulation).
+        anomaly: Reason the sample was discarded by an anomaly guard
+            (``"clock_backward"``, ``"zero_elapsed"``, ``"rate_spike"``,
+            or a reason passed to
+            :meth:`ThreadRegulator.discard_next_interval` such as
+            ``"watchdog_stall"``), or ``None`` for a normal sample.
     """
 
     processed: bool
@@ -100,6 +111,7 @@ class TestpointDecision:
     probation_delay: float = 0.0
     discarded_hung: bool = False
     off_protocol: bool = False
+    anomaly: str | None = None
 
     @property
     def should_suspend(self) -> bool:
@@ -120,6 +132,10 @@ class RegulatorStats:
     calibration_samples: int = 0
     hung_discards: int = 0
     off_protocol_samples: int = 0
+    clock_anomalies: int = 0
+    zero_elapsed_discards: int = 0
+    rate_spike_discards: int = 0
+    forced_discards: int = 0
     total_suspension: float = 0.0
     probation_suspension: float = 0.0
 
@@ -171,6 +187,9 @@ class ThreadRegulator:
         self._last_arrival: float = -math.inf
         self._start_time = start_time
         self._processed_testpoints = 0
+        #: Reason to discard the next processed testpoint (set by the
+        #: supervisor's watchdog); ``None`` when nothing is pending.
+        self._discard_next: str | None = None
         self.stats = RegulatorStats()
 
     # -- introspection ---------------------------------------------------------
@@ -285,6 +304,27 @@ class ThreadRegulator:
                 )
             return TestpointDecision(processed=True, bootstrap=self.in_bootstrap)
 
+        # Clock-anomaly guard (section 4.1): a timestamp earlier than the
+        # previous processed testpoint means the substrate's clock stepped
+        # backwards.  The interval is meaningless, so rebase everything on
+        # the regressed reading — one discard, not a run of them — and
+        # cancel any pending suspension deadline we can no longer trust.
+        if now < self._last_arrival - _OFF_PROTOCOL_SLACK:
+            self.stats.clock_anomalies += 1
+            set_state.last_counters = values
+            was_bootstrap = self.in_bootstrap
+            self._processed_testpoints += 1
+            self.stats.processed += 1
+            if tel is not None:
+                tel.metrics.inc("testpoints_processed")
+                self._note_bootstrap_exit(tel, was_bootstrap, now)
+            return self._discard_anomalous(
+                now,
+                "clock_backward",
+                bootstrap=self.in_bootstrap,
+                detail=f"testpoint at {now} precedes previous at {self._last_arrival}",
+            )
+
         # Lightweight gate (section 7.1): absorb rapid successive calls.
         # Time is measured from the thread's release when it honoured its
         # suspension, and from its previous call when it did not (an
@@ -307,6 +347,28 @@ class ThreadRegulator:
                     )
                 )
             self._was_in_probation = in_probation_now
+
+        # A pending forced discard (the supervisor's watchdog evicted this
+        # thread mid-interval): the interval spans an external stall, so it
+        # carries no usable rate information — adopt the counters and
+        # rebase, exactly like a hung discard but below the hung threshold.
+        if self._discard_next is not None:
+            reason = self._discard_next
+            self._discard_next = None
+            self.stats.forced_discards += 1
+            set_state.last_counters = values
+            was_bootstrap = self.in_bootstrap
+            self._processed_testpoints += 1
+            self.stats.processed += 1
+            if tel is not None:
+                tel.metrics.inc("testpoints_processed")
+                self._note_bootstrap_exit(tel, was_bootstrap, now)
+            return self._discard_anomalous(
+                now,
+                reason,
+                duration=max(now - self._interval_start, 0.0),
+                bootstrap=self.in_bootstrap,
+            )
 
         off_protocol = now < self._resume_at - _OFF_PROTOCOL_SLACK
         if off_protocol:
@@ -372,6 +434,52 @@ class ThreadRegulator:
                 bootstrap=self.in_bootstrap,
                 off_protocol=off_protocol,
             )
+
+        # Zero-elapsed guard (section 4.1): with no time between processed
+        # testpoints (a frozen or coarsely quantized clock) the sample has
+        # no rate.  Judging it would feed the sign test a spurious
+        # faster-than-target observation, so discard instead.
+        if duration <= 0.0:
+            self.stats.zero_elapsed_discards += 1
+            return self._discard_anomalous(
+                now,
+                "zero_elapsed",
+                deltas=deltas,
+                bootstrap=self.in_bootstrap,
+                off_protocol=off_protocol,
+            )
+
+        # Rate-spike guard (section 4.1): progress more than
+        # ``rate_spike_factor`` times faster than the calibrated target is
+        # physically implausible (a clock glitch or torn counter read, not
+        # a suddenly thousandfold-faster machine).  Folding it into the
+        # calibrator would corrupt the learned target, so discard it before
+        # calibration and judgment.
+        if (
+            not self.in_bootstrap
+            and not off_protocol
+            and set_state.calibrator.sample_count >= _SET_WARMUP_SAMPLES
+            and any(d > 0.0 for d in deltas)
+        ):
+            expected = set_state.calibrator.target_duration(deltas)
+            if (
+                math.isfinite(expected)
+                and expected > 0.0
+                and duration * self._config.rate_spike_factor < expected
+            ):
+                self.stats.rate_spike_discards += 1
+                return self._discard_anomalous(
+                    now,
+                    "rate_spike",
+                    duration=duration,
+                    deltas=deltas,
+                    bootstrap=self.in_bootstrap,
+                    off_protocol=off_protocol,
+                    detail=(
+                        f"duration {duration} vs target {expected} "
+                        f"(factor {self._config.rate_spike_factor})"
+                    ),
+                )
 
         # Calibration (section 4.3): every on-protocol sample feeds the
         # calibrator with equal weight; off-protocol samples are subsampled
@@ -498,7 +606,59 @@ class ThreadRegulator:
         if self._interval_start is not None and when > self._interval_start:
             self._interval_start = when
 
+    def discard_next_interval(self, reason: str = "external_stall") -> None:
+        """Mark the in-flight interval as unusable for rate measurement.
+
+        Called by the supervisor's watchdog when it evicts this thread for
+        stalling: the interval ending at the thread's next processed
+        testpoint spans the stall, so that testpoint will adopt its
+        counters, rebase, and contribute nothing to calibration or the
+        sign test.  ``reason`` becomes the decision's
+        :attr:`TestpointDecision.anomaly` and the ``anomaly`` event's tag.
+        """
+        self._discard_next = reason
+
     # -- internals --------------------------------------------------------------
+    def _discard_anomalous(
+        self,
+        now: float,
+        anomaly: str,
+        *,
+        duration: float = 0.0,
+        deltas: tuple[float, ...] = (),
+        bootstrap: bool = False,
+        off_protocol: bool = False,
+        detail: str = "",
+    ) -> TestpointDecision:
+        """Drop the current sample, rebase times, report the anomaly."""
+        tel = self._telemetry
+        if tel is not None:
+            tel.metrics.inc("discards_anomaly")
+            tel.emit(
+                obs_events.AnomalyDetected(
+                    t=now, src=tel.label, anomaly=anomaly, value=duration, detail=detail
+                )
+            )
+            tel.emit(
+                obs_events.SampleDiscarded(
+                    t=now, src=tel.label, reason=anomaly, duration=duration
+                )
+            )
+            tel.emit(
+                obs_events.RecoveryAction(
+                    t=now, src=tel.label, action="sample_discarded", detail=anomaly
+                )
+            )
+        self._finish(now, delay=0.0)
+        return TestpointDecision(
+            processed=True,
+            duration=duration,
+            deltas=deltas,
+            bootstrap=bootstrap,
+            off_protocol=off_protocol,
+            anomaly=anomaly,
+        )
+
     def _finish(self, now: float, delay: float) -> None:
         self._last_arrival = now
         self._interval_start = now + delay

@@ -44,3 +44,12 @@ class RegulationStateError(MannersError, RuntimeError):
     registered with the supervisor, or resuming a thread that is not
     suspended.
     """
+
+
+class FaultError(MannersError, ValueError):
+    """A fault-injection plan or scenario is malformed.
+
+    Raised by :mod:`repro.faults` for unknown scenario names, fault kinds
+    outside the supported vocabulary, or specs with invalid parameters —
+    never by the resilience layer itself, which degrades instead of raising.
+    """

@@ -11,6 +11,15 @@ The calculator also implements the *lightweight gate* of section 7.1: calls
 arriving faster than the minimum testpoint interval are absorbed — their
 progress simply accumulates until enough time has passed to justify full
 testpoint processing.
+
+Guard modes: by default malformed observations (regressing counters,
+backward timestamps, non-finite values) raise
+:class:`~repro.core.errors.MetricError` — the right behaviour when the
+caller controls both clock and counters.  With ``strict=False`` the
+calculator instead *discards* the anomalous observation, rebases its
+baseline on whatever parts of it were usable, and records the reason in
+:attr:`RateCalculator.last_anomaly` — the §4.1 sanity-check behaviour for
+substrates fed by untrusted clocks or torn counter reads.
 """
 
 from __future__ import annotations
@@ -61,23 +70,42 @@ class RateCalculator:
     baseline and yields no sample.
     """
 
-    __slots__ = ("_arity", "_last_when", "_last_counters", "_pending")
+    __slots__ = (
+        "_arity",
+        "_last_when",
+        "_last_counters",
+        "_pending",
+        "_strict",
+        "anomalies",
+        "last_anomaly",
+    )
 
-    def __init__(self, arity: int) -> None:
+    def __init__(self, arity: int, strict: bool = True) -> None:
         if arity < 1:
             raise MetricError(f"metric set must have at least one metric, got {arity}")
         self._arity = arity
+        self._strict = strict
         self._last_when: float | None = None
         self._last_counters: tuple[float, ...] | None = None
         #: Progress absorbed from lightweight-gated calls since the last
         #: processed testpoint, already folded into ``_last_counters`` deltas
         #: by virtue of counters being cumulative.  Kept for introspection.
         self._pending = 0
+        #: Observations discarded by the lenient guard (``strict=False``).
+        self.anomalies = 0
+        #: Reason for the most recent discard (``"clock_backward"``,
+        #: ``"counter_regression"``, ``"non_finite"``), or ``None``.
+        self.last_anomaly: str | None = None
 
     @property
     def arity(self) -> int:
         """Number of metrics in this metric set."""
         return self._arity
+
+    @property
+    def strict(self) -> bool:
+        """Whether malformed observations raise instead of being discarded."""
+        return self._strict
 
     @property
     def primed(self) -> bool:
@@ -91,10 +119,20 @@ class RateCalculator:
         processed testpoint, or ``None`` on the priming call.
 
         Raises:
-            MetricError: wrong arity, non-finite or regressing counters, or
-                a timestamp earlier than the previous one.
+            MetricError: wrong arity always; non-finite or regressing
+                counters or a backward timestamp when strict.  When lenient
+                (``strict=False``) those anomalies instead discard the
+                observation (returning ``None``) and rebase the baseline.
         """
-        values = self._validate(when, counters)
+        try:
+            values = self._validate(when, counters)
+        except MetricError:
+            # Arity mismatches are caller bugs, not measurement anomalies:
+            # they raise even in lenient mode.
+            if self._strict or len(counters) != self._arity:
+                raise
+            self._discard(when, counters)
+            return None
         if self._last_when is None or self._last_counters is None:
             self._last_when = when
             self._last_counters = values
@@ -121,6 +159,34 @@ class RateCalculator:
         self._pending = 0
 
     # -- internals -------------------------------------------------------------
+    def _discard(self, when: float, counters: Sequence[float]) -> None:
+        """Lenient-mode recovery: classify the anomaly and rebase (§4.1).
+
+        A backward timestamp keeps the furthest time seen (the counters,
+        being valid, still rebase); a counter regression (an application
+        restart resetting its counters) adopts the new counters as the new
+        baseline; non-finite garbage leaves the baseline untouched.
+        """
+        self.anomalies += 1
+        self._pending = 0
+        values = tuple(float(c) for c in counters)
+        finite = all(v == v and v not in (float("inf"), float("-inf")) for v in values)
+        if not finite:
+            self.last_anomaly = "non_finite"
+            return
+        if self._last_counters is not None and any(
+            new < old for new, old in zip(values, self._last_counters)
+        ):
+            self.last_anomaly = "counter_regression"
+            self._last_counters = values
+            if self._last_when is not None:
+                self._last_when = max(self._last_when, when)
+            return
+        self.last_anomaly = "clock_backward"
+        self._last_counters = values
+        # Keep the furthest time reached: the next valid sample measures
+        # from there instead of inventing a negative duration.
+
     def _validate(self, when: float, counters: Sequence[float]) -> tuple[float, ...]:
         if len(counters) != self._arity:
             raise MetricError(
@@ -130,6 +196,8 @@ class RateCalculator:
         for i, value in enumerate(values):
             if not value == value or value in (float("inf"), float("-inf")):
                 raise MetricError(f"metric {i} is not finite: {value}")
+        if not when == when or when in (float("inf"), float("-inf")):
+            raise MetricError(f"testpoint time is not finite: {when}")
         if self._last_counters is not None:
             for i, (new, old) in enumerate(zip(values, self._last_counters)):
                 if new < old:

@@ -61,6 +61,10 @@ class ThreadRecord:
     released_at: float | None = None
     #: Whether the thread was evicted as hung and has not yet returned.
     hung: bool = False
+    #: Learned release-to-testpoint spacing (exponential average); the
+    #: watchdog's notion of how long this thread normally runs between
+    #: testpoints.  ``None`` until the first observed interval.
+    spacing_ema: float | None = None
 
 
 class Supervisor:
@@ -158,6 +162,11 @@ class Supervisor:
             self._arbiter.charge(tid, used)
             if self._superintendent is not None:
                 self._superintendent.charge(self._pid, used)
+            # Teach the watchdog this thread's normal testpoint spacing.
+            if record.spacing_ema is None:
+                record.spacing_ema = used
+            else:
+                record.spacing_ema = 0.7 * record.spacing_ema + 0.3 * used
         record.last_testpoint = now
         record.released_at = None
         record.hung = False
@@ -239,21 +248,55 @@ class Supervisor:
         return min(candidates) if candidates else None
 
     # -- hung-thread handling --------------------------------------------------------------
+    def watchdog_threshold(self, tid: Hashable) -> float:
+        """Stall threshold the watchdog applies to ``tid``, in seconds.
+
+        With ``watchdog_multiplier`` disabled (0, the default) or no
+        learned spacing yet this is simply the hung threshold; otherwise
+        it is ``watchdog_multiplier`` times the thread's learned
+        testpoint spacing, floored at ``min_testpoint_interval`` and
+        capped at the hung threshold.
+        """
+        record = self._record(tid)
+        threshold = self._config.hung_threshold
+        multiplier = self._config.watchdog_multiplier
+        if multiplier > 0.0 and record.spacing_ema is not None:
+            learned = max(
+                multiplier * record.spacing_ema,
+                self._config.min_testpoint_interval,
+            )
+            threshold = min(threshold, learned)
+        return threshold
+
     def check_hung(self, now: float) -> Hashable | None:
         """Evict the slot owner if it has not testpointed within threshold.
 
         Returns the evicted thread, or ``None``.  The substrate should call
         this from its wake timer; after an eviction, :meth:`poll` will seat
         another thread.
+
+        The threshold is :meth:`watchdog_threshold`: normally the hung
+        threshold of section 7.1, but with ``watchdog_multiplier``
+        enabled a thread stalled for that multiple of its own learned
+        testpoint spacing is evicted early — and its regulator is told to
+        discard the interval (the regulator's own hung discard only
+        covers gaps beyond the full hung threshold).
         """
         owner = self._arbiter.owner
         if owner is None:
             return None
         record = self._record(owner)
         started = record.released_at if record.released_at is not None else record.last_testpoint
-        if now - started <= self._config.hung_threshold:
+        threshold = self.watchdog_threshold(owner)
+        stalled_for = now - started
+        if stalled_for <= threshold:
             return None
         record.hung = True
+        watchdog = threshold < self._config.hung_threshold
+        if watchdog:
+            # Below the hung threshold the regulator would happily measure
+            # the stall as a slow interval; tell it to discard instead.
+            record.regulator.discard_next_interval("watchdog_stall")
         tel = self._telemetry
         if tel is not None:
             tel.tick(now)
@@ -264,9 +307,28 @@ class Supervisor:
                     src=tel.label,
                     process=scope_label(self._pid),
                     thread=scope_label(owner),
-                    idle_for=now - started,
+                    idle_for=stalled_for,
                 )
             )
+            if watchdog:
+                tel.metrics.inc("watchdog_evictions")
+                tel.emit(
+                    obs_events.AnomalyDetected(
+                        t=now,
+                        src=tel.label,
+                        anomaly="watchdog_stall",
+                        value=stalled_for,
+                        detail=scope_label(owner),
+                    )
+                )
+                tel.emit(
+                    obs_events.RecoveryAction(
+                        t=now,
+                        src=tel.label,
+                        action="watchdog_release",
+                        detail=scope_label(owner),
+                    )
+                )
         if record.released_at is not None:
             used = max(now - record.released_at, 0.0)
             self._arbiter.charge(owner, used)

@@ -16,6 +16,7 @@ execution probes.  The cap bounds the worst-case resumption latency
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
 
 from repro.core.errors import ConfigError
@@ -45,11 +46,17 @@ class SuspensionTimer:
         maximum: float = 256.0,
         telemetry: "Telemetry | None" = None,
     ) -> None:
-        if initial <= 0:
-            raise ConfigError(f"initial suspension must be positive, got {initial}")
-        if maximum < initial:
+        # Explicit finiteness checks: NaN compares False against everything,
+        # so ``initial <= 0`` alone would wave a NaN straight through and
+        # poison every subsequent backoff computation (§4.1 sanity checks).
+        if not math.isfinite(initial) or initial <= 0:
             raise ConfigError(
-                f"maximum suspension {maximum} must be >= initial {initial}"
+                f"initial suspension must be finite and positive, got {initial}"
+            )
+        if not math.isfinite(maximum) or maximum < initial:
+            raise ConfigError(
+                f"maximum suspension {maximum} must be finite and >= "
+                f"initial {initial}"
             )
         self.initial = float(initial)
         self.maximum = float(maximum)
@@ -83,8 +90,11 @@ class SuspensionTimer:
         testpoint that indicates poor progress, the suspension time is
         doubled, up to a set limit."
         """
-        imposed = self._current
-        self._current = min(self._current * 2.0, self.maximum)
+        # Clamp to the configured band: the invariant
+        # ``initial <= current <= maximum`` survives any call sequence, so
+        # downstream sleep/park math never sees a negative or runaway value.
+        imposed = min(max(self._current, self.initial), self.maximum)
+        self._current = min(imposed * 2.0, self.maximum)
         self._consecutive_poor += 1
         return imposed
 

@@ -1,0 +1,140 @@
+"""Seedable, deterministic fault schedules.
+
+A :class:`FaultPlan` is an immutable, time-ordered list of
+:class:`FaultSpec` entries.  Plans are data: they can be written by hand
+for a named scenario or generated pseudo-randomly from a seed, and the same
+plan against the same simulation seed always reproduces the same run —
+the property the chaos scenarios' determinism fingerprints verify.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.errors import FaultError
+
+__all__ = ["FaultSpec", "FaultPlan", "KNOWN_FAULTS"]
+
+#: Every fault kind any part of the harness understands.  The kernel-level
+#: kinds are dispatched by :class:`repro.faults.injector.FaultInjector`;
+#: ``save_fail``/``torn_file``/``sink_raise`` are realized by the seams in
+#: :mod:`repro.faults.stores` and the scenario harness.
+KNOWN_FAULTS = frozenset(
+    {
+        "clock_backstep",
+        "clock_jump",
+        "stall",
+        "unstall",
+        "crash",
+        "disk_fail",
+        "save_fail",
+        "torn_file",
+        "sink_raise",
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes:
+        at: Simulation time (engine frame, seconds) at which to fire.
+        kind: One of :data:`KNOWN_FAULTS`.
+        target: The victim — a thread name, disk name, or app id,
+            depending on ``kind``.
+        param: Kind-specific magnitude: seconds of clock skew for the
+            clock kinds, failure count for ``disk_fail``/``save_fail``.
+    """
+
+    at: float
+    kind: str
+    target: str = ""
+    param: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.at) or self.at < 0.0:
+            raise FaultError(f"fault time must be finite and >= 0, got {self.at}")
+        if self.kind not in KNOWN_FAULTS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; known: {sorted(KNOWN_FAULTS)}"
+            )
+        if not math.isfinite(self.param):
+            raise FaultError(f"fault param must be finite, got {self.param}")
+
+
+class FaultPlan:
+    """A time-ordered, immutable schedule of faults."""
+
+    __slots__ = ("specs",)
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()) -> None:
+        self.specs: tuple[FaultSpec, ...] = tuple(
+            sorted(specs, key=lambda s: (s.at, s.kind, s.target))
+        )
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        """Iterate over the specs in firing order."""
+        return iter(self.specs)
+
+    def of_kind(self, kind: str) -> tuple[FaultSpec, ...]:
+        """The plan's specs of one kind, in firing order."""
+        return tuple(s for s in self.specs if s.kind == kind)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        duration: float = 100.0,
+        count: int = 5,
+        kinds: Sequence[str] = ("clock_backstep", "clock_jump", "stall", "disk_fail"),
+        targets: Sequence[str] = ("w1",),
+    ) -> "FaultPlan":
+        """Pseudo-randomly generate a plan; same seed, same plan.
+
+        Faults land in the middle 80% of ``duration`` so the run has time
+        to bootstrap before chaos and to recover after it.  A ``stall``
+        automatically gets a paired ``unstall`` 5-15 seconds later.
+        """
+        if count < 1:
+            raise FaultError(f"count must be >= 1, got {count}")
+        if not math.isfinite(duration) or duration <= 0.0:
+            raise FaultError(f"duration must be finite and positive, got {duration}")
+        for kind in kinds:
+            if kind not in KNOWN_FAULTS:
+                raise FaultError(f"unknown fault kind {kind!r}")
+        if not kinds or not targets:
+            raise FaultError("kinds and targets must be non-empty")
+        rng = random.Random(seed)
+        specs: list[FaultSpec] = []
+        for _ in range(count):
+            at = rng.uniform(0.1 * duration, 0.9 * duration)
+            kind = rng.choice(tuple(kinds))
+            target = rng.choice(tuple(targets))
+            if kind == "clock_backstep":
+                param = rng.uniform(1.0, 10.0)
+            elif kind == "clock_jump":
+                param = rng.uniform(60.0, 3600.0)
+            elif kind in ("disk_fail", "save_fail"):
+                param = float(rng.randint(1, 3))
+            else:
+                param = 0.0
+            specs.append(FaultSpec(at=at, kind=kind, target=target, param=param))
+            if kind == "stall":
+                specs.append(
+                    FaultSpec(
+                        at=at + rng.uniform(5.0, 15.0),
+                        kind="unstall",
+                        target=target,
+                    )
+                )
+        return cls(specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({len(self.specs)} specs)"

@@ -1,0 +1,471 @@
+"""Named end-to-end chaos scenarios (``repro faults run``).
+
+Each scenario builds a small simulated machine, regulates one or more
+low-importance workers under contention, injects one class of fault from a
+deterministic plan, and then checks the resilience layer's contract for
+that fault: regulation must *continue* — suspensions resume, targets
+re-bootstrap where they must, and the obs trace records the injected fault
+next to the recovery.  Every run is reproducible from its seed; the
+report's ``fingerprint`` hashes the full event trace so repeated runs can
+be compared bit-for-bit.
+
+Scenarios (the fault → mechanism pairs of ``docs/robustness.md``):
+
+* ``torn-target-store`` — corrupt persisted targets → quarantine + fresh
+  bootstrap (:class:`~repro.core.persistence.TargetStore`, lenient load).
+* ``clock-jump`` — backward step and forward leap in the regulation
+  clock → clock-anomaly discard + hung discard, calibration preserved.
+* ``stalled-thread`` — a worker stops testpointing mid-slot → watchdog
+  eviction, sibling runs, stall interval discarded.
+* ``crash-mid-suspension`` — a worker dies while parked in its
+  testpoint → supervisor frees the slot, siblings keep regulating.
+* ``flaky-sink`` — a telemetry sink starts raising → sink isolated,
+  trace intact, regulation unaffected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.config import MannersConfig
+from repro.core.errors import FaultError
+from repro.core.persistence import TargetStore
+from repro.faults.injector import FaultInjector, SkewedTime
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.stores import FlakySink, corrupt_target_file
+from repro.obs import events as obs_events
+from repro.obs.sinks import EventSink, FanoutSink, MemorySink
+from repro.obs.telemetry import Telemetry
+from repro.simos.effects import Delay, DiskRead
+from repro.simos.kernel import Kernel
+from repro.simos.sim_manners import MannersTestpoint, SimManners
+
+__all__ = ["ScenarioReport", "SCENARIOS", "run_scenario"]
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one chaos-scenario run.
+
+    ``ok`` is the scenario's pass/fail verdict; ``checks`` lists each
+    individual assertion with its result so a failing run explains
+    itself.  ``fingerprint`` is a hash over the full event trace (kind,
+    timestamp, source): equal seeds must produce equal fingerprints.
+    """
+
+    name: str
+    seed: int
+    ok: bool
+    sim_time: float
+    testpoints: int
+    suspensions: int
+    resumes: int
+    injected: tuple[str, ...]
+    anomalies: tuple[str, ...]
+    recoveries: tuple[str, ...]
+    fingerprint: str
+    checks: tuple[tuple[str, bool], ...] = field(default_factory=tuple)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (for ``repro faults run --json``)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "ok": self.ok,
+            "sim_time": self.sim_time,
+            "testpoints": self.testpoints,
+            "suspensions": self.suspensions,
+            "resumes": self.resumes,
+            "injected": list(self.injected),
+            "anomalies": list(self.anomalies),
+            "recoveries": list(self.recoveries),
+            "fingerprint": self.fingerprint,
+            "checks": [{"check": name, "ok": ok} for name, ok in self.checks],
+        }
+
+
+def _chaos_config(**overrides: Any) -> MannersConfig:
+    """A fast-converging config so scenarios finish in seconds of sim time."""
+    settings: dict[str, Any] = dict(
+        bootstrap_testpoints=6,
+        probation_period=0.0,
+        # Slow target drift: the bootstrap-calibrated (uncontended) target
+        # stays authoritative for the whole run, so contention keeps
+        # producing POOR judgments instead of being re-learned as normal.
+        averaging_n=5000,
+        min_testpoint_interval=0.05,
+        initial_suspension=0.5,
+        max_suspension=16.0,
+    )
+    settings.update(overrides)
+    return MannersConfig(**settings)
+
+
+def _worker(n: int):
+    """A low-importance disk worker reporting one cumulative counter."""
+    done = 0.0
+    yield MannersTestpoint((done,))
+    for i in range(n):
+        yield DiskRead("C", (i * 37) % 100_000, 65536)
+        done += 1.0
+        yield MannersTestpoint((done,))
+
+
+def _hog(start: float, n: int):
+    """High-importance interference: unregulated disk load from ``start``."""
+    yield Delay(start)
+    for i in range(n):
+        yield DiskRead("C", (i * 53 + 7) % 100_000, 65536)
+
+
+def _make_sink(extra_sink: EventSink | None) -> tuple[MemorySink, EventSink]:
+    """The scenario's in-memory trace, optionally teed to ``extra_sink``."""
+    memory = MemorySink()
+    if extra_sink is None:
+        return memory, memory
+    return memory, FanoutSink(memory, extra_sink)
+
+
+def _summarize(
+    name: str,
+    seed: int,
+    memory: MemorySink,
+    sim_time: float,
+    checks: list[tuple[str, bool]],
+) -> ScenarioReport:
+    """Fold the event trace and check results into a report."""
+    events = memory.events
+    fingerprint = hashlib.sha256(
+        "\n".join(f"{e.kind}:{e.t!r}:{e.src}" for e in events).encode("utf-8")
+    ).hexdigest()[:16]
+    return ScenarioReport(
+        name=name,
+        seed=seed,
+        ok=all(ok for _, ok in checks),
+        sim_time=sim_time,
+        testpoints=sum(1 for e in events if e.kind == obs_events.TestpointProcessed.kind),
+        suspensions=sum(1 for e in events if e.kind == obs_events.SuspensionStarted.kind),
+        resumes=sum(1 for e in events if e.kind == obs_events.SuspensionEnded.kind),
+        injected=tuple(e.fault for e in events if e.kind == obs_events.FaultInjected.kind),
+        anomalies=tuple(
+            e.anomaly for e in events if e.kind == obs_events.AnomalyDetected.kind
+        ),
+        recoveries=tuple(
+            e.action for e in events if e.kind == obs_events.RecoveryAction.kind
+        ),
+        fingerprint=fingerprint,
+        checks=tuple(checks),
+    )
+
+
+def _scenario_torn_target_store(
+    seed: int, extra_sink: EventSink | None = None
+) -> ScenarioReport:
+    """Persist calibrated targets, tear the file, restart leniently.
+
+    The restart must quarantine the corrupt file as ``*.corrupt``,
+    re-bootstrap from scratch, and still regulate under contention.
+    """
+    memory, sink = _make_sink(extra_sink)
+    config = _chaos_config()
+    app_id = "chaos-app"
+    checks: list[tuple[str, bool]] = []
+    with tempfile.TemporaryDirectory(prefix="manners-chaos-") as tmp:
+        # Phase 1: calibrate under contention and persist the targets.
+        kernel1 = Kernel(seed=seed)
+        kernel1.add_disk("C")
+        tel1 = Telemetry(sink=sink, label="chaos")
+        manners1 = SimManners(kernel1, config, telemetry=tel1)
+        w1 = kernel1.spawn("w1", _worker(600), process="li")
+        reg1 = manners1.regulate(w1)
+        kernel1.spawn("hog", _hog(5.0, 400), process="hog")
+        kernel1.run(until=60.0)
+        store1 = TargetStore(tmp)
+        store1.save(app_id, reg1.export_state())
+        corrupt_target_file(store1, app_id, mode="torn")
+        tel1.tick(kernel1.now)
+        tel1.emit(
+            obs_events.FaultInjected(
+                t=kernel1.now, src="faults", fault="torn_file", target=app_id
+            )
+        )
+
+        # Phase 2: restart against the torn file with a lenient store.
+        kernel2 = Kernel(seed=seed)
+        kernel2.add_disk("C")
+        tel2 = Telemetry(sink=sink, label="chaos")
+        manners2 = SimManners(kernel2, config, telemetry=tel2)
+        store2 = TargetStore(tmp, strict=False, telemetry=tel2)
+        w2 = kernel2.spawn("w1", _worker(800), process="li")
+        reg2 = manners2.regulate(w2, store=store2, app_id=app_id)
+        kernel2.spawn("hog", _hog(5.0, 600), process="hog")
+        end = kernel2.run(until=120.0)
+
+        quarantine = store2.quarantine_path_for(app_id)
+        checks.append(("corrupt file quarantined", quarantine.exists()))
+        checks.append(("quarantine recorded", len(store2.quarantined) == 1))
+        checks.append(
+            ("re-bootstrapped from scratch", reg2.stats.processed > config.bootstrap_testpoints)
+        )
+        trace = manners2.traces[w2]
+        checks.append(
+            ("still regulating after restart", any(r.delay > 0.0 for r in trace.records))
+        )
+        checks.append(("worker kept progressing", len(trace.records) > 50))
+    return _summarize("torn-target-store", seed, memory, end, checks)
+
+
+def _scenario_clock_jump(
+    seed: int, extra_sink: EventSink | None = None
+) -> ScenarioReport:
+    """Step the regulation clock backwards, then leap it an hour ahead.
+
+    The backward step must be discarded by the controller's clock guard
+    and the leap by the hung discard; calibration survives both and
+    regulation continues in the shifted timeline.
+    """
+    memory, sink = _make_sink(extra_sink)
+    config = _chaos_config()
+    kernel = Kernel(seed=seed)
+    kernel.add_disk("C")
+    tel = Telemetry(sink=sink, label="chaos")
+    skew = SkewedTime(lambda: kernel.now)
+    manners = SimManners(kernel, config, telemetry=tel, time_source=skew)
+    w1 = kernel.spawn("w1", _worker(20000), process="li")
+    reg = manners.regulate(w1)
+    kernel.spawn("hog", _hog(10.0, 20000), process="hog")
+    plan = FaultPlan(
+        [
+            # Backstep lands before contention starts, while the worker is
+            # testpointing every few milliseconds, so the guard (not a
+            # parked suspension) absorbs it.
+            FaultSpec(at=8.0, kind="clock_backstep", target="clock", param=5.0),
+            FaultSpec(at=80.0, kind="clock_jump", target="clock", param=3600.0),
+        ]
+    )
+    injector = FaultInjector(kernel, plan, telemetry=tel, skew=skew)
+    injector.arm()
+    end = kernel.run(until=200.0)
+
+    trace = manners.traces[w1]
+    samples_before_jump = reg.stats.calibration_samples
+    checks = [
+        ("backward step discarded", reg.stats.clock_anomalies >= 1),
+        ("forward leap discarded as hung", reg.stats.hung_discards >= 1),
+        (
+            "worker progressed past the leap",
+            any(r.when > 3600.0 for r in trace.records),
+        ),
+        (
+            "still suspending after the leap",
+            any(r.when > 3600.0 and r.delay > 0.0 for r in trace.records),
+        ),
+        ("calibration preserved", samples_before_jump > config.bootstrap_testpoints),
+    ]
+    return _summarize("clock-jump", seed, memory, end, checks)
+
+
+def _scenario_stalled_thread(
+    seed: int, extra_sink: EventSink | None = None
+) -> ScenarioReport:
+    """Stall a worker mid-slot; the watchdog must evict it early.
+
+    With ``watchdog_multiplier`` enabled the supervisor learns each
+    thread's testpoint spacing and evicts a stalled slot owner long
+    before the hung threshold, letting the sibling run; the stalled
+    thread's post-resume interval is discarded.
+    """
+    memory, sink = _make_sink(extra_sink)
+    config = _chaos_config(watchdog_multiplier=8.0)
+    kernel = Kernel(seed=seed)
+    kernel.add_disk("C")
+    tel = Telemetry(sink=sink, label="chaos")
+    manners = SimManners(kernel, config, telemetry=tel)
+    w1 = kernel.spawn("w1", _worker(3000), process="li")
+    w2 = kernel.spawn("w2", _worker(3000), process="li")
+    reg1 = manners.regulate(w1)
+    manners.regulate(w2)
+    sup = manners.supervisor("li")
+    injector = FaultInjector(kernel, telemetry=tel)
+    injector.register_thread(w1)
+    injector.register_thread(w2)
+    stall_window: dict[str, float] = {}
+
+    def attempt() -> None:
+        """Stall w1 the moment it owns the execution slot."""
+        if not w1.alive:
+            return
+        if sup.running is w1 and not w1.suspended:
+            stall_window["start"] = kernel.now
+            stall_window["end"] = kernel.now + 20.0
+            injector.inject("stall", "w1", 20.0)
+            kernel.engine.call_after(20.0, injector.inject, "unstall", "w1")
+        else:
+            kernel.engine.call_after(0.5, attempt)
+
+    kernel.engine.call_at(30.0, attempt)
+    end = kernel.run(until=150.0)
+
+    trace1 = manners.traces[w1]
+    trace2 = manners.traces[w2]
+    start = stall_window.get("start", float("inf"))
+    stop = stall_window.get("end", float("inf"))
+    checks = [
+        ("stall was injected", "start" in stall_window),
+        ("watchdog noticed the stall", reg1.stats.forced_discards >= 1),
+        (
+            "sibling ran during the stall",
+            any(start < r.when < stop for r in trace2.records),
+        ),
+        (
+            "stalled worker resumed",
+            any(r.when > stop for r in trace1.records),
+        ),
+    ]
+    return _summarize("stalled-thread", seed, memory, end, checks)
+
+
+def _scenario_crash_mid_suspension(
+    seed: int, extra_sink: EventSink | None = None
+) -> ScenarioReport:
+    """Kill a worker while it is parked serving a suspension.
+
+    The supervisor must free the dead thread's slot so the sibling keeps
+    regulating; the kernel run completes without error.
+    """
+    memory, sink = _make_sink(extra_sink)
+    config = _chaos_config()
+    kernel = Kernel(seed=seed)
+    kernel.add_disk("C")
+    tel = Telemetry(sink=sink, label="chaos")
+    manners = SimManners(kernel, config, telemetry=tel)
+    w1 = kernel.spawn("w1", _worker(20000), process="li")
+    w2 = kernel.spawn("w2", _worker(20000), process="li")
+    manners.regulate(w1)
+    manners.regulate(w2)
+    kernel.spawn("hog", _hog(5.0, 20000), process="hog")
+    injector = FaultInjector(kernel, telemetry=tel)
+    injector.register_thread(w1)
+    crashed: dict[str, float] = {}
+
+    def attempt() -> None:
+        """Kill w1 the moment it is parked in a testpoint with a delay."""
+        if not w1.alive:
+            return
+        trace = manners.traces[w1]
+        parked_suspended = (
+            w1.blocked_on == "manners"
+            and bool(trace.records)
+            and trace.records[-1].delay > 0.0
+        )
+        if parked_suspended:
+            crashed["at"] = kernel.now
+            injector.inject("crash", "w1")
+        else:
+            kernel.engine.call_after(0.25, attempt)
+
+    kernel.engine.call_at(20.0, attempt)
+    end = kernel.run(until=150.0)
+
+    trace2 = manners.traces[w2]
+    killed_at = crashed.get("at", float("inf"))
+    checks = [
+        ("crash was injected", "at" in crashed),
+        ("victim is dead", not w1.alive),
+        (
+            "sibling kept testpointing after the crash",
+            any(r.when > killed_at for r in trace2.records),
+        ),
+        (
+            "sibling still regulated after the crash",
+            any(r.when > killed_at and r.delay > 0.0 for r in trace2.records),
+        ),
+    ]
+    return _summarize("crash-mid-suspension", seed, memory, end, checks)
+
+
+def _scenario_flaky_sink(
+    seed: int, extra_sink: EventSink | None = None
+) -> ScenarioReport:
+    """Run with a telemetry sink that starts raising mid-run.
+
+    The fanout must isolate the bad sink after bounded failures; the
+    in-memory trace stays complete and regulation is unaffected.
+    """
+    memory = MemorySink()
+    flaky = FlakySink(fail_after=50)
+    children: list[EventSink] = [memory, flaky]
+    if extra_sink is not None:
+        children.append(extra_sink)
+    fanout = FanoutSink(*children)
+    tel = Telemetry(sink=fanout, label="chaos")
+    config = _chaos_config()
+    kernel = Kernel(seed=seed)
+    kernel.add_disk("C")
+    manners = SimManners(kernel, config, telemetry=tel)
+    w1 = kernel.spawn("w1", _worker(1500), process="li")
+    reg = manners.regulate(w1)
+    kernel.spawn("hog", _hog(5.0, 1000), process="hog")
+    tel.emit(
+        obs_events.FaultInjected(
+            t=kernel.now,
+            src="faults",
+            fault="sink_raise",
+            target="sink[1]",
+            param=float(flaky.fail_after),
+        )
+    )
+    end = kernel.run(until=90.0)
+
+    tel.tick(kernel.now)
+    tel.emit(
+        obs_events.AnomalyDetected(
+            t=kernel.now,
+            src="faults",
+            anomaly="sink_failure",
+            value=float(flaky.raised),
+            detail="injected sink failure",
+        )
+    )
+    tel.emit(
+        obs_events.RecoveryAction(
+            t=kernel.now, src="faults", action="sink_disabled", detail="sink[1]"
+        )
+    )
+    trace = manners.traces[w1]
+    checks = [
+        ("bad sink isolated", not fanout.enabled(1)),
+        ("good sink never dropped", fanout.enabled(0)),
+        ("memory trace intact", len(memory.events) > len(trace.records)),
+        ("regulation unaffected", reg.stats.processed > config.bootstrap_testpoints),
+        ("still suspending", any(r.delay > 0.0 for r in trace.records)),
+    ]
+    return _summarize("flaky-sink", seed, memory, end, checks)
+
+
+#: Registry of named chaos scenarios: name -> ``fn(seed, extra_sink)``.
+SCENARIOS: dict[str, Callable[[int, EventSink | None], ScenarioReport]] = {
+    "torn-target-store": _scenario_torn_target_store,
+    "clock-jump": _scenario_clock_jump,
+    "stalled-thread": _scenario_stalled_thread,
+    "crash-mid-suspension": _scenario_crash_mid_suspension,
+    "flaky-sink": _scenario_flaky_sink,
+}
+
+
+def run_scenario(
+    name: str, seed: int = 1, extra_sink: EventSink | None = None
+) -> ScenarioReport:
+    """Run one named scenario; ``extra_sink`` tees the event trace.
+
+    Raises :class:`~repro.core.errors.FaultError` for an unknown name.
+    """
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise FaultError(
+            f"unknown scenario {name!r}; known: {', '.join(sorted(SCENARIOS))}"
+        )
+    return scenario(seed, extra_sink)

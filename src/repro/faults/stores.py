@@ -1,0 +1,104 @@
+"""Fault seams for persistence and telemetry I/O.
+
+These are drop-in replacements for the real
+:class:`~repro.core.persistence.TargetStore` and event sinks whose
+failures are injected on command, exercising the retry, quarantine, and
+sink-isolation paths of the resilience layer without touching a real
+filesystem fault.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.core.errors import FaultError
+from repro.core.persistence import TargetStore
+from repro.obs.events import Event
+
+__all__ = ["FlakyTargetStore", "FlakySink", "corrupt_target_file"]
+
+
+class FlakyTargetStore(TargetStore):
+    """A :class:`TargetStore` whose next N write attempts fail on command.
+
+    :meth:`fail_next` arms injected :class:`OSError` failures at the
+    *write-attempt* level, beneath the store's retry loop — so arming one
+    failure exercises retry-then-succeed, and arming more failures than
+    ``save_retries + 1`` exercises the exhausted-retries
+    :class:`~repro.core.errors.PersistenceError` path.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        #: Write attempts that will fail (decremented per attempt).
+        self._fail_attempts = 0
+        #: Total write attempts observed, failed or not.
+        self.write_attempts = 0
+
+    def fail_next(self, count: int = 1) -> None:
+        """Arm the next ``count`` write attempts to raise ``OSError``."""
+        if count < 1:
+            raise FaultError(f"fail count must be >= 1, got {count}")
+        self._fail_attempts += count
+
+    def _write_atomically(self, path: Any, document: Mapping[str, Any]) -> None:
+        self.write_attempts += 1
+        if self._fail_attempts > 0:
+            self._fail_attempts -= 1
+            raise OSError("injected write failure")
+        super()._write_atomically(path, document)
+
+
+class FlakySink:
+    """An event sink that starts raising after ``fail_after`` emits.
+
+    Used to verify sink-failure isolation: a bad sink must cost telemetry,
+    never regulation.  ``emitted`` counts successful deliveries and
+    ``raised`` the refused ones.
+    """
+
+    __slots__ = ("fail_after", "emitted", "raised")
+
+    def __init__(self, fail_after: int = 0) -> None:
+        if fail_after < 0:
+            raise FaultError(f"fail_after must be >= 0, got {fail_after}")
+        self.fail_after = fail_after
+        self.emitted = 0
+        self.raised = 0
+
+    def emit(self, event: Event) -> None:
+        """Accept the event, or raise once the failure point is reached."""
+        if self.emitted >= self.fail_after:
+            self.raised += 1
+            raise RuntimeError("injected sink failure")
+        self.emitted += 1
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+def corrupt_target_file(
+    store: TargetStore, app_id: str, mode: str = "torn"
+) -> None:
+    """Damage ``app_id``'s persisted target file in a controlled way.
+
+    Modes: ``"torn"`` truncates the JSON mid-document (a torn write from a
+    crash without atomic rename), ``"garbage"`` replaces it with
+    non-JSON bytes, ``"bad_version"`` writes valid JSON with an unknown
+    format version.  Raises :class:`FaultError` if no file exists yet.
+    """
+    path = store.path_for(app_id)
+    if not path.exists():
+        raise FaultError(f"no target file to corrupt for {app_id!r}")
+    if mode == "torn":
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: max(len(text) // 2, 1)], encoding="utf-8")
+    elif mode == "garbage":
+        path.write_bytes(b"\x00\xff not json \xfe")
+    elif mode == "bad_version":
+        path.write_text(
+            json.dumps({"version": 999_999, "state": {}}), encoding="utf-8"
+        )
+    else:
+        raise FaultError(f"unknown corruption mode {mode!r}")

@@ -25,12 +25,15 @@ no allocation — so determinism and the tier-1 suite are unaffected.  See
 from repro.obs.events import (
     EVENT_SCHEMA_VERSION,
     EVENT_TYPES,
+    AnomalyDetected,
     BackoffReset,
     BeNicePoll,
     CalibrationSample,
     Event,
+    FaultInjected,
     JudgmentIssued,
     PhaseTransition,
+    RecoveryAction,
     SampleDiscarded,
     SlotEvicted,
     SlotGranted,
@@ -44,18 +47,21 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import read_events, summarize, summarize_file
-from repro.obs.sinks import EventSink, JsonlSink, MemorySink, NullSink
+from repro.obs.sinks import EventSink, FanoutSink, JsonlSink, MemorySink, NullSink
 from repro.obs.telemetry import Telemetry, scope_label
 
 __all__ = [
     "EVENT_SCHEMA_VERSION",
     "EVENT_TYPES",
+    "AnomalyDetected",
     "BackoffReset",
     "BeNicePoll",
     "CalibrationSample",
     "Counter",
     "Event",
     "EventSink",
+    "FanoutSink",
+    "FaultInjected",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -64,6 +70,7 @@ __all__ = [
     "MetricsRegistry",
     "NullSink",
     "PhaseTransition",
+    "RecoveryAction",
     "SampleDiscarded",
     "SlotEvicted",
     "SlotGranted",

@@ -11,9 +11,12 @@ on one machine replays losslessly on another.
 Serialization: :func:`event_to_dict` produces a flat JSON-safe dict with
 two envelope keys — ``k`` (the event kind) and ``v`` (the schema version)
 — and :func:`event_from_dict` reverses it.  Bump
-:data:`EVENT_SCHEMA_VERSION` whenever a field is added, removed, or
-changes meaning; :func:`event_from_dict` refuses versions it does not
-understand rather than silently misreading them.
+:data:`EVENT_SCHEMA_VERSION` whenever a field is removed or changes
+meaning; :func:`event_from_dict` refuses versions it does not understand
+rather than silently misreading them.  Purely additive changes (a new
+event kind, a new field with a default) keep the version: old traces read
+under the new schema and vice versa, because deserialization ignores
+unknown keys and fills absent fields from their defaults.
 
 Enum-valued quantities (judgments) are carried as their string values so
 that a trace is self-describing without importing this package.
@@ -43,6 +46,9 @@ __all__ = [
     "SlotEvicted",
     "TokenHandoff",
     "BeNicePoll",
+    "FaultInjected",
+    "AnomalyDetected",
+    "RecoveryAction",
     "event_to_dict",
     "event_from_dict",
 ]
@@ -227,6 +233,66 @@ class BeNicePoll(Event):
     delay: float = 0.0
 
 
+@dataclass(frozen=True, slots=True)
+class FaultInjected(Event):
+    """The fault-injection harness fired one planned fault.
+
+    Emitted by :mod:`repro.faults` at the moment a fault takes effect, so a
+    trace shows the injected failure right next to the regulator's reaction
+    to it.  ``fault`` names the fault kind (``"clock_backstep"``,
+    ``"clock_jump"``, ``"stall"``, ``"unstall"``, ``"crash"``,
+    ``"disk_fail"``, ``"torn_file"``, ``"save_fail"``, ``"sink_raise"``);
+    ``target`` identifies the victim (a thread, store, or sink label).
+    """
+
+    kind: ClassVar[str] = "fault"
+
+    fault: str = ""
+    target: str = ""
+    param: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class AnomalyDetected(Event):
+    """A resilience guard rejected an implausible observation (§4.1).
+
+    ``anomaly`` values: ``"clock_backward"`` (timestamp regressed),
+    ``"zero_elapsed"`` (testpoint with no elapsed time),
+    ``"rate_spike"`` (measured rate implausibly above target),
+    ``"corrupt_target"`` (persisted target file unreadable),
+    ``"save_failure"`` (target save attempt failed),
+    ``"watchdog_stall"`` (regulated thread stopped testpointing),
+    ``"sink_failure"`` (a telemetry sink raised),
+    ``"metric_error"`` (a counter read produced unusable values).
+    """
+
+    kind: ClassVar[str] = "anomaly"
+
+    anomaly: str = ""
+    value: float = 0.0
+    detail: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryAction(Event):
+    """The resilience layer's compensating action for a detected anomaly.
+
+    ``action`` values: ``"sample_discarded"`` (anomalous measurement
+    excluded from calibration and judgment), ``"quarantine"`` (corrupt
+    target file set aside as ``*.corrupt``), ``"rebootstrap"`` (regulation
+    restarted from fresh calibration), ``"save_retry"`` (persistence retried
+    after a write failure), ``"save_skipped"`` (snapshot dropped after
+    retries were exhausted), ``"watchdog_release"`` (stalled thread evicted
+    so siblings run), ``"slot_released"`` (crashed thread's execution slot
+    reclaimed), ``"sink_disabled"`` (failing telemetry sink isolated).
+    """
+
+    kind: ClassVar[str] = "recovery"
+
+    action: str = ""
+    detail: str = ""
+
+
 #: Registry of concrete event classes by serialized kind.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
@@ -244,6 +310,9 @@ EVENT_TYPES: dict[str, type[Event]] = {
         SlotEvicted,
         TokenHandoff,
         BeNicePoll,
+        FaultInjected,
+        AnomalyDetected,
+        RecoveryAction,
     )
 }
 

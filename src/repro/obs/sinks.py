@@ -20,11 +20,12 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import IO, Protocol, runtime_checkable
 
 from repro.obs.events import Event, event_to_dict
 
-__all__ = ["EventSink", "NullSink", "MemorySink", "JsonlSink"]
+__all__ = ["EventSink", "NullSink", "MemorySink", "JsonlSink", "FanoutSink"]
 
 
 @runtime_checkable
@@ -114,3 +115,65 @@ class JsonlSink:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class FanoutSink:
+    """Duplicates every event to several child sinks, isolating failures.
+
+    A child whose ``emit`` raises is charged one failure; after
+    ``max_failures`` consecutive-or-not failures the child is *disabled*
+    (with a single :class:`RuntimeWarning`) and receives no further events,
+    while the remaining children keep the trace flowing.  A raising sink is
+    an observability problem and must never become a regulation outage.
+    """
+
+    __slots__ = ("sinks", "failures", "max_failures", "_enabled", "_warned")
+
+    def __init__(self, *sinks: EventSink, max_failures: int = 3) -> None:
+        if max_failures < 1:
+            raise ValueError(f"max_failures must be >= 1, got {max_failures}")
+        self.sinks: tuple[EventSink, ...] = tuple(sinks)
+        self.failures = [0 for _ in self.sinks]
+        self.max_failures = max_failures
+        self._enabled = [True for _ in self.sinks]
+        self._warned = [False for _ in self.sinks]
+
+    def emit(self, event: Event) -> None:
+        """Forward the event to every still-enabled child."""
+        for i, sink in enumerate(self.sinks):
+            if not self._enabled[i]:
+                continue
+            try:
+                sink.emit(event)
+            except Exception:
+                self.failures[i] += 1
+                if self.failures[i] >= self.max_failures:
+                    self._enabled[i] = False
+                    if not self._warned[i]:
+                        self._warned[i] = True
+                        warnings.warn(
+                            f"telemetry sink {sink!r} disabled after "
+                            f"{self.failures[i]} emit failures; "
+                            "regulation continues without it",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+
+    def close(self) -> None:
+        """Close every child, swallowing close-time errors."""
+        for sink in self.sinks:
+            try:
+                sink.close()
+            except Exception:
+                pass
+
+    def enabled(self, index: int) -> bool:
+        """Whether child ``index`` is still receiving events."""
+        return self._enabled[index]
+
+    @property
+    def disabled_sinks(self) -> tuple[EventSink, ...]:
+        """The children that have been isolated after repeated failures."""
+        return tuple(
+            sink for i, sink in enumerate(self.sinks) if not self._enabled[i]
+        )

@@ -22,6 +22,7 @@ without the event sites knowing about threads.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any
 
 from repro.obs.events import Event
@@ -29,6 +30,9 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import EventSink, NullSink
 
 __all__ = ["Telemetry", "scope_label"]
+
+#: Emit failures tolerated before the sink is disabled for the run.
+_SINK_FAILURE_LIMIT = 3
 
 
 def scope_label(entity: Any) -> str:
@@ -46,7 +50,16 @@ def scope_label(entity: Any) -> str:
 class Telemetry:
     """Sink + metrics + substrate clock, shared by one regulation stack."""
 
-    __slots__ = ("sink", "metrics", "label", "emitting", "_root", "_now")
+    __slots__ = (
+        "sink",
+        "metrics",
+        "label",
+        "emitting",
+        "_root",
+        "_now",
+        "_sink_failures",
+        "_sink_disabled",
+    )
 
     def __init__(
         self,
@@ -62,6 +75,8 @@ class Telemetry:
         self.emitting = not isinstance(self.sink, NullSink)
         self._root = self
         self._now = 0.0
+        self._sink_failures = 0
+        self._sink_disabled = False
 
     @property
     def now(self) -> float:
@@ -83,9 +98,43 @@ class Telemetry:
         child._now = 0.0  # unused; ``now`` delegates to the root
         return child
 
+    @property
+    def sink_failures(self) -> int:
+        """Emit failures absorbed so far (shared across scopes)."""
+        return self._root._sink_failures
+
+    @property
+    def sink_disabled(self) -> bool:
+        """Whether the sink was isolated after repeated emit failures."""
+        return self._root._sink_disabled
+
     def emit(self, event: Event) -> None:
-        """Hand one event to the sink."""
-        self.sink.emit(event)
+        """Hand one event to the sink.
+
+        A raising sink is an observability fault, not a regulation fault:
+        the exception is absorbed and counted, and after
+        ``_SINK_FAILURE_LIMIT`` failures the sink is disabled for the rest
+        of the run (one :class:`RuntimeWarning`, regulation unaffected).
+        """
+        root = self._root
+        if root._sink_disabled:
+            return
+        try:
+            self.sink.emit(event)
+        except Exception:
+            root._sink_failures += 1
+            self.metrics.inc("sink_failures")
+            if root._sink_failures >= _SINK_FAILURE_LIMIT:
+                root._sink_disabled = True
+                root.emitting = False
+                self.metrics.inc("sink_disabled")
+                warnings.warn(
+                    f"telemetry sink {self.sink!r} disabled after "
+                    f"{root._sink_failures} emit failures; "
+                    "regulation continues without telemetry",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def close(self) -> None:
         """Close the sink (flushes file-backed sinks)."""

@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.core.config import DEFAULT_CONFIG, MannersConfig
 from repro.core.controller import TestpointDecision
-from repro.core.errors import RegulationStateError
+from repro.core.errors import PersistenceError, RegulationStateError
 from repro.core.persistence import TargetStore
 from repro.core.superintendent import Superintendent
 from repro.core.supervisor import Supervisor
@@ -78,6 +78,9 @@ class RealTimeRegulator:
         self._last_save = time.monotonic()
         self._save_interval = 300.0
         self._closed = False
+        #: Persistence failures absorbed (load fell back to bootstrap,
+        #: save skipped); regulation is never interrupted by storage.
+        self.persistence_errors = 0
 
     # -- registration ---------------------------------------------------------------
     def register(self, priority: int = 0, thread_id: int | None = None) -> None:
@@ -185,7 +188,13 @@ class RealTimeRegulator:
     # -- internals --------------------------------------------------------------------------
     def _load_targets_into(self, regulator) -> None:
         if self._store is not None and self._app_id is not None:
-            persisted = self._store.load(self._app_id)
+            try:
+                persisted = self._store.load(self._app_id)
+            except PersistenceError as exc:
+                # Degraded mode: an unreadable target file costs a fresh
+                # bootstrap, never a crashed worker thread.
+                self._note_persistence_error("rebootstrap", exc)
+                return
             if persisted is not None:
                 regulator.import_state(persisted)
 
@@ -205,5 +214,21 @@ class RealTimeRegulator:
         # One thread's calibration represents the application's targets
         # (the paper persists per-application target files).
         state = self._supervisor.regulator(tids[0]).export_state()
-        self._store.save(self._app_id, state)
+        try:
+            self._store.save(self._app_id, state)
+        except PersistenceError as exc:
+            # The store already retried; drop this snapshot and try again
+            # at the next save interval rather than unwinding a testpoint.
+            self._note_persistence_error("save_skipped", exc)
         self._last_save = time.monotonic()
+
+    def _note_persistence_error(self, action: str, exc: PersistenceError) -> None:
+        self.persistence_errors += 1
+        tel = self._telemetry
+        if tel is not None:
+            tel.emit(
+                obs_events.RecoveryAction(
+                    t=tel.now, src=tel.label, action=action, detail=str(exc)
+                )
+            )
+            tel.metrics.inc("persistence_errors")

@@ -42,7 +42,7 @@ from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 from repro.benice.polling import AdaptivePoller
 from repro.core.config import DEFAULT_CONFIG, MannersConfig
 from repro.core.controller import ThreadRegulator
-from repro.core.errors import RegulationStateError
+from repro.core.errors import MetricError, RegulationStateError
 from repro.obs import events as obs_events
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -95,6 +95,7 @@ class PosixBeNiceStats:
     suspensions: int = 0
     total_suspension_time: float = 0.0
     signal_errors: int = 0
+    metric_errors: int = 0
     last_values: tuple[float, ...] = field(default_factory=tuple)
 
 
@@ -170,7 +171,25 @@ class PosixBeNice:
             self.stats.last_values = values
             self.stats.polls += 1
             self._poller.record_poll(changed)
-            decision = self.regulator.on_testpoint(time.monotonic(), 0, values)
+            try:
+                decision = self.regulator.on_testpoint(time.monotonic(), 0, values)
+            except MetricError as exc:
+                # A garbage counter read (the target rewrote its file with
+                # different keys, or published non-numeric junk) must not
+                # kill the monitor thread: skip the sample and poll again.
+                self.stats.metric_errors += 1
+                tel = self._telemetry
+                if tel is not None:
+                    tel.metrics.inc("benice_metric_errors")
+                    tel.emit(
+                        obs_events.AnomalyDetected(
+                            t=tel.now,
+                            src=tel.label,
+                            anomaly="metric_error",
+                            detail=str(exc),
+                        )
+                    )
+                continue
             tel = self._telemetry
             if tel is not None:
                 tel.metrics.inc("benice_polls")

@@ -16,6 +16,12 @@ device does not care) but their completions are parked until resume.
 Listeners can subscribe to thread lifecycle events (spawn, block, run,
 suspend, resume, exit) to build the execution-duty traces behind the
 paper's Figures 7 and 9.
+
+For the fault-injection harness (:mod:`repro.faults`) the kernel also
+exposes crash and I/O-failure hooks: :meth:`Kernel.kill_thread` terminates
+a thread externally at an arbitrary point (including mid-suspension), and
+:meth:`Kernel.inject_disk_fault` makes the next N requests to a disk fail
+with :class:`DiskFault` delivered into the issuing thread.
 """
 
 from __future__ import annotations
@@ -39,7 +45,17 @@ from repro.simos.effects import (
 )
 from repro.simos.engine import Engine, SimulationError
 
-__all__ = ["ThreadState", "SimThread", "Kernel"]
+__all__ = ["ThreadState", "SimThread", "Kernel", "DiskFault"]
+
+
+class DiskFault(SimulationError):
+    """An injected I/O failure, thrown into the thread that issued the I/O.
+
+    Application threads model error handling by catching this where they
+    yield :class:`~repro.simos.effects.DiskRead` /
+    :class:`~repro.simos.effects.DiskWrite`; an uncaught fault fails the
+    thread like any other exception.
+    """
 
 #: Default shared-bus bandwidth: Ultra-Wide SCSI, 40 MB/s.
 DEFAULT_BUS_BANDWIDTH = 40_000_000.0
@@ -81,8 +97,9 @@ class SimThread:
         self.blocked_on: str | None = None
         #: Debug-interface suspension flag.
         self.suspended = False
-        #: Parked effect completion delivered while suspended.
-        self._parked: tuple[Any] | None = None
+        #: Parked effect completion ``(value, exception)`` delivered while
+        #: suspended; at most one of the two is meaningful.
+        self._parked: tuple[Any, BaseException | None] | None = None
         #: CPU service remaining when suspension evicted a running burst.
         self._pending_cpu: float | None = None
         #: Generator return value once DONE.
@@ -121,6 +138,8 @@ class Kernel:
         self._seed = seed
         self._threads: list[SimThread] = []
         self._listeners: list[Listener] = []
+        #: Injected I/O failures still pending, per disk name.
+        self._disk_faults: dict[str, int] = {}
         self._handlers: dict[type, Callable[[SimThread, Effect], None]] = {
             Delay: self._do_delay,
             UseCPU: self._do_cpu,
@@ -237,9 +256,50 @@ class Kernel:
                 thread, remaining, int(thread.priority), lambda: self.deliver(thread, None)
             )
         elif thread._parked is not None:
-            (value,) = thread._parked
+            value, exc = thread._parked
             thread._parked = None
-            self.engine.call_after(0.0, self._advance, thread, value)
+            self.engine.call_after(0.0, self._advance, thread, value, exc)
+
+    def kill_thread(
+        self, thread: SimThread, error: BaseException | None = None
+    ) -> None:
+        """Externally terminate a thread at an arbitrary point.
+
+        The crash-injection counterpart of :meth:`suspend_thread`: works on
+        running, blocked, and suspended threads alike (crashing a thread
+        mid-suspension is the interesting robustness case — its supervisor
+        must still learn of the exit and free its slot).  The generator is
+        closed so ``finally`` blocks run; the thread ends ``DONE`` with
+        ``error`` recorded, and listeners see a normal ``exit`` event.
+        """
+        if not thread.alive:
+            return
+        if thread.blocked_on == "cpu" and not thread.suspended:
+            self.cpu.remove(thread)
+        thread.suspended = False
+        thread._parked = None
+        thread._pending_cpu = None
+        try:
+            thread.body.close()
+        except Exception:
+            # A generator refusing to die is its own bug; the kill wins.
+            pass
+        thread.state = ThreadState.DONE
+        thread.error = error
+        thread.blocked_on = None
+        self._notify("exit", thread)
+
+    def inject_disk_fault(self, disk: str, count: int = 1) -> None:
+        """Fail the next ``count`` I/O requests submitted to ``disk``.
+
+        Each faulted request delivers a :class:`DiskFault` into the issuing
+        thread instead of performing the I/O.
+        """
+        if disk not in self.disks:
+            raise SimulationError(f"no such disk {disk!r}")
+        if count < 1:
+            raise SimulationError(f"fault count must be >= 1, got {count}")
+        self._disk_faults[disk] = self._disk_faults.get(disk, 0) + count
 
     # -- effect completion ----------------------------------------------------------------
     def deliver(self, thread: SimThread, value: Any) -> None:
@@ -252,25 +312,45 @@ class Kernel:
         if not thread.alive:
             return
         if thread.suspended:
-            thread._parked = (value,)
+            thread._parked = (value, None)
             return
         self._advance(thread, value)
+
+    def deliver_error(self, thread: SimThread, exc: BaseException) -> None:
+        """Complete the thread's outstanding effect by raising ``exc`` in it.
+
+        The error-path twin of :meth:`deliver`: the exception is thrown at
+        the thread's current yield point.  Same parking semantics —
+        delivery to a suspended thread waits for resume, delivery to a
+        dead thread is dropped.
+        """
+        if not thread.alive:
+            return
+        if thread.suspended:
+            thread._parked = (None, exc)
+            return
+        self._advance(thread, None, exc)
 
     # -- internals ------------------------------------------------------------------------
     def _first_step(self, thread: SimThread) -> None:
         if thread.suspended:
-            thread._parked = (None,)
+            thread._parked = (None, None)
             return
         self._advance(thread, None)
 
-    def _advance(self, thread: SimThread, value: Any) -> None:
+    def _advance(
+        self, thread: SimThread, value: Any, exc: BaseException | None = None
+    ) -> None:
         if not thread.alive:
             return
         thread.state = ThreadState.RUNNING
         thread.blocked_on = None
         self._notify("run", thread)
         try:
-            effect = thread.body.send(value)
+            if exc is not None:
+                effect = thread.body.throw(exc)
+            else:
+                effect = thread.body.send(value)
         except StopIteration as stop:
             thread.state = ThreadState.DONE
             thread.result = stop.value
@@ -315,6 +395,19 @@ class Kernel:
             raise SimulationError(f"no such disk {effect.disk!r}")
         kind = "read" if isinstance(effect, DiskRead) else "write"
         thread.blocked_on = f"disk:{effect.disk}"
+        pending_faults = self._disk_faults.get(effect.disk, 0)
+        if pending_faults > 0:
+            if pending_faults == 1:
+                del self._disk_faults[effect.disk]
+            else:
+                self._disk_faults[effect.disk] = pending_faults - 1
+            self.engine.call_after(
+                0.0,
+                self.deliver_error,
+                thread,
+                DiskFault(f"injected {kind} failure on disk {effect.disk!r}"),
+            )
+            return
         disk.submit(kind, effect.block, effect.nbytes, lambda: self.deliver(thread, None))
 
     def _do_wait(self, thread: SimThread, effect: WaitCondition) -> None:

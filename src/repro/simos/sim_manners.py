@@ -22,11 +22,11 @@ thread for the dynamic-behaviour figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Hashable
+from typing import TYPE_CHECKING, Callable, Hashable
 
 from repro.core.config import DEFAULT_CONFIG, MannersConfig
 from repro.core.controller import TestpointDecision, ThreadRegulator
-from repro.core.errors import RegulationStateError
+from repro.core.errors import PersistenceError, RegulationStateError
 from repro.core.persistence import TargetStore
 from repro.core.superintendent import Superintendent
 from repro.core.supervisor import Supervisor
@@ -75,12 +75,24 @@ class SimManners:
         config: MannersConfig = DEFAULT_CONFIG,
         machine_wide: bool = True,
         telemetry: "Telemetry | None" = None,
+        time_source: Callable[[], float] | None = None,
     ) -> None:
         """``machine_wide=False`` gives every process its *own*
         superintendent, disabling cross-process time-multiplex isolation —
-        the ablation for section 4.5 (mutually induced suspension)."""
+        the ablation for section 4.5 (mutually induced suspension).
+
+        ``time_source`` replaces the kernel clock as the time the
+        *regulation stack* observes (testpoint timestamps, eligibility,
+        hung checks).  Real libraries read an OS clock that can step or
+        leap independently of true time; the fault harness exploits this
+        seam to feed regulators a skewed clock while the simulation's
+        event engine keeps running on honest time.
+        """
         self._kernel = kernel
         self._config = config
+        self._time: Callable[[], float] = (
+            time_source if time_source is not None else (lambda: kernel.now)
+        )
         self._machine_wide = machine_wide
         self._telemetry = telemetry
         self._superintendent = Superintendent(
@@ -142,7 +154,10 @@ class SimManners:
         The thread's kernel ``process`` attribute determines which
         supervisor (and thus which superintendent slot) it belongs to.
         With ``store``/``app_id``, persisted targets are loaded now and the
-        regulator starts past bootstrap.
+        regulator starts past bootstrap.  An unreadable target file is not
+        fatal: the regulator falls back to a fresh bootstrap (reported as a
+        ``recovery`` event), matching the degraded-mode contract of
+        ``docs/robustness.md``.
         """
         if thread in self._registration:
             raise RegulationStateError(f"thread {thread!r} already regulated")
@@ -151,12 +166,38 @@ class SimManners:
             thread, priority=priority, config=config, comparator=comparator
         )
         if store is not None and app_id is not None:
-            persisted = store.load(app_id)
+            quarantined_before = len(store.quarantined)
+            try:
+                persisted = store.load(app_id)
+            except PersistenceError as exc:
+                persisted = None
+                self._note_load_failure(thread, app_id, str(exc))
             if persisted is not None:
                 regulator.import_state(persisted)
+            elif len(store.quarantined) > quarantined_before:
+                self._note_load_failure(thread, app_id, "target file quarantined")
         self._registration[thread] = sup
         self.traces[thread] = TestpointTrace()
         return regulator
+
+    def _note_load_failure(
+        self, thread: SimThread, app_id: str, detail: str
+    ) -> None:
+        """Report a failed target load and the rebootstrap fallback."""
+        tel = self._telemetry
+        if tel is None:
+            return
+        now = self._kernel.now
+        tel.tick(now)
+        tel.emit(
+            obs_events.RecoveryAction(
+                t=now,
+                src=scope_label(thread),
+                action="rebootstrap",
+                detail=f"{app_id}: {detail}",
+            )
+        )
+        tel.metrics.inc("target_load_fallbacks")
 
     def regulator(self, thread: SimThread) -> ThreadRegulator:
         """The regulator of an enrolled thread."""
@@ -174,7 +215,7 @@ class SimManners:
                 f"thread {thread.name!r} yielded a testpoint but is not "
                 "regulated; call SimManners.regulate() first"
             )
-        now = self._kernel.now
+        now = self._time()
         decision = sup.on_testpoint(now, thread, effect.index, effect.metrics)
         trace = self.traces[thread]
         if decision.processed:
@@ -218,12 +259,31 @@ class SimManners:
         self._waiting.pop(thread, None)
         self._parked_at.pop(thread, None)
         sup.unregister_thread(thread)
+        if thread.error is not None and self._telemetry is not None:
+            # A crashed thread (vs. a normal exit) had its slot reclaimed;
+            # record the recovery so chaos traces show the fault absorbed.
+            tel = self._telemetry
+            tel.tick(now)
+            tel.emit(
+                obs_events.RecoveryAction(
+                    t=now,
+                    src=scope_label(thread),
+                    action="slot_released",
+                    detail=f"thread exited with {type(thread.error).__name__}",
+                )
+            )
+            tel.metrics.inc("slots_released_on_crash")
         self._pump()
 
     # -- arbitration pump --------------------------------------------------------------
     def _pump(self) -> None:
-        """Seat eligible threads and schedule the next wake-up."""
-        now = self._kernel.now
+        """Seat eligible threads and schedule the next wake-up.
+
+        All regulation-facing times (eligibility, hung checks) are in the
+        regulation clock's frame (``self._time``); only the timer itself is
+        scheduled on honest engine time, converting via the current offset.
+        """
+        now = self._time()
         released = True
         while released:
             released = False
@@ -273,11 +333,15 @@ class SimManners:
             # event. A small poll keeps the bridge simple and costs little.
             wakes.append(now + self._config.min_testpoint_interval)
         when = min(wakes)
+        # ``when`` is in the regulation clock's frame; translate into the
+        # engine's frame through the current offset (both clocks advance at
+        # the same rate between injected steps).
+        kernel_when = self._kernel.now + max(when - now, 0.0)
         if self._timer is not None:
-            if self._timer.when <= when and not self._timer.cancelled:
+            if self._timer.when <= kernel_when and not self._timer.cancelled:
                 return
             self._timer.cancel()
-        self._timer = self._kernel.engine.call_at(max(when, now), self._on_timer)
+        self._timer = self._kernel.engine.call_at(kernel_when, self._on_timer)
 
     def _on_timer(self) -> None:
         self._timer = None

@@ -65,6 +65,70 @@ class TestRateCalculator:
             RateCalculator(0)
 
 
+class TestLenientMode:
+    """``strict=False``: §4.1 discard-and-rebase instead of raising."""
+
+    def test_strict_is_the_default(self):
+        assert RateCalculator(1).strict
+        assert not RateCalculator(1, strict=False).strict
+
+    def test_backward_time_discarded_and_time_kept(self):
+        calc = RateCalculator(1, strict=False)
+        calc.observe(5.0, [10.0])
+        assert calc.observe(3.0, [12.0]) is None
+        assert calc.anomalies == 1
+        assert calc.last_anomaly == "clock_backward"
+        # The furthest time is kept so the next valid sample cannot span a
+        # negative interval; the (valid) counters did rebase.
+        sample = calc.observe(6.0, [15.0])
+        assert sample.duration == pytest.approx(1.0)
+        assert sample.deltas == (3.0,)
+
+    def test_counter_regression_adopts_new_baseline(self):
+        """An application restart resets its counters; adopt, don't die."""
+        calc = RateCalculator(1, strict=False)
+        calc.observe(0.0, [100.0])
+        assert calc.observe(1.0, [5.0]) is None
+        assert calc.last_anomaly == "counter_regression"
+        sample = calc.observe(2.0, [8.0])
+        assert sample.duration == pytest.approx(1.0)
+        assert sample.deltas == (3.0,)
+
+    def test_non_finite_counters_leave_baseline_untouched(self):
+        calc = RateCalculator(1, strict=False)
+        calc.observe(0.0, [0.0])
+        assert calc.observe(1.0, [float("nan")]) is None
+        assert calc.last_anomaly == "non_finite"
+        # Garbage teaches nothing: the old baseline still anchors deltas.
+        sample = calc.observe(2.0, [4.0])
+        assert sample.duration == pytest.approx(2.0)
+        assert sample.deltas == (4.0,)
+
+    def test_non_finite_time_discarded(self):
+        calc = RateCalculator(1, strict=False)
+        calc.observe(0.0, [0.0])
+        assert calc.observe(float("inf"), [1.0]) is None
+        assert calc.anomalies == 1
+        sample = calc.observe(1.0, [2.0])
+        assert sample is not None
+
+    def test_arity_mismatch_still_raises(self):
+        """Wrong arity is a caller bug, not a measurement anomaly."""
+        calc = RateCalculator(2, strict=False)
+        with pytest.raises(MetricError):
+            calc.observe(0.0, [1.0])
+        assert calc.anomalies == 0
+
+    def test_anomaly_counter_accumulates(self):
+        calc = RateCalculator(1, strict=False)
+        calc.observe(10.0, [0.0])
+        calc.observe(5.0, [1.0])
+        calc.observe(4.0, [2.0])
+        calc.observe(11.0, [float("inf")])
+        assert calc.anomalies == 3
+        assert calc.last_anomaly == "non_finite"
+
+
 class TestRateSample:
     def test_zero_duration_rates(self):
         sample = RateSample(when=1.0, duration=0.0, deltas=(5.0, 0.0))

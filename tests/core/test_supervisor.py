@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.core.errors import RegulationStateError
 from repro.core.superintendent import Superintendent
 from repro.core.supervisor import Supervisor
+from repro.obs.sinks import MemorySink
+from repro.obs.telemetry import Telemetry
 
 
 class TestRegistration:
@@ -134,6 +138,131 @@ class TestHungEviction:
         clock.advance(1.0)
         sup.on_testpoint(clock.now(), "t1", 0, [0.0])
         assert not sup.is_hung("t1")
+
+
+def drive_cycles(sup, clock, tid, cycles, spacing, counter=0.0):
+    """Seat ``tid`` and run ``cycles`` release→testpoint intervals."""
+    for _ in range(cycles):
+        assert sup.poll(clock.now()) == tid
+        clock.advance(spacing)
+        counter += 1.0
+        sup.on_testpoint(clock.now(), tid, 0, [counter])
+    return counter
+
+
+class TestWatchdog:
+    """Early eviction of stalled threads (watchdog_multiplier > 0)."""
+
+    def _config(self, fast_config, multiplier=5.0):
+        return dataclasses.replace(fast_config, watchdog_multiplier=multiplier)
+
+    def test_threshold_defaults_to_hung_threshold(self, fast_config, clock):
+        sup = Supervisor(self._config(fast_config))
+        sup.register_thread("t1")
+        # No learned spacing yet: only the coarse hung threshold applies.
+        assert sup.watchdog_threshold("t1") == fast_config.hung_threshold
+
+    def test_threshold_learned_from_spacing(self, fast_config, clock):
+        sup = Supervisor(self._config(fast_config, multiplier=5.0))
+        sup.register_thread("t1")
+        drive_cycles(sup, clock, "t1", cycles=4, spacing=0.2)
+        assert sup.watchdog_threshold("t1") == pytest.approx(5.0 * 0.2)
+
+    def test_threshold_capped_at_hung_threshold(self, fast_config, clock):
+        sup = Supervisor(self._config(fast_config, multiplier=1e6))
+        sup.register_thread("t1")
+        drive_cycles(sup, clock, "t1", cycles=3, spacing=0.2)
+        assert sup.watchdog_threshold("t1") == fast_config.hung_threshold
+
+    def test_spacing_ema_updates(self, fast_config, clock):
+        sup = Supervisor(self._config(fast_config))
+        sup.register_thread("t1")
+        drive_cycles(sup, clock, "t1", cycles=1, spacing=1.0)
+        drive_cycles(sup, clock, "t1", cycles=1, spacing=2.0)
+        # Exponential average: 0.7 * 1.0 + 0.3 * 2.0.
+        assert sup.watchdog_threshold("t1") == pytest.approx(5.0 * 1.3)
+
+    def test_stalled_owner_evicted_early(self, fast_config, clock):
+        """A stall far below hung_threshold still frees the slot."""
+        sup = Supervisor(self._config(fast_config, multiplier=5.0))
+        sup.register_thread("t1")
+        sup.register_thread("t2")
+        counter = 0.0
+        for _ in range(4):
+            while sup.running is None:
+                assert sup.poll(clock.now()) is not None
+            tid = sup.running
+            clock.advance(0.2)
+            counter += 1.0
+            sup.on_testpoint(clock.now(), tid, 0, [counter])
+        seated = sup.poll(clock.now())
+        assert seated is not None
+        stall = 2.0  # well below hung_threshold (30s), above 5 * 0.2s
+        assert stall < fast_config.hung_threshold
+        clock.advance(stall)
+        assert sup.check_hung(clock.now()) == seated
+        assert sup.is_hung(seated)
+        # The slot is free for the other thread.
+        other = "t2" if seated == "t1" else "t1"
+        assert sup.poll(clock.now()) == other
+
+    def test_watchdog_eviction_forces_regulator_discard(self, fast_config, clock):
+        """Below hung_threshold the regulator would measure the stall as a
+        slow interval; the watchdog must tell it to discard instead."""
+        sup = Supervisor(self._config(fast_config, multiplier=5.0))
+        reg = sup.register_thread("t1")
+        counter = drive_cycles(sup, clock, "t1", cycles=4, spacing=0.2)
+        assert sup.poll(clock.now()) == "t1"
+        clock.advance(2.0)
+        assert sup.check_hung(clock.now()) == "t1"
+        decision = sup.on_testpoint(clock.now(), "t1", 0, [counter + 1.0])
+        assert decision.processed
+        assert decision.anomaly == "watchdog_stall"
+        assert reg.stats.forced_discards == 1
+
+    def test_full_hung_eviction_does_not_force_discard(self, fast_config, clock):
+        """Beyond hung_threshold the regulator's own hung discard applies."""
+        sup = Supervisor(fast_config)  # multiplier 0: watchdog disabled
+        reg = sup.register_thread("t1")
+        counter = drive_cycles(sup, clock, "t1", cycles=4, spacing=0.2)
+        assert sup.poll(clock.now()) == "t1"
+        clock.advance(fast_config.hung_threshold + 1.0)
+        assert sup.check_hung(clock.now()) == "t1"
+        sup.on_testpoint(clock.now(), "t1", 0, [counter + 1.0])
+        assert reg.stats.forced_discards == 0
+
+    def test_no_early_eviction_without_multiplier(self, fast_config, clock):
+        sup = Supervisor(fast_config)
+        sup.register_thread("t1")
+        drive_cycles(sup, clock, "t1", cycles=4, spacing=0.2)
+        assert sup.poll(clock.now()) == "t1"
+        clock.advance(2.0)  # would trip a 5 * 0.2s watchdog
+        assert sup.check_hung(clock.now()) is None
+
+    def test_no_eviction_within_learned_spacing(self, fast_config, clock):
+        sup = Supervisor(self._config(fast_config, multiplier=5.0))
+        sup.register_thread("t1")
+        drive_cycles(sup, clock, "t1", cycles=4, spacing=0.2)
+        assert sup.poll(clock.now()) == "t1"
+        clock.advance(0.5)  # below the 1.0s learned threshold
+        assert sup.check_hung(clock.now()) is None
+
+    def test_eviction_emits_anomaly_and_recovery(self, fast_config, clock):
+        memory = MemorySink()
+        sup = Supervisor(
+            self._config(fast_config, multiplier=5.0),
+            telemetry=Telemetry(sink=memory),
+        )
+        sup.register_thread("t1")
+        drive_cycles(sup, clock, "t1", cycles=4, spacing=0.2)
+        assert sup.poll(clock.now()) == "t1"
+        clock.advance(2.0)
+        sup.check_hung(clock.now())
+        anomalies = [e for e in memory.events if e.kind == "anomaly"]
+        recoveries = [e for e in memory.events if e.kind == "recovery"]
+        assert anomalies and anomalies[-1].anomaly == "watchdog_stall"
+        assert recoveries and recoveries[-1].action == "watchdog_release"
+        assert [e for e in memory.events if e.kind == "slot_evicted"]
 
 
 class TestUsageCharging:

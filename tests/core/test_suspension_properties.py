@@ -1,0 +1,96 @@
+"""Property tests for the suspension timer's backoff invariants (§4.1).
+
+The clamp invariant — ``initial <= imposed <= maximum`` for every POOR
+judgment, under any interleaving of judgments — is what keeps downstream
+sleep/park math safe: no substrate ever receives a negative, zero, or
+runaway suspension.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigError
+from repro.core.suspension import SuspensionTimer
+
+finite_positive = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestConstructionGuards:
+    @pytest.mark.parametrize(
+        "initial", [float("nan"), float("inf"), -1.0, 0.0, -float("inf")]
+    )
+    def test_bad_initial_rejected(self, initial):
+        with pytest.raises(ConfigError):
+            SuspensionTimer(initial=initial, maximum=10.0)
+
+    @pytest.mark.parametrize("maximum", [float("nan"), float("inf"), 0.5])
+    def test_bad_maximum_rejected(self, maximum):
+        with pytest.raises(ConfigError):
+            SuspensionTimer(initial=1.0, maximum=maximum)
+
+    @given(initial=finite_positive, maximum=finite_positive)
+    def test_construction_totality(self, initial, maximum):
+        """Any finite positive pair either constructs or raises ConfigError."""
+        if maximum >= initial:
+            timer = SuspensionTimer(initial=initial, maximum=maximum)
+            assert timer.current == initial
+        else:
+            with pytest.raises(ConfigError):
+                SuspensionTimer(initial=initial, maximum=maximum)
+
+
+@given(
+    initial=finite_positive,
+    factor=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    judgments=st.lists(st.sampled_from(["poor", "good", "none"]), max_size=60),
+)
+@settings(max_examples=200)
+def test_imposed_suspension_always_in_band(initial, factor, judgments):
+    """Every imposed suspension lies in ``[initial, maximum]`` and is finite."""
+    maximum = initial * factor
+    timer = SuspensionTimer(initial=initial, maximum=maximum)
+    for judgment in judgments:
+        if judgment == "poor":
+            imposed = timer.on_poor()
+            assert math.isfinite(imposed)
+            assert initial <= imposed <= maximum
+        elif judgment == "good":
+            timer.on_good()
+        assert math.isfinite(timer.current)
+        assert initial <= timer.current <= maximum
+
+
+@given(
+    initial=finite_positive,
+    factor=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    poors=st.integers(min_value=0, max_value=50),
+)
+def test_backoff_is_exponential_then_capped(initial, factor, poors):
+    """The k-th consecutive poor imposes ``min(initial * 2**k, maximum)``."""
+    maximum = initial * factor
+    timer = SuspensionTimer(initial=initial, maximum=maximum)
+    for k in range(poors):
+        imposed = timer.on_poor()
+        expected = min(initial * 2.0**k, maximum)
+        assert imposed == pytest.approx(expected)
+    assert timer.consecutive_poor == poors
+
+
+@given(
+    initial=finite_positive,
+    factor=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    poors=st.integers(min_value=1, max_value=50),
+)
+def test_good_resets_fully(initial, factor, poors):
+    timer = SuspensionTimer(initial=initial, maximum=initial * factor)
+    for _ in range(poors):
+        timer.on_poor()
+    timer.on_good()
+    assert timer.current == initial
+    assert timer.consecutive_poor == 0
+    assert timer.on_poor() == pytest.approx(initial)

@@ -44,6 +44,15 @@ SAMPLE_EVENTS = [
     obs_events.SlotEvicted(t=12.0, src="p", process="p", thread="t1", idle_for=31.0),
     obs_events.TokenHandoff(t=13.0, src="", process="p", action="acquired"),
     obs_events.BeNicePoll(t=14.0, src="benice:x", interval=0.3, changed=True, delay=0.0),
+    obs_events.FaultInjected(
+        t=15.0, src="faults", fault="clock_jump", target="clock", param=3600.0
+    ),
+    obs_events.AnomalyDetected(
+        t=16.0, src="a", anomaly="clock_backward", value=5.0, detail="t=16 < t=21"
+    ),
+    obs_events.RecoveryAction(
+        t=17.0, src="a", action="quarantine", detail="app.manners.json.corrupt"
+    ),
 ]
 
 

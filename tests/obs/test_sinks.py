@@ -3,12 +3,30 @@
 from __future__ import annotations
 
 import json
+import warnings
+
+import pytest
 
 from repro.obs import events as obs_events
 from repro.obs.report import read_events
-from repro.obs.sinks import JsonlSink, MemorySink, NullSink
+from repro.obs.sinks import FanoutSink, JsonlSink, MemorySink, NullSink
+from repro.obs.telemetry import Telemetry
 
 from .test_events import SAMPLE_EVENTS
+
+
+class _BoomSink:
+    """A sink whose emit always raises (and whose close raises too)."""
+
+    def __init__(self):
+        self.attempts = 0
+
+    def emit(self, event):
+        self.attempts += 1
+        raise RuntimeError("boom")
+
+    def close(self):
+        raise RuntimeError("close boom")
 
 
 class TestNullSink:
@@ -66,3 +84,91 @@ class TestJsonlSink:
         sink.emit(bad)
         sink.close()
         assert sink.write_errors == 1
+
+
+class TestFanoutSink:
+    def test_duplicates_to_all_children(self):
+        a, b = MemorySink(), MemorySink()
+        fanout = FanoutSink(a, b)
+        for event in SAMPLE_EVENTS[:3]:
+            fanout.emit(event)
+        assert a.events == SAMPLE_EVENTS[:3]
+        assert b.events == SAMPLE_EVENTS[:3]
+
+    def test_failing_child_isolated_others_keep_flowing(self):
+        memory, boom = MemorySink(), _BoomSink()
+        fanout = FanoutSink(memory, boom, max_failures=3)
+        with pytest.warns(RuntimeWarning, match="disabled"):
+            for event in SAMPLE_EVENTS[:5]:
+                fanout.emit(event)
+        # The healthy child saw everything; the broken one was cut off
+        # after exactly max_failures attempts.
+        assert memory.events == SAMPLE_EVENTS[:5]
+        assert boom.attempts == 3
+        assert fanout.failures == [0, 3]
+        assert fanout.enabled(0)
+        assert not fanout.enabled(1)
+        assert fanout.disabled_sinks == (boom,)
+
+    def test_warns_exactly_once(self):
+        fanout = FanoutSink(_BoomSink(), max_failures=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for event in SAMPLE_EVENTS[:4]:
+                fanout.emit(event)
+        runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+
+    def test_no_warning_below_limit(self):
+        fanout = FanoutSink(_BoomSink(), max_failures=5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            fanout.emit(SAMPLE_EVENTS[0])
+        assert fanout.enabled(0)
+        assert fanout.failures == [1]
+
+    def test_max_failures_domain(self):
+        with pytest.raises(ValueError):
+            FanoutSink(MemorySink(), max_failures=0)
+
+    def test_close_swallows_child_errors(self):
+        fanout = FanoutSink(_BoomSink(), MemorySink())
+        fanout.close()  # must not raise
+
+
+class TestTelemetrySinkIsolation:
+    def test_sink_disabled_after_limit(self):
+        boom = _BoomSink()
+        with pytest.warns(RuntimeWarning, match="disabled"):
+            tel = Telemetry(sink=boom)
+            for event in SAMPLE_EVENTS[:5]:
+                tel.emit(event)
+        assert tel.sink_disabled
+        assert tel.sink_failures == 3
+        # Once disabled the sink is never called again.
+        assert boom.attempts == 3
+        assert not tel.emitting
+        assert tel.metrics.counter("sink_failures").value == 3
+        assert tel.metrics.counter("sink_disabled").value == 1
+
+    def test_failures_shared_across_scoped_children(self):
+        boom = _BoomSink()
+        tel = Telemetry(sink=boom)
+        child = tel.scoped("thread-1")
+        with pytest.warns(RuntimeWarning):
+            tel.emit(SAMPLE_EVENTS[0])
+            child.emit(SAMPLE_EVENTS[1])
+            child.emit(SAMPLE_EVENTS[2])
+        # Child failures count toward the one shared root limit.
+        assert tel.sink_disabled
+        assert child.sink_disabled
+        assert tel.sink_failures == 3
+
+    def test_healthy_sink_never_disabled(self):
+        memory = MemorySink()
+        tel = Telemetry(sink=memory)
+        for event in SAMPLE_EVENTS:
+            tel.emit(event)
+        assert not tel.sink_disabled
+        assert tel.sink_failures == 0
+        assert memory.events == SAMPLE_EVENTS
