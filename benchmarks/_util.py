@@ -1,13 +1,39 @@
-"""Helpers shared by the benchmark modules (env-driven sizing)."""
+"""Helpers shared by the benchmark modules (env-driven sizing + fan-out).
+
+Every ``bench_*`` module sizes itself from the environment and drives its
+repeated trials through :func:`run_bench_trials`, which routes them into
+the parallel trial engine (:mod:`repro.analysis.parallel`):
+
+* ``REPRO_TRIALS`` — trials per configuration (paper uses 50);
+* ``REPRO_SCALE`` — workload scale (1.0 = paper-magnitude run times);
+* ``REPRO_JOBS`` — worker processes for trial fan-out (default 1 here, so
+  a plain pytest run stays single-process and exactly reproduces the
+  serial results; set ``REPRO_JOBS=4`` to use four cores);
+* ``REPRO_CACHE`` — set to ``0`` to disable the content-keyed trial cache
+  under ``benchmarks/results/cache/`` (enabled by default: re-running an
+  unchanged sweep skips completed trials).
+"""
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.analysis.parallel import TrialCache, resolve_jobs
+from repro.analysis.runner import run_trials, trial_count
+
+#: Benchmark trial cache location, next to the persisted reports.
+CACHE_DIR = Path(__file__).parent / "results" / "cache"
 
 
 def bench_trials(default: int = 5) -> int:
-    """Trials per configuration (``REPRO_TRIALS``; the paper uses 50)."""
-    return int(os.environ.get("REPRO_TRIALS", default))
+    """Trials per configuration (``REPRO_TRIALS``; the paper uses 50).
+
+    Validates ``REPRO_TRIALS >= 1`` with the same :class:`ValueError` as
+    :func:`repro.analysis.runner.trial_count`.
+    """
+    return trial_count(default)
 
 
 def bench_scale(default: float = 1.0) -> float:
@@ -15,6 +41,70 @@ def bench_scale(default: float = 1.0) -> float:
     return float(os.environ.get("REPRO_SCALE", default))
 
 
+def bench_jobs(default: int = 1) -> int:
+    """Worker processes for trial fan-out (``REPRO_JOBS``; default serial)."""
+    return resolve_jobs(None, default=default)
+
+
+def bench_cache() -> TrialCache | None:
+    """The benchmark trial cache, or ``None`` when ``REPRO_CACHE=0``."""
+    if os.environ.get("REPRO_CACHE", "1") in ("0", "", "false"):
+        return None
+    return TrialCache(CACHE_DIR)
+
+
 def full_run() -> bool:
     """Whether to run the long-form experiments (``REPRO_FULL=1``)."""
     return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+
+def run_bench_trials(
+    trial: Callable[..., Any],
+    trials: int | None = None,
+    seed_base: int = 1000,
+    cache_name: str | None = None,
+    cache_config: Any = None,
+) -> list[Any]:
+    """Fan ``trial(seed)`` out for a benchmark: parallel + cached.
+
+    The shared execution path of every ``bench_*`` module: honours
+    ``REPRO_JOBS`` (parallel trials need a picklable ``trial``) and, when
+    ``cache_name`` is given, the trial cache (results must then be
+    JSON-safe).  Serial, cache-off runs are bit-identical to the historic
+    inline loops.
+    """
+    return run_trials(
+        trial,
+        trials=trials if trials is not None else bench_trials(),
+        seed_base=seed_base,
+        jobs=bench_jobs(),
+        cache=bench_cache() if cache_name is not None else None,
+        cache_name=cache_name,
+        cache_config=cache_config,
+    )
+
+
+def sweep(
+    scenario: str,
+    modes,
+    metric: str,
+    seed_base: int,
+    trials: int | None = None,
+) -> dict[str, list[float]]:
+    """Per-mode ``metric`` samples for a measured scenario (cached, parallel).
+
+    Thin wrapper over :func:`repro.experiments.scenarios.mode_sweep` wired
+    to the benchmark environment (trials, scale, jobs, cache).
+    """
+    from repro.experiments.scenarios import mode_sweep
+
+    return mode_sweep(
+        scenario,
+        modes,
+        metric,
+        trials=trials if trials is not None else bench_trials(),
+        seed_base=seed_base,
+        scale=bench_scale(),
+        jobs=bench_jobs(),
+        cache=bench_cache(),
+    )

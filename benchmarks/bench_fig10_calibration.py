@@ -15,22 +15,31 @@ probation, 6-hour diurnal cycle); set ``REPRO_FULL=1`` for the paper's full
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.tables import format_series
 from repro.experiments.scenarios import calibration_trial
 
-from _util import bench_scale, full_run
+from _util import bench_scale, full_run, run_bench_trials
 
 
 def run_figure10():
     if full_run():
-        return calibration_trial(
-            seed=13, hours=48.0, probation_hours=24.0, diurnal_hours=24.0,
-            scale=bench_scale(),
-        ), 48.0, 24.0
-    return calibration_trial(
-        seed=13, hours=12.0, probation_hours=6.0, diurnal_hours=6.0,
-        scale=min(bench_scale(), 0.5),
-    ), 12.0, 6.0
+        hours, probation, diurnal, scale = 48.0, 24.0, 24.0, bench_scale()
+    else:
+        hours, probation, diurnal, scale = 12.0, 6.0, 6.0, min(bench_scale(), 0.5)
+    [result] = run_bench_trials(
+        partial(
+            calibration_trial,
+            hours=hours,
+            probation_hours=probation,
+            diurnal_hours=diurnal,
+            scale=scale,
+        ),
+        trials=1,
+        seed_base=13,
+    )
+    return result, hours, probation
 
 
 def test_fig10_target_calibration(benchmark, report):

@@ -12,9 +12,8 @@ from __future__ import annotations
 from repro.analysis.runner import aggregate
 from repro.analysis.tables import format_box_table
 from repro.apps.base import RegulationMode
-from repro.experiments.scenarios import defrag_database_trial
 
-from _util import bench_scale, bench_trials
+from _util import sweep
 
 MODES = (
     RegulationMode.NOT_RUNNING,
@@ -34,17 +33,13 @@ PAPER_RELATIVE = {
 
 
 def run_figure3() -> dict[str, list[float]]:
-    """All trials for every configuration; returns hi-times per mode."""
-    scale = bench_scale()
-    trials = bench_trials()
-    samples: dict[str, list[float]] = {}
-    for mode in MODES:
-        times = []
-        for i in range(trials):
-            result = defrag_database_trial(mode, seed=1000 + i, scale=scale)
-            assert result.hi_time is not None
-            times.append(result.hi_time)
-        samples[mode.value] = times
+    """All trials for every configuration; returns hi-times per mode.
+
+    Trials fan out over ``REPRO_JOBS`` worker processes and completed
+    (mode, seed, scale) trials are served from the trial cache.
+    """
+    samples = sweep("defrag_database", MODES, "hi_time", seed_base=1000)
+    assert all(t is not None for times in samples.values() for t in times)
     return samples
 
 

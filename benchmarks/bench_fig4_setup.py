@@ -11,9 +11,8 @@ from __future__ import annotations
 from repro.analysis.runner import aggregate
 from repro.analysis.tables import format_box_table
 from repro.apps.base import RegulationMode
-from repro.experiments.scenarios import groveler_setup_trial
 
-from _util import bench_scale, bench_trials
+from _util import sweep
 
 MODES = (
     RegulationMode.NOT_RUNNING,
@@ -31,16 +30,8 @@ PAPER_RELATIVE = {
 
 
 def run_figure4() -> dict[str, list[float]]:
-    scale = bench_scale()
-    trials = bench_trials()
-    samples: dict[str, list[float]] = {}
-    for mode in MODES:
-        times = []
-        for i in range(trials):
-            result = groveler_setup_trial(mode, seed=2000 + i, scale=scale)
-            assert result.hi_time is not None
-            times.append(result.hi_time)
-        samples[mode.value] = times
+    samples = sweep("groveler_setup", MODES, "hi_time", seed_base=2000)
+    assert all(t is not None for times in samples.values() for t in times)
     return samples
 
 

@@ -11,9 +11,8 @@ from __future__ import annotations
 from repro.analysis.runner import aggregate
 from repro.analysis.tables import format_box_table
 from repro.apps.base import RegulationMode
-from repro.experiments.scenarios import defrag_idle_trial
 
-from _util import bench_scale, bench_trials
+from _util import sweep
 
 MODES = (
     RegulationMode.UNREGULATED,
@@ -24,16 +23,8 @@ MODES = (
 
 
 def run_figure5() -> dict[str, list[float]]:
-    scale = bench_scale()
-    trials = bench_trials()
-    samples: dict[str, list[float]] = {}
-    for mode in MODES:
-        times = []
-        for i in range(trials):
-            result = defrag_idle_trial(mode, seed=3000 + i, scale=scale)
-            assert result.li_time is not None
-            times.append(result.li_time)
-        samples[mode.value] = times
+    samples = sweep("defrag_idle", MODES, "li_time", seed_base=3000)
+    assert all(t is not None for times in samples.values() for t in times)
     return samples
 
 

@@ -12,9 +12,8 @@ from __future__ import annotations
 from repro.analysis.runner import aggregate
 from repro.analysis.tables import format_box_table
 from repro.apps.base import RegulationMode
-from repro.experiments.scenarios import defrag_database_trial, defrag_idle_trial
 
-from _util import bench_scale, bench_trials
+from _util import bench_trials, sweep
 
 MODES = (
     RegulationMode.UNREGULATED,
@@ -25,30 +24,19 @@ MODES = (
 
 
 def run_figure6() -> dict[str, object]:
-    scale = bench_scale()
     trials = bench_trials()
-    contended: dict[str, list[float]] = {}
-    db_times = []
-    for mode in MODES:
-        times = []
-        for i in range(trials):
-            result = defrag_database_trial(mode, seed=4000 + i, scale=scale)
-            assert result.li_time is not None
-            times.append(result.li_time)
-            if mode is RegulationMode.UNREGULATED and result.hi_time:
-                db_times.append(result.hi_time)
-        contended[mode.value] = times
+    contended = sweep("defrag_database", MODES, "li_time", seed_base=4000)
     # Uncontended baselines for the sharing arithmetic.
-    idle = [
-        defrag_idle_trial(RegulationMode.UNREGULATED, seed=4000 + i, scale=scale).li_time
-        for i in range(trials)
-    ]
-    db_alone = [
-        defrag_database_trial(
-            RegulationMode.NOT_RUNNING, seed=4000 + i, scale=scale
-        ).hi_time
-        for i in range(max(2, trials // 2))
-    ]
+    idle = sweep(
+        "defrag_idle", (RegulationMode.UNREGULATED,), "li_time", seed_base=4000
+    )[RegulationMode.UNREGULATED.value]
+    db_alone = sweep(
+        "defrag_database",
+        (RegulationMode.NOT_RUNNING,),
+        "hi_time",
+        seed_base=4000,
+        trials=max(2, trials // 2),
+    )[RegulationMode.NOT_RUNNING.value]
     return {"contended": contended, "idle": idle, "db_alone": db_alone}
 
 

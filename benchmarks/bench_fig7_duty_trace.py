@@ -9,16 +9,27 @@ afterwards it runs freely again.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.tables import format_series
 from repro.apps.base import RegulationMode
 from repro.experiments.scenarios import defrag_database_trial
 
-from _util import bench_scale
+from _util import bench_scale, run_bench_trials
 
 
 def run_figure7():
-    result = defrag_database_trial(
-        RegulationMode.MS_MANNERS, seed=4242, scale=bench_scale(), with_traces=True
+    # One traced trial through the shared runner (trace objects are not
+    # JSON-safe, so this path is never cached).
+    [result] = run_bench_trials(
+        partial(
+            defrag_database_trial,
+            RegulationMode.MS_MANNERS,
+            scale=bench_scale(),
+            with_traces=True,
+        ),
+        trials=1,
+        seed_base=4242,
     )
     return result
 

@@ -18,15 +18,21 @@ unpredictable times — and regenerates each claim as a number:
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.experiments.related import STRATEGIES, related_strategy_trial
 
-from _util import bench_scale
+from _util import bench_scale, run_bench_trials
 
 
 def run_related():
     scale = bench_scale()
     return {
-        strategy: related_strategy_trial(strategy, seed=42, scale=scale)
+        strategy: run_bench_trials(
+            partial(related_strategy_trial, strategy, scale=scale),
+            trials=1,
+            seed_base=42,
+        )[0]
         for strategy in STRATEGIES
     }
 

@@ -1,0 +1,172 @@
+"""Named benchmarks for the ``repro bench`` CLI, with machine-readable output.
+
+Each named benchmark runs one contention scenario through the parallel
+trial engine and reports performance, not just correctness:
+
+* wall time and trials/sec for the requested ``--jobs`` level;
+* a serial (``jobs=1``) reference pass when ``jobs > 1``, giving
+  ``speedup_vs_serial`` *and* a parity check — the parallel results must
+  equal the serial ones exactly, or the report says so;
+* simulator throughput (``events_per_sec``, from the engine's
+  ``events_fired`` counters);
+* a digest of the trial results, so two runs (e.g. CI's ``--jobs 2`` and
+  ``--jobs 1`` passes) can be compared for determinism across processes.
+
+The report is written as ``BENCH_<name>.json`` so the perf trajectory of
+the simulator and the harness is tracked from run to run.  Timing passes
+always execute trials (cache reads are bypassed — a cache hit would time
+the filesystem, not the simulator); fresh results are stored into the
+trial cache afterwards unless ``--no-cache`` is given, so subsequent
+*sweeps* skip the work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+
+from repro.analysis.parallel import (
+    ParallelRunner,
+    TrialCache,
+    code_fingerprint,
+    resolve_jobs,
+)
+from repro.analysis.runner import trial_count
+
+__all__ = ["BenchSpec", "BENCHMARKS", "run_benchmark", "write_report"]
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One named benchmark: a scenario, a regulation mode, and seeds."""
+
+    #: Scenario key in :data:`repro.experiments.MEASURED_SCENARIOS`.
+    scenario: str
+    #: Regulation mode value (e.g. ``"MS Manners"``).
+    mode: str
+    #: First seed; trial ``i`` runs with ``seed_base + i``.
+    seed_base: int
+    #: Default workload scale (overridable via ``REPRO_SCALE``).
+    scale: float
+    #: One-line description for ``repro bench --list``.
+    summary: str
+
+
+#: The named benchmarks ``repro bench`` can run.
+BENCHMARKS: dict[str, BenchSpec] = {
+    "defrag_idle": BenchSpec(
+        scenario="defrag_idle",
+        mode="unregulated",
+        seed_base=3000,
+        scale=0.05,
+        summary="defragmenter alone on an idle machine (Figure 5 scenario)",
+    ),
+    "defrag_database": BenchSpec(
+        scenario="defrag_database",
+        mode="MS Manners",
+        seed_base=1000,
+        scale=0.05,
+        summary="regulated defragmenter vs database load (Figure 3 scenario)",
+    ),
+    "groveler_setup": BenchSpec(
+        scenario="groveler_setup",
+        mode="MS Manners",
+        seed_base=2000,
+        scale=0.05,
+        summary="regulated Groveler vs installer (Figure 4 scenario)",
+    ),
+}
+
+
+def _results_digest(results: list) -> str:
+    """Order-sensitive digest of a trial-result list (canonical JSON)."""
+    text = json.dumps(results, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def run_benchmark(
+    name: str,
+    jobs: int | None = None,
+    trials: int | None = None,
+    scale: float | None = None,
+    use_cache: bool = True,
+    cache_root: str | Path | None = None,
+) -> dict:
+    """Run the named benchmark; return the ``BENCH_<name>.json`` payload.
+
+    ``jobs`` resolves as explicit > ``REPRO_JOBS`` > all cores; ``trials``
+    as explicit > ``REPRO_TRIALS`` > 15.  With ``jobs > 1`` a serial
+    reference pass also runs, yielding ``speedup_vs_serial`` and
+    ``parity_ok`` (parallel results exactly equal to serial).
+    """
+    from repro.experiments.scenarios import measured_trial
+
+    try:
+        spec = BENCHMARKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}"
+        ) from None
+    jobs = resolve_jobs(jobs)
+    n = trials if trials is not None else trial_count()
+    scale = scale if scale is not None else spec.scale
+    trial = partial(measured_trial, spec.scenario, spec.mode, scale=scale)
+
+    start = time.perf_counter()
+    results = ParallelRunner(jobs=jobs).run(trial, trials=n, seed_base=spec.seed_base)
+    wall = time.perf_counter() - start
+
+    serial_wall = None
+    speedup = None
+    parity_ok = None  # stays null when no serial reference pass ran
+    if jobs > 1:
+        start = time.perf_counter()
+        serial_results = ParallelRunner(jobs=1).run(
+            trial, trials=n, seed_base=spec.seed_base
+        )
+        serial_wall = time.perf_counter() - start
+        speedup = serial_wall / wall if wall > 0 else None
+        parity_ok = serial_results == results
+
+    events_total = sum(int(r.get("events_fired", 0)) for r in results)
+    report = {
+        "name": name,
+        "scenario": spec.scenario,
+        "mode": spec.mode,
+        "seed_base": spec.seed_base,
+        "scale": scale,
+        "trials": n,
+        "jobs": jobs,
+        "wall_time_s": round(wall, 4),
+        "trials_per_sec": round(n / wall, 4) if wall > 0 else None,
+        "serial_wall_time_s": round(serial_wall, 4) if serial_wall is not None else None,
+        "speedup_vs_serial": round(speedup, 3) if speedup is not None else None,
+        "parity_ok": parity_ok,
+        "events_total": events_total,
+        "events_per_sec": round(events_total / wall) if wall > 0 else None,
+        "results_digest": _results_digest(results),
+        "code_fingerprint": code_fingerprint(),
+        "cached_for_reuse": False,
+    }
+
+    if use_cache:
+        cache = TrialCache(cache_root) if cache_root is not None else TrialCache()
+        cache_name = f"{spec.scenario}:{spec.mode}"
+        config = {"scenario": spec.scenario, "mode": spec.mode, "scale": scale}
+        for i, value in enumerate(results):
+            cache.put(cache_name, cache.key(cache_name, config, spec.seed_base + i), value)
+        report["cached_for_reuse"] = True
+    return report
+
+
+def write_report(report: dict, out_dir: str | Path) -> Path:
+    """Write ``BENCH_<name>.json`` under ``out_dir``; return the path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{report['name']}.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path

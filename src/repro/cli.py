@@ -17,6 +17,11 @@ Four commands:
   executes one named fault-injection scenario against the simulator and
   reports whether the resilience layer absorbed it (exit 0) or not
   (exit 1); ``faults list`` names the scenarios.
+* ``bench`` — the performance harness: ``bench NAME --jobs N`` runs a
+  named benchmark through the parallel trial engine, checks parallel vs
+  serial parity, and writes a machine-readable ``BENCH_<name>.json``
+  (wall time, trials/sec, speedup vs serial, events/sec); see
+  docs/performance.md.
 
 All commands respect a global ``--quiet`` flag (suppresses progress
 output; errors still go to stderr).
@@ -285,6 +290,44 @@ def _cmd_faults(args: argparse.Namespace, out: Output) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
+def _cmd_bench(args: argparse.Namespace, out: Output) -> int:
+    from repro.analysis.bench import BENCHMARKS, run_benchmark, write_report
+
+    if args.list or args.name is None:
+        for name, spec in sorted(BENCHMARKS.items()):
+            out.result(f"  {name:<18} {spec.summary}")
+        if args.name is None and not args.list:
+            out.error("name a benchmark to run it (see the list above)")
+            return 2
+        return 0
+    try:
+        report = run_benchmark(
+            args.name,
+            jobs=args.jobs,
+            trials=args.trials,
+            scale=args.scale,
+            use_cache=not args.no_cache,
+        )
+    except ValueError as exc:
+        out.error(str(exc))
+        return 2
+    path = write_report(report, args.out)
+    out.result(
+        f"{report['name']}: {report['trials']} trials @ jobs={report['jobs']} "
+        f"in {report['wall_time_s']:.2f}s "
+        f"({report['trials_per_sec']:.2f} trials/s, "
+        f"{report['events_per_sec']:,} events/s)"
+    )
+    if report["speedup_vs_serial"] is not None:
+        out.result(
+            f"  serial reference {report['serial_wall_time_s']:.2f}s -> "
+            f"speedup {report['speedup_vs_serial']:.2f}x, "
+            f"parity {'ok' if report['parity_ok'] else 'FAILED'}"
+        )
+    out.say(f"  report -> {path}")
+    return 0 if report["parity_ok"] is not False else 1
+
+
 def _cmd_obs(args: argparse.Namespace, out: Output) -> int:
     from repro.core.errors import MannersError
     from repro.obs.report import summarize_file
@@ -375,6 +418,36 @@ def main(argv: list[str] | None = None) -> int:
     )
     faults_sub.add_parser("list", help="list the available scenarios")
 
+    bench = sub.add_parser(
+        "bench", help="run a named benchmark with the parallel trial engine"
+    )
+    bench.add_argument(
+        "name", nargs="?", default=None, help="benchmark name (see --list)"
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list the available benchmarks"
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or all cores)",
+    )
+    bench.add_argument(
+        "--trials", type=int, default=None,
+        help="trials to run (default: REPRO_TRIALS or 15)",
+    )
+    bench.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale (default: the benchmark's own)",
+    )
+    bench.add_argument(
+        "--no-cache", action="store_true",
+        help="do not store results into the trial cache",
+    )
+    bench.add_argument(
+        "--out", default="benchmarks/results",
+        help="directory for BENCH_<name>.json (default benchmarks/results)",
+    )
+
     obs = sub.add_parser("obs", help="inspect regulation telemetry")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     summarize = obs_sub.add_parser(
@@ -396,6 +469,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figures(args, out)
     if args.command == "faults":
         return _cmd_faults(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
     if args.command == "obs":
         return _cmd_obs(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -96,6 +96,9 @@ class StatisticalComparator:
         below = _is_below_target(measured_duration, target_duration)
         tel = self._telemetry
         if tel is None:
+            # Disabled-telemetry hot path: add_sample is table-driven
+            # (precomputed thresholds, no binomial walks) and allocates
+            # nothing — guarded by bench_engine_hotpath.
             return self._test.add_sample(below)
         # The window resets on a definitive verdict; capture its size first.
         samples = self._test.sample_count + 1

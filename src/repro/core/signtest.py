@@ -125,6 +125,23 @@ def min_poor_samples(alpha: float) -> int:
     return math.ceil(math.log2(1.0 / alpha))
 
 
+@lru_cache(maxsize=64)
+def _threshold_tables(
+    alpha: float, beta: float, max_samples: int
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Precomputed ``(poor, good)`` decision thresholds for n = 0..max_samples.
+
+    ``poor[n]`` / ``good[n]`` equal :func:`poor_threshold` /
+    :func:`good_threshold` exactly; the tables are shared across every
+    :class:`SignTest` with the same configuration, so the binomial tail
+    walks run once per (alpha, beta, max_samples) per process and the
+    per-sample hot path reduces to two tuple indexings.
+    """
+    poor = tuple(poor_threshold(n, alpha) for n in range(max_samples + 1))
+    good = tuple(good_threshold(n, beta) for n in range(max_samples + 1))
+    return poor, good
+
+
 @dataclass
 class SignTest:
     """Sequential paired-sample sign test.
@@ -155,6 +172,12 @@ class SignTest:
             raise ConfigError("max_samples must be >= 8")
         self._n = 0
         self._below = 0
+        # The per-sample path indexes these tables instead of walking
+        # binomial tails: after construction, add_sample never calls
+        # binomial_sf/binomial_cdf and allocates nothing.
+        self._poor_table, self._good_table = _threshold_tables(
+            self.alpha, self.beta, self.max_samples
+        )
 
     # -- state ---------------------------------------------------------------
     @property
@@ -189,8 +212,19 @@ class SignTest:
         return verdict
 
     def evaluate(self, n: int, below: int) -> Judgment:
-        """Stateless verdict for ``below`` below-target samples out of ``n``."""
+        """Stateless verdict for ``below`` below-target samples out of ``n``.
+
+        Uses the precomputed threshold tables for ``n <= max_samples`` (the
+        only range :meth:`add_sample` can reach); larger ad-hoc windows
+        fall back to the threshold functions.
+        """
         if n <= 0:
+            return Judgment.INDETERMINATE
+        if n <= self.max_samples:
+            if below >= self._poor_table[n]:
+                return Judgment.POOR
+            if below <= self._good_table[n]:
+                return Judgment.GOOD
             return Judgment.INDETERMINATE
         if below >= poor_threshold(n, self.alpha):
             return Judgment.POOR

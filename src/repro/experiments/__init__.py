@@ -2,6 +2,7 @@
 
 from repro.experiments.scenarios import (
     EXPERIMENT_CONFIG,
+    MEASURED_SCENARIOS,
     CalibrationResult,
     IsolationResult,
     TrialResult,
@@ -9,11 +10,14 @@ from repro.experiments.scenarios import (
     defrag_database_trial,
     defrag_idle_trial,
     groveler_setup_trial,
+    measured_trial,
+    mode_sweep,
     thread_isolation_trial,
 )
 
 __all__ = [
     "EXPERIMENT_CONFIG",
+    "MEASURED_SCENARIOS",
     "CalibrationResult",
     "IsolationResult",
     "TrialResult",
@@ -21,5 +25,7 @@ __all__ = [
     "defrag_database_trial",
     "defrag_idle_trial",
     "groveler_setup_trial",
+    "measured_trial",
+    "mode_sweep",
     "thread_isolation_trial",
 ]

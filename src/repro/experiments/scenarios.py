@@ -43,16 +43,21 @@ from repro.simos.trace import DutyTrace
 from repro.simos.workload import Burst, bursty_schedule, busy_fraction
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Sequence
+
     from repro.obs.telemetry import Telemetry
 
 __all__ = [
     "EXPERIMENT_CONFIG",
+    "MEASURED_SCENARIOS",
     "TrialResult",
     "defrag_database_trial",
     "groveler_setup_trial",
     "defrag_idle_trial",
     "thread_isolation_trial",
     "calibration_trial",
+    "measured_trial",
+    "mode_sweep",
     "CalibrationResult",
     "IsolationResult",
 ]
@@ -219,6 +224,7 @@ def defrag_database_trial(
             database.results[0].started_at,
             database.results[0].finished_at,
         )
+    result.extras["events_fired"] = kernel.engine.events_fired
     return result
 
 
@@ -303,7 +309,87 @@ def groveler_setup_trial(
     if groveler is not None:
         result.li_time = groveler.results["ris"].elapsed
         result.extras["groveler_stats"] = groveler.stats["ris"]
+    result.extras["events_fired"] = kernel.engine.events_fired
     return result
+
+
+# ---------------------------------------------------------------------------
+# Parallel-harness entry points
+# ---------------------------------------------------------------------------
+
+#: Scenarios runnable through :func:`measured_trial` — the contention
+#: experiments whose per-trial output reduces to plain measurements.
+MEASURED_SCENARIOS = {
+    "defrag_database": defrag_database_trial,
+    "defrag_idle": defrag_idle_trial,
+    "groveler_setup": groveler_setup_trial,
+}
+
+
+def measured_trial(
+    scenario: str, mode_value: str, seed: int, scale: float = 1.0
+) -> dict:
+    """One trial of a named scenario, reduced to JSON-safe measurements.
+
+    This is the picklable unit the parallel trial engine fans out: a
+    module-level function taking plain arguments (the mode as its enum
+    *value*) and returning a flat dict of numbers — safe to ship across a
+    process boundary and to store in the content-keyed trial cache.
+    Returns ``hi_time``/``li_time`` (possibly ``None``), ``move_ops`` when
+    the scenario reports it, and the simulator's ``events_fired``.
+    """
+    try:
+        trial = MEASURED_SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; choose from {sorted(MEASURED_SCENARIOS)}"
+        ) from None
+    result = trial(RegulationMode(mode_value), seed, scale=scale)
+    measurements: dict = {
+        "hi_time": result.hi_time,
+        "li_time": result.li_time,
+        "events_fired": result.extras.get("events_fired", 0),
+    }
+    if "move_ops" in result.extras:
+        measurements["move_ops"] = result.extras["move_ops"]
+    return measurements
+
+
+def mode_sweep(
+    scenario: str,
+    modes: "Sequence[RegulationMode]",
+    metric: str,
+    trials: int | None = None,
+    seed_base: int = 1000,
+    scale: float = 1.0,
+    jobs: int | None = None,
+    cache=None,
+) -> dict[str, list[float]]:
+    """Per-mode samples of ``metric`` (``hi_time``/``li_time``/...) for a scenario.
+
+    The shape every contention figure needs: ``{mode value: [sample, ...]}``
+    ready for :func:`repro.analysis.runner.aggregate`.  Trials fan out over
+    the parallel runner (``jobs``/``REPRO_JOBS``) and, given a
+    :class:`~repro.analysis.parallel.TrialCache`, completed (scenario,
+    mode, seed, scale, code-version) trials are loaded rather than re-run.
+    """
+    from functools import partial
+
+    from repro.analysis.runner import run_trials
+
+    samples: dict[str, list[float]] = {}
+    for mode in modes:
+        results = run_trials(
+            partial(measured_trial, scenario, mode.value, scale=scale),
+            trials=trials,
+            seed_base=seed_base,
+            jobs=jobs,
+            cache=cache,
+            cache_name=f"{scenario}:{mode.value}",
+            cache_config={"scenario": scenario, "mode": mode.value, "scale": scale},
+        )
+        samples[mode.value] = [r[metric] for r in results]
+    return samples
 
 
 # ---------------------------------------------------------------------------

@@ -7,6 +7,13 @@ timers, and the MS Manners bridge — is built from these primitives.
 Determinism: two events scheduled for the same instant fire in scheduling
 order (the monotone sequence number breaks ties), so a seeded simulation
 replays exactly.  Time is a float in seconds, starting at 0.
+
+Hot-path accounting: the engine maintains a live count of pending
+(scheduled, not yet fired or cancelled) events, so :attr:`Engine.pending`
+is O(1) rather than a heap scan, and it compacts the heap when cancelled
+entries dominate it — a long regulator suspension cancels and reschedules
+timers repeatedly, and without compaction those inert entries would bloat
+the heap and slow every push/pop.
 """
 
 from __future__ import annotations
@@ -17,6 +24,11 @@ from typing import Any, Callable
 
 __all__ = ["EventHandle", "Engine", "SimulationError"]
 
+#: Compact the heap when it holds more than this many cancelled entries
+#: *and* they outnumber the live ones.  Small enough to bound waste, large
+#: enough that compaction cost amortizes to O(1) per cancellation.
+_COMPACT_MIN_STALE = 64
+
 
 class SimulationError(RuntimeError):
     """The simulation was driven into an invalid state."""
@@ -25,19 +37,38 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """A cancellable reference to one scheduled event."""
 
-    __slots__ = ("when", "seq", "fn", "args", "cancelled")
+    __slots__ = ("when", "seq", "fn", "args", "cancelled", "_engine")
 
-    def __init__(self, when: float, seq: int, fn: Callable[..., None], args: tuple) -> None:
+    def __init__(
+        self,
+        when: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+        engine: "Engine | None" = None,
+    ) -> None:
         self.when = when
         self.seq = seq
         self.fn: Callable[..., None] | None = fn
         self.args = args
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.fn = None  # Free references early; the heap entry stays inert.
+        self.args = ()
+        engine = self._engine
+        if engine is not None:
+            engine._note_cancel()
+
+    def _consume(self) -> None:
+        """Mark fired-and-removed-from-heap (bypasses cancel accounting)."""
+        self.cancelled = True
+        self.fn = None
         self.args = ()
 
     def __lt__(self, other: "EventHandle") -> bool:
@@ -52,6 +83,8 @@ class Engine:
         self._heap: list[EventHandle] = []
         self._seq = 0
         self._events_fired = 0
+        self._pending = 0  # live entries in the heap (not fired, not cancelled)
+        self._stale = 0  # cancelled entries still sitting in the heap
 
     # -- time ----------------------------------------------------------------
     @property
@@ -66,8 +99,8 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Scheduled events not yet fired or cancelled."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Scheduled events not yet fired or cancelled (O(1))."""
+        return self._pending
 
     # -- scheduling ----------------------------------------------------------
     def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> EventHandle:
@@ -78,9 +111,10 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {when} before current time {self._now}"
             )
-        handle = EventHandle(when, self._seq, fn, args)
+        handle = EventHandle(when, self._seq, fn, args, self)
         self._seq += 1
         heapq.heappush(self._heap, handle)
+        self._pending += 1
         return handle
 
     def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
@@ -89,16 +123,35 @@ class Engine:
             raise SimulationError(f"delay must be non-negative, got {delay}")
         return self.call_at(self._now + delay, fn, *args)
 
+    def _note_cancel(self) -> None:
+        """A live heap entry was cancelled; compact if inert entries dominate."""
+        self._pending -= 1
+        self._stale += 1
+        if self._stale > _COMPACT_MIN_STALE and self._stale > self._pending:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        ``heapify`` over ``(when, seq)``-ordered handles preserves the
+        firing order exactly, so compaction is invisible to the simulation.
+        """
+        self._heap = [h for h in self._heap if not h.cancelled]
+        heapq.heapify(self._heap)
+        self._stale = 0
+
     # -- execution ------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next event; return ``False`` if the heap is empty."""
         while self._heap:
             handle = heapq.heappop(self._heap)
             if handle.cancelled or handle.fn is None:
+                self._stale -= 1
                 continue
             self._now = handle.when
             fn, args = handle.fn, handle.args
-            handle.cancel()  # Mark consumed; frees references.
+            handle._consume()  # Mark fired; frees references.
+            self._pending -= 1
             self._events_fired += 1
             fn(*args)
             return True
@@ -116,6 +169,7 @@ class Engine:
             head = self._heap[0]
             if head.cancelled or head.fn is None:
                 heapq.heappop(self._heap)
+                self._stale -= 1
                 continue
             if until is not None and head.when > until:
                 break
@@ -129,4 +183,8 @@ class Engine:
 
     def drain(self) -> None:
         """Discard all pending events (used when tearing a simulation down)."""
+        for handle in self._heap:
+            handle._consume()  # Late cancel() calls stay no-ops.
         self._heap.clear()
+        self._pending = 0
+        self._stale = 0

@@ -113,6 +113,62 @@ class TestSequentialBehaviour:
             SignTest(max_samples=2)
 
 
+class TestThresholdTables:
+    """The precomputed tables must be invisible except for speed."""
+
+    def test_add_sample_never_walks_binomial_tails(self, monkeypatch):
+        import repro.core.signtest as mod
+
+        calls = {"sf": 0, "cdf": 0}
+        real_sf, real_cdf = mod.binomial_sf, mod.binomial_cdf
+
+        def counting_sf(n, r):
+            calls["sf"] += 1
+            return real_sf(n, r)
+
+        def counting_cdf(n, r):
+            calls["cdf"] += 1
+            return real_cdf(n, r)
+
+        monkeypatch.setattr(mod, "binomial_sf", counting_sf)
+        monkeypatch.setattr(mod, "binomial_cdf", counting_cdf)
+        # Unique parameters so neither the threshold lru_caches nor the
+        # table cache can already hold this configuration.
+        test = SignTest(alpha=0.0511, beta=0.2011, max_samples=96)
+        calls["sf"] = calls["cdf"] = 0
+
+        rng = random.Random(3)
+        for _ in range(5000):
+            test.add_sample(rng.random() < 0.5)
+        assert calls == {"sf": 0, "cdf": 0}
+
+    def test_tables_match_threshold_functions_across_exact_limit(self):
+        # max_samples=512 spans the exact-binomial region (n <= 256) and
+        # the normal-approximation region beyond it.
+        test = SignTest(alpha=0.05, beta=0.2, max_samples=512)
+        for n in range(513):
+            assert test._poor_table[n] == poor_threshold(n, 0.05)
+            assert test._good_table[n] == good_threshold(n, 0.2)
+
+    def test_evaluate_matches_functions_for_all_window_sizes(self):
+        test = SignTest(alpha=0.05, beta=0.2, max_samples=64)
+        for n in range(1, 70):  # crosses max_samples: table and fallback paths
+            for below in (0, n // 2, n):
+                verdict = test.evaluate(n, below)
+                if below >= poor_threshold(n, 0.05):
+                    assert verdict is Judgment.POOR
+                elif below <= good_threshold(n, 0.2):
+                    assert verdict is Judgment.GOOD
+                else:
+                    assert verdict is Judgment.INDETERMINATE
+
+    def test_tables_shared_between_instances(self):
+        a = SignTest(alpha=0.05, beta=0.2, max_samples=128)
+        b = SignTest(alpha=0.05, beta=0.2, max_samples=128)
+        assert a._poor_table is b._poor_table
+        assert a._good_table is b._good_table
+
+
 class TestErrorRates:
     def test_type_one_error_rate_bounded(self):
         """When progress is genuinely good, POOR verdicts are rare."""

@@ -130,6 +130,79 @@ class TestRunControl:
         assert engine.pending == 0
 
 
+class TestPendingAccounting:
+    """The O(1) pending counter must always equal an O(n) heap scan."""
+
+    @staticmethod
+    def _scan(engine):
+        return sum(1 for h in engine._heap if not h.cancelled)
+
+    def test_counter_matches_scan_through_lifecycle(self):
+        engine = Engine()
+        handles = [engine.call_at(float(i), lambda: None) for i in range(50)]
+        assert engine.pending == self._scan(engine) == 50
+        for handle in handles[::2]:
+            handle.cancel()
+        assert engine.pending == self._scan(engine) == 25
+        engine.run(until=10.0)
+        assert engine.pending == self._scan(engine)
+        engine.run()
+        assert engine.pending == self._scan(engine) == 0
+
+    @given(st.lists(st.tuples(st.floats(0.0, 100.0), st.booleans()), max_size=120))
+    def test_counter_matches_scan_random(self, entries):
+        engine = Engine()
+        for t, keep in entries:
+            handle = engine.call_at(t, lambda: None)
+            if not keep:
+                handle.cancel()
+        assert engine.pending == self._scan(engine)
+        engine.run(until=50.0)
+        assert engine.pending == self._scan(engine)
+
+    def test_compaction_shrinks_heap(self):
+        engine = Engine()
+        keep = engine.call_at(1e6, lambda: None)
+        handles = [engine.call_at(float(i + 1), lambda: None) for i in range(500)]
+        for handle in handles:
+            handle.cancel()
+        # Cancelled entries dominated the heap, so it was rebuilt.
+        assert len(engine._heap) < 100
+        assert engine.pending == 1
+        engine.run()
+        assert engine.events_fired == 1
+        assert keep.fn is None  # fired handles are consumed
+
+    def test_compaction_preserves_order(self):
+        engine = Engine()
+        fired = []
+        for i in range(100):
+            engine.call_at(float(i), fired.append, i)
+        victims = [engine.call_at(float(i % 100) + 0.5, lambda: None) for i in range(300)]
+        for v in victims:
+            v.cancel()  # triggers compaction mid-stream
+        engine.run()
+        assert fired == list(range(100))
+
+    def test_cancel_after_drain_keeps_counts_consistent(self):
+        engine = Engine()
+        handle = engine.call_at(1.0, lambda: None)
+        engine.drain()
+        handle.cancel()  # must be a no-op, not a decrement
+        assert engine.pending == 0
+        engine.call_at(2.0, lambda: None)
+        assert engine.pending == 1
+        engine.run()
+        assert engine.pending == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = Engine()
+        handle = engine.call_at(1.0, lambda: None)
+        engine.run()
+        handle.cancel()
+        assert engine.pending == 0
+
+
 class TestProperties:
     @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=200))
     def test_arbitrary_schedules_fire_sorted(self, times):

@@ -128,6 +128,63 @@ class TestTraceOut:
         assert "metrics snapshot ->" in out
 
 
+class TestBench:
+    def test_list_names_benchmarks(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "defrag_idle" in out
+        assert "defrag_database" in out
+
+    def test_missing_name_lists_and_errors(self, capsys):
+        assert main(["bench"]) == 2
+        captured = capsys.readouterr()
+        assert "defrag_idle" in captured.out
+        assert "name a benchmark" in captured.err
+
+    def test_unknown_name_rejected(self, capsys):
+        assert main(["bench", "nope"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_writes_report_with_parity(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench", "defrag_idle",
+                "--jobs", "2",
+                "--trials", "3",
+                "--scale", "0.01",
+                "--no-cache",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads((tmp_path / "BENCH_defrag_idle.json").read_text())
+        assert report["name"] == "defrag_idle"
+        assert report["jobs"] == 2
+        assert report["trials"] == 3
+        assert report["parity_ok"] is True
+        assert report["trials_per_sec"] > 0
+        assert report["events_total"] > 0
+        assert len(report["results_digest"]) == 16
+        out = capsys.readouterr().out
+        assert "parity" in out
+
+    def test_serial_run_skips_parity_pass(self, tmp_path):
+        code = main(
+            [
+                "bench", "defrag_idle",
+                "--jobs", "1",
+                "--trials", "2",
+                "--scale", "0.01",
+                "--no-cache",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads((tmp_path / "BENCH_defrag_idle.json").read_text())
+        assert report["speedup_vs_serial"] is None
+        assert report["parity_ok"] is None
+
+
 @pytest.mark.slow
 class TestBeNiceCommand:
     def test_regulates_real_process(self, tmp_path):
