@@ -22,6 +22,12 @@ Four commands:
   serial parity, and writes a machine-readable ``BENCH_<name>.json``
   (wall time, trials/sec, speedup vs serial, events/sec); see
   docs/performance.md.
+* ``verify`` — the conformance suite: ``verify run --seeds N`` sweeps
+  every differential oracle and invariant drive over N seeds (exit 1 on
+  any mismatch or violation); ``verify lint [PATHS]`` runs the
+  determinism lint over ``repro.core`` + ``repro.simos`` (or the given
+  paths); ``verify list`` names the oracles, drives, and lint rules.
+  See docs/verification.md.
 
 All commands respect a global ``--quiet`` flag (suppresses progress
 output; errors still go to stderr).
@@ -328,6 +334,53 @@ def _cmd_bench(args: argparse.Namespace, out: Output) -> int:
     return 0 if report["parity_ok"] is not False else 1
 
 
+def _cmd_verify(args: argparse.Namespace, out: Output) -> int:
+    from repro.verify.harness import INVARIANT_DRIVES, ORACLES, run_verification
+    from repro.verify.lint import RULES, lint_paths
+
+    if args.verify_command == "list":
+        out.result("differential oracles:")
+        for name, fn in ORACLES.items():
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            out.result(f"  {name:<18} {summary}")
+        out.result("invariant drives:")
+        for name, fn in INVARIANT_DRIVES.items():
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            out.result(f"  {name:<18} {summary}")
+        out.result("lint rules:")
+        for name, summary in RULES.items():
+            out.result(f"  {name:<18} {summary}")
+        return 0
+    if args.verify_command == "lint":
+        findings = lint_paths(args.paths or None)
+        for finding in findings:
+            out.result(
+                f"{finding.path}:{finding.line}: [{finding.rule}] {finding.message}"
+            )
+        if findings:
+            out.error(f"{len(findings)} determinism finding(s)")
+            return 1
+        out.result("lint clean")
+        return 0
+    if args.verify_command == "run":
+        seeds = list(range(1, args.seeds + 1))
+        out.say(f"running {len(ORACLES)} oracles + {len(INVARIANT_DRIVES)} "
+                f"invariant drives over seeds {seeds} ...")
+        report = run_verification(seeds)
+        if args.json:
+            out.result(json.dumps(report.as_dict(), indent=2))
+        else:
+            for line in report.lines():
+                out.result(f"  {line}")
+            verdict = "ok" if report.ok else "FAILED"
+            out.result(
+                f"verification {verdict}: {report.total_cases} cases "
+                f"across {len(seeds)} seed(s)"
+            )
+        return 0 if report.ok else 1
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def _cmd_obs(args: argparse.Namespace, out: Output) -> int:
     from repro.core.errors import MannersError
     from repro.obs.report import summarize_file
@@ -448,6 +501,30 @@ def main(argv: list[str] | None = None) -> int:
         help="directory for BENCH_<name>.json (default benchmarks/results)",
     )
 
+    verify = sub.add_parser(
+        "verify", help="run the conformance oracles, invariants, and lint"
+    )
+    verify_sub = verify.add_subparsers(dest="verify_command", required=True)
+    verify_run = verify_sub.add_parser(
+        "run", help="sweep every oracle and invariant drive over seeds"
+    )
+    verify_run.add_argument(
+        "--seeds", type=int, default=3,
+        help="number of seeds to sweep, 1..N (default 3)",
+    )
+    verify_run.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    verify_lint = verify_sub.add_parser(
+        "lint", help="run the determinism lint (default: core + simos)"
+    )
+    verify_lint.add_argument(
+        "paths", nargs="*", help="files or directories to lint instead"
+    )
+    verify_sub.add_parser(
+        "list", help="list oracles, invariant drives, and lint rules"
+    )
+
     obs = sub.add_parser("obs", help="inspect regulation telemetry")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     summarize = obs_sub.add_parser(
@@ -471,6 +548,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_faults(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
+    if args.command == "verify":
+        return _cmd_verify(args, out)
     if args.command == "obs":
         return _cmd_obs(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

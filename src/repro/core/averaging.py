@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 
-from repro.core.errors import ConfigError
+from repro.core.errors import ConfigError, MetricError
 
 __all__ = ["ExponentialAverager", "decay_from_window", "window_from_decay"]
 
@@ -93,6 +93,33 @@ class ExponentialAverager:
         else:
             self._value = self._theta * self._value + (1.0 - self._theta) * sample
         return self._value
+
+    def export_state(self) -> dict:
+        """Snapshot the estimate *and* warm-up position as a JSON-safe dict.
+
+        :meth:`seed` alone cannot reproduce a mid-warm-up averager — it
+        installs the value at full window weight, so the next update is
+        weighted ``1/n`` instead of ``1/(count+1)`` and the restored stream
+        drifts from the original.  Round-tripping through
+        ``export_state``/``import_state`` is exact.
+        """
+        return {"value": self._value, "count": self._count}
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state` bit-exactly."""
+        value = state.get("value")
+        count = int(state.get("count", 0))
+        if value is None:
+            self._value = None
+            self._count = 0
+            return
+        value = float(value)
+        if not math.isfinite(value):
+            raise MetricError(f"persisted estimate must be finite, got {value}")
+        if count < 1:
+            raise MetricError(f"count must be >= 1 when a value is present, got {count}")
+        self._value = value
+        self._count = min(count, self._window)
 
     def seed(self, value: float) -> None:
         """Install a persisted estimate as if fully warmed up.

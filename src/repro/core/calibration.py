@@ -221,18 +221,43 @@ class SingleMetricCalibrator:
         return self._mean_duration(deltas) * self._median.scale
 
     def export_state(self) -> dict:
-        """Serializable snapshot (rate + median-correction factor)."""
-        return {"rate": self._avg.value, "median_scale": self._median.export_state()}
+        """Serializable snapshot (rate + warm-up count + median factor).
+
+        ``samples`` records the averager's warm-up position; without it a
+        restored calibrator weighted its next update ``1/n`` instead of
+        ``1/(samples+1)`` and the save→load round trip drifted from the
+        uninterrupted run.
+        """
+        return {
+            "rate": self._avg.value,
+            "samples": self._avg.sample_count,
+            "median_scale": self._median.export_state(),
+        }
 
     def import_state(self, state: dict) -> None:
-        """Restore a snapshot; the persisted rate carries full weight."""
+        """Restore a snapshot.
+
+        Snapshots carrying a ``samples`` count restore the averager's exact
+        warm-up position, so the subsequent update stream is bit-identical
+        to an uninterrupted run.  Legacy snapshots (rate only) fall back to
+        the section 7.1 restart semantics: the persisted rate carries full
+        window weight.
+        """
         rate = state.get("rate")
         if rate is None:
             return
         rate = float(rate)
         if not math.isfinite(rate) or rate < 0.0:
             raise MetricError(f"persisted rate must be finite and non-negative: {rate}")
-        self._avg.seed(rate)
+        if "samples" in state:
+            samples = int(state["samples"])
+            if samples < 1:
+                raise MetricError(
+                    f"persisted sample count must be >= 1 with a rate, got {samples}"
+                )
+            self._avg.import_state({"value": rate, "count": samples})
+        else:
+            self._avg.seed(rate)
         if "median_scale" in state:
             self._median.import_state(state["median_scale"])
 

@@ -51,7 +51,10 @@ class MonotonicClock:
 
     def now(self) -> float:
         """Current monotonic wall-clock reading, in seconds."""
-        return time.monotonic()
+        # The one sanctioned wall-clock read in repro.core: this adapter
+        # IS the real-time substrate's clock source (everything else must
+        # take a Clock so seeded simulations stay deterministic).
+        return time.monotonic()  # verify: allow-wall-clock
 
 
 class ManualClock:

@@ -121,6 +121,14 @@ class StatisticalComparator:
         """Discard the current sample window."""
         self._test.reset()
 
+    def export_state(self) -> dict:
+        """Snapshot the open sign-test window (see ``SignTest.export_state``)."""
+        return self._test.export_state()
+
+    def import_state(self, state: dict) -> None:
+        """Restore an open sign-test window snapshot."""
+        self._test.import_state(state)
+
 
 class DirectComparator:
     """Immediate per-sample comparator (ablation strawman).

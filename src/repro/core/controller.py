@@ -46,6 +46,7 @@ from repro.core.calibration import Calibrator, make_calibrator
 from repro.core.comparator import RateComparator, StatisticalComparator
 from repro.core.config import DEFAULT_CONFIG, MannersConfig
 from repro.core.errors import MetricError, RegulationStateError
+from repro.core.rate import MIN_MEASURABLE_DURATION
 from repro.core.signtest import Judgment
 from repro.core.suspension import SuspensionTimer
 from repro.obs import events as obs_events
@@ -59,6 +60,16 @@ __all__ = ["TestpointDecision", "RegulatorStats", "ThreadRegulator"]
 #: end of its thread's mandated suspension.  Absorbs clock jitter in real
 #: substrates; exact in the simulator.
 _OFF_PROTOCOL_SLACK = 1e-6
+
+def _encode_time(value: float) -> float | None:
+    """JSON-safe encoding for pre-priming time baselines (``-inf`` → ``None``)."""
+    return None if value == -math.inf else value
+
+
+def _decode_time(value: float | None) -> float:
+    """Inverse of :func:`_encode_time`."""
+    return -math.inf if value is None else float(value)
+
 
 #: Minimum calibration samples a metric set needs before its samples are
 #: submitted to the comparator.  A set seen for the first time mid-run
@@ -230,24 +241,68 @@ class ThreadRegulator:
         return self.calibrator(index).target_duration(deltas)
 
     # -- persistence -------------------------------------------------------------
-    def export_state(self) -> dict:
-        """Serializable calibration snapshot for all metric sets."""
-        return {
+    def export_state(self, include_runtime: bool = False) -> dict:
+        """Serializable snapshot of the regulator's learned and phase state.
+
+        Always captured: per-set calibrations (with their exact warm-up
+        counts), the suspension timer's backoff position, the open sign-test
+        window, the processed-testpoint count (bootstrap phase), and the
+        start time (probation phase) — everything needed for a restored
+        regulator to issue the same verdicts an uninterrupted one would.
+
+        With ``include_runtime=True``, the snapshot additionally captures
+        the in-flight interval baselines (release time, suspension deadline,
+        last arrival, per-set last counters, pending forced discard), making
+        the save→load round trip *bit-identical* mid-run: the restored
+        regulator's subsequent decision stream matches the original's
+        exactly.  Runtime baselines are clock readings, so they only make
+        sense when the restored regulator resumes on the same clock (the
+        simulator, or a checkpoint of a live run); plain restarts should
+        leave them out and let the first testpoint re-prime.
+        """
+        state: dict = {
             "sets": {
                 str(index): {
-                    "arity": state.arity,
-                    "calibration": state.calibrator.export_state(),
+                    "arity": set_state.arity,
+                    "calibration": set_state.calibrator.export_state(),
                 }
-                for index, state in self._sets.items()
-            }
+                for index, set_state in self._sets.items()
+            },
+            "suspension": self._suspension.export_state(),
+            "processed_testpoints": self._processed_testpoints,
+            "start_time": self._start_time,
         }
+        comparator = self._comparator
+        if hasattr(comparator, "export_state"):
+            state["comparator"] = comparator.export_state()
+        if include_runtime:
+            state["runtime"] = {
+                "interval_start": self._interval_start,
+                "resume_at": _encode_time(self._resume_at),
+                "last_arrival": _encode_time(self._last_arrival),
+                "discard_next": self._discard_next,
+                "was_in_probation": self._was_in_probation,
+                "last_counters": {
+                    str(index): (
+                        None
+                        if set_state.last_counters is None
+                        else list(set_state.last_counters)
+                    )
+                    for index, set_state in self._sets.items()
+                },
+            }
+        return state
 
     def import_state(self, state: Mapping) -> None:
-        """Restore calibrators persisted by :meth:`export_state`.
+        """Restore a snapshot persisted by :meth:`export_state`.
 
-        Restored metric sets count as fully warmed up: the persisted targets
-        carry full weight, so regulation commences immediately on restart
-        (section 7.1).  Restoring also skips the bootstrap phase.
+        Every section is optional, so snapshots from older format revisions
+        still load.  Current snapshots restore the exact phase: calibrator
+        warm-up counts, suspension backoff (including saturation), the open
+        sign-test window, the bootstrap testpoint count, and the probation
+        start time all survive the round trip.  Legacy snapshots (a bare
+        ``sets`` mapping) keep the original restart semantics: persisted
+        targets carry full weight and bootstrap is skipped (section 7.1).
         """
         sets = state.get("sets", {})
         for key, entry in sets.items():
@@ -255,10 +310,37 @@ class ThreadRegulator:
             arity = int(entry["arity"])
             set_state = self._ensure_set(index, arity)
             set_state.calibrator.import_state(entry["calibration"])
-        if sets:
+        if "suspension" in state:
+            self._suspension.import_state(state["suspension"])
+        comparator = self._comparator
+        if "comparator" in state and hasattr(comparator, "import_state"):
+            comparator.import_state(state["comparator"])
+        if "processed_testpoints" in state:
+            self._processed_testpoints = max(
+                self._processed_testpoints, int(state["processed_testpoints"])
+            )
+        elif sets:
             self._processed_testpoints = max(
                 self._processed_testpoints, self._config.bootstrap_testpoints
             )
+        if state.get("start_time") is not None:
+            self._start_time = float(state["start_time"])
+        runtime = state.get("runtime")
+        if runtime is not None:
+            interval_start = runtime.get("interval_start")
+            self._interval_start = (
+                None if interval_start is None else float(interval_start)
+            )
+            self._resume_at = _decode_time(runtime.get("resume_at"))
+            self._last_arrival = _decode_time(runtime.get("last_arrival"))
+            self._discard_next = runtime.get("discard_next")
+            self._was_in_probation = bool(runtime.get("was_in_probation", False))
+            for key, counters in runtime.get("last_counters", {}).items():
+                index = int(key)
+                if counters is not None and index in self._sets:
+                    self._sets[index].last_counters = tuple(
+                        float(c) for c in counters
+                    )
 
     # -- main entry point -----------------------------------------------------------
     def on_testpoint(
@@ -435,11 +517,14 @@ class ThreadRegulator:
                 off_protocol=off_protocol,
             )
 
-        # Zero-elapsed guard (section 4.1): with no time between processed
-        # testpoints (a frozen or coarsely quantized clock) the sample has
-        # no rate.  Judging it would feed the sign test a spurious
-        # faster-than-target observation, so discard instead.
-        if duration <= 0.0:
+        # Zero-elapsed guard (section 4.1): with no *measurable* time between
+        # processed testpoints (a frozen or coarsely quantized clock) the
+        # sample has no rate.  Sub-epsilon durations count as zero here —
+        # matching the RateSample.rate() contract — because dividing by them
+        # manufactures absurd finite rates that would corrupt the calibrated
+        # target.  Judging such a sample would also feed the sign test a
+        # spurious faster-than-target observation, so discard instead.
+        if duration <= MIN_MEASURABLE_DURATION:
             self.stats.zero_elapsed_discards += 1
             return self._discard_anomalous(
                 now,

@@ -34,6 +34,14 @@ from dataclasses import dataclass
 
 from repro.core.errors import ConfigError
 from repro.core.signtest import min_poor_samples
+from repro.core.suspension import capped_backoff
+
+#: Base seed for :func:`simulate_judgment_chain`'s default stream.  Each
+#: trial's ``seed`` is folded into this with an odd multiplier (a
+#: Weyl-sequence step) so neighbouring seeds land on well-separated Random
+#: states instead of sharing one module-default stream.
+_CHAIN_SEED_BASE = 0x5EED
+_CHAIN_SEED_STEP = 0x9E3779B97F4A7C15
 
 __all__ = [
     "is_stable",
@@ -46,8 +54,22 @@ __all__ = [
     "suspension_overshoot",
     "worst_case_overshoot",
     "ChainResult",
+    "derive_chain_rng",
     "simulate_judgment_chain",
 ]
+
+
+def derive_chain_rng(seed: int | None) -> random.Random:
+    """Build an isolated judgment-chain RNG from a trial seed.
+
+    ``None`` reproduces the module's historical default stream.  Otherwise
+    the seed is mixed with a large odd constant so that consecutive trial
+    seeds (0, 1, 2, ...) yield decorrelated :class:`random.Random` states;
+    each caller gets a private stream, never a shared module-level one.
+    """
+    if seed is None:
+        return random.Random(_CHAIN_SEED_BASE)
+    return random.Random(_CHAIN_SEED_BASE ^ (int(seed) * _CHAIN_SEED_STEP))
 
 
 def _check(alpha: float, beta: float) -> None:
@@ -112,7 +134,9 @@ def expected_suspension(
     ratio = alpha / (alpha + beta)
     pk = base
     for k in range(k_max + 1):
-        total += pk * alpha * min(initial * 2.0**k, maximum)
+        # capped_backoff rather than ``min(initial * 2.0**k, maximum)``:
+        # the naive form raises OverflowError once k exceeds 1023.
+        total += pk * alpha * capped_backoff(initial, k, maximum)
         pk *= ratio
     # Tail beyond k_max is all capped at ``maximum``.
     total += (pk / (1.0 - ratio)) * alpha * maximum
@@ -244,6 +268,7 @@ def simulate_judgment_chain(
     samples_per_judgment: float | None = None,
     testpoint_interval: float = 1.0,
     rng: random.Random | None = None,
+    seed: int | None = None,
     k_track: int = 32,
 ) -> ChainResult:
     """Monte Carlo the suspension chain under *good* true progress.
@@ -254,27 +279,44 @@ def simulate_judgment_chain(
     ``samples_per_judgment`` testpoint intervals of execution (default: the
     minimum ``m`` from Eq. 1) and a poor judgment additionally costs the
     current backoff in suspension.
+
+    Randomness is isolated per call: pass either an explicit ``rng`` or a
+    ``seed`` from which a private, seed-derived stream is built.  Two calls
+    with the same ``seed`` are bit-identical; different seeds get
+    well-separated streams, so a sweep of trials produces the same digests
+    whether it runs serially or fanned out across processes.  With neither
+    argument, the historical default stream (seed ``0x5EED``) is used.
     """
     _check(alpha, beta)
     if judgments < 1:
         raise ValueError(f"judgments must be >= 1, got {judgments}")
-    rng = rng or random.Random(0x5EED)
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng or seed, not both")
+    if rng is None:
+        rng = derive_chain_rng(seed)
     m = samples_per_judgment if samples_per_judgment is not None else min_poor_samples(alpha)
     executing = 0.0
     suspended = 0.0
     k = 0
     counts = [0] * (k_track + 1)
     done = 0
+    # Track the current backoff incrementally, exactly as SuspensionTimer
+    # does: ``initial * 2.0**k`` raises OverflowError past k = 1023, while
+    # repeated doubling saturates cleanly (at ``maximum`` when capped, at
+    # float infinity for the uncapped analytic case).
+    backoff = min(initial, maximum)
     while done < judgments:
         counts[min(k, k_track)] += 1
         executing += m * testpoint_interval
         u = rng.random()
         if u < alpha:
-            suspended += min(initial * 2.0**k, maximum)
+            suspended += backoff
+            backoff = min(backoff * 2.0, maximum)
             k += 1
             done += 1
         elif u < alpha + beta:
             k = 0
+            backoff = min(initial, maximum)
             done += 1
         # else indeterminate: loop, collecting another batch.
     return ChainResult(

@@ -24,12 +24,22 @@ substrates fed by untrusted clocks or torn counter reads.
 
 from __future__ import annotations
 
+import math
+import sys
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.errors import MetricError
 
-__all__ = ["RateSample", "RateCalculator"]
+__all__ = ["MIN_MEASURABLE_DURATION", "RateSample", "RateCalculator"]
+
+#: Durations at or below this many seconds are indistinguishable from a
+#: frozen clock at double precision: dividing a progress delta by them
+#: manufactures astronomically large but *finite* rates (e.g. 1e-10 units
+#: over 2e-308 s reads as ~5e297 units/s) that sail past the §4.1
+#: rate-spike guard's multiplicative threshold.  The rate contract treats
+#: them exactly like a zero-duration interval instead.
+MIN_MEASURABLE_DURATION = sys.float_info.epsilon
 
 
 @dataclass(frozen=True)
@@ -50,16 +60,32 @@ class RateSample:
     def rate(self, metric: int = 0) -> float:
         """Progress rate along ``metric`` in units/second.
 
-        Raises :class:`MetricError` for an out-of-range metric and
-        :class:`ZeroDivisionError` is avoided by returning ``inf`` for a
-        zero-duration sample with progress (and 0.0 with none).
+        The zero-duration contract is explicit (§4.1): an interval no longer
+        than :data:`MIN_MEASURABLE_DURATION` — including ``+0.0``, ``-0.0``
+        and denormal-range durations that would otherwise manufacture absurd
+        finite rates — reads as ``inf`` when the metric made progress and
+        ``0.0`` when it did not.  A genuinely negative duration is a clock
+        anomaly the §4.1 guards must discard *before* a sample is built, so
+        it raises :class:`MetricError` rather than silently aliasing to the
+        zero-duration case.
+
+        Raises :class:`MetricError` for an out-of-range metric or a negative
+        duration.
         """
         if not 0 <= metric < len(self.deltas):
             raise MetricError(
                 f"metric index {metric} out of range for {len(self.deltas)} metrics"
             )
-        if self.duration <= 0.0:
-            return float("inf") if self.deltas[metric] > 0 else 0.0
+        # ``-0.0 < 0.0`` is False, so a negative-zero duration correctly
+        # falls through to the zero-duration branch below.
+        if self.duration < 0.0 or math.isnan(self.duration):
+            raise MetricError(
+                f"duration {self.duration} is not a valid elapsed interval; "
+                "backward clock readings must be discarded by the anomaly "
+                "guards before rates are read"
+            )
+        if self.duration <= MIN_MEASURABLE_DURATION:
+            return math.inf if self.deltas[metric] > 0 else 0.0
         return self.deltas[metric] / self.duration
 
 

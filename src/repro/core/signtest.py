@@ -195,6 +195,30 @@ class SignTest:
         self._n = 0
         self._below = 0
 
+    def export_state(self) -> dict:
+        """Snapshot the open sample window as a JSON-safe dict.
+
+        The window is part of the regulator's verdict stream: dropping it on
+        a save→load cycle shifts every subsequent judgment boundary.
+        """
+        return {"samples": self._n, "below": self._below}
+
+    def import_state(self, state: dict) -> None:
+        """Restore a window snapshot produced by :meth:`export_state`."""
+        samples = int(state.get("samples", 0))
+        below = int(state.get("below", 0))
+        if not 0 <= below <= samples:
+            raise ConfigError(
+                f"below count {below} must be within [0, samples={samples}]"
+            )
+        if samples >= self.max_samples:
+            raise ConfigError(
+                f"window of {samples} samples exceeds max_samples="
+                f"{self.max_samples}"
+            )
+        self._n = samples
+        self._below = below
+
     # -- operation -----------------------------------------------------------
     def add_sample(self, below_target: bool) -> Judgment:
         """Record one paired comparison and return the current verdict.

@@ -25,7 +25,32 @@ from repro.obs import events as obs_events
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.telemetry import Telemetry
 
-__all__ = ["SuspensionTimer"]
+__all__ = ["capped_backoff", "SuspensionTimer"]
+
+#: ``2.0 ** k`` raises :class:`OverflowError` once ``k`` exceeds the IEEE-754
+#: double exponent range (k >= 1024).  Any doubling count that large has
+#: certainly pinned the backoff at its cap, so the law short-circuits there.
+_MAX_DOUBLINGS = 1024
+
+
+def capped_backoff(initial: float, k: int, maximum: float) -> float:
+    """Suspension imposed on the ``k``-th consecutive poor judgment (§4.1).
+
+    Computes ``min(initial * 2**k, maximum)`` without tripping the two float
+    overflow hazards the naive expression has: ``2.0 ** k`` raises
+    :class:`OverflowError` for ``k >= 1024``, and ``initial * 2.0 ** k`` can
+    silently overflow to ``inf`` for smaller ``k`` when ``initial`` is large.
+    Both cases are far past any finite cap, so they clamp to ``maximum``.
+
+    ``maximum`` may be ``inf`` (an uncapped analytic model); the result is
+    then the exact doubled value while representable and ``inf`` beyond.
+    """
+    if k < 0:
+        raise ConfigError(f"doubling count must be non-negative, got {k}")
+    if not initial > 0:
+        raise ConfigError(f"initial suspension must be positive, got {initial}")
+    grown = math.inf if k >= _MAX_DOUBLINGS else initial * (2.0 ** k)
+    return maximum if grown >= maximum else grown
 
 
 class SuspensionTimer:
@@ -114,6 +139,38 @@ class SuspensionTimer:
     def reset(self) -> None:
         """Alias for :meth:`on_good`, for symmetry with other components."""
         self.on_good()
+
+    # -- persistence -------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Return the timer's backoff position as a JSON-safe dict.
+
+        Captures both the current suspension time (including saturation at
+        the cap) and the consecutive-poor count, so a restored regulator
+        resumes the exponential schedule exactly where it left off rather
+        than restarting from ``initial``.
+        """
+        return {
+            "current": self._current,
+            "consecutive_poor": self._consecutive_poor,
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`.
+
+        The restored suspension time is clamped into this timer's configured
+        ``[initial, maximum]`` band, so a snapshot taken under a different
+        configuration can never overshoot the cap or undershoot the floor.
+        """
+        current = float(state.get("current", self.initial))
+        if math.isnan(current):
+            raise ConfigError("suspension snapshot current must not be NaN")
+        consecutive_poor = int(state.get("consecutive_poor", 0))
+        if consecutive_poor < 0:
+            raise ConfigError(
+                f"consecutive_poor must be non-negative, got {consecutive_poor}"
+            )
+        self._current = min(max(current, self.initial), self.maximum)
+        self._consecutive_poor = consecutive_poor
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

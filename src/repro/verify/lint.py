@@ -1,0 +1,278 @@
+"""AST-based determinism lint for the regulation core and simulator.
+
+The reproduction's contract is that a seeded run replays bit-identically —
+across processes, machines, and Python invocations.  Three classes of
+construct silently break that contract, so this lint forbids them in
+``src/repro/core`` and ``src/repro/simos``:
+
+* **wall-clock** — reading real time (``time.time``/``monotonic``/
+  ``perf_counter``/..., ``datetime.now``/``utcnow``/``today``) couples
+  results to the host.  Simulation time must come from the engine;
+  ``time.sleep`` is permitted (it delays, it doesn't measure).
+* **unseeded-rng** — module-level ``random`` functions, argless
+  ``random.Random()``, ``os.urandom``, ``uuid.uuid1``/``uuid4``, and
+  anything from ``secrets`` draw from global or entropy-backed state.
+  Every stream must be a ``random.Random(seed)`` derived from an explicit
+  seed.
+* **hash-order** — the builtin ``hash()`` is randomized per process for
+  strings (PYTHONHASHSEED), and iterating a ``set`` (literal,
+  comprehension, or ``set()``/``frozenset()`` call) observes that order.
+  Order-insensitive consumers (``sorted``, ``min``, ``max``, ``sum``,
+  ``len``, ``any``, ``all``) are fine.  Dicts preserve insertion order in
+  modern Python and are not flagged.
+
+A deliberate exception is marked in place with a ``# verify: allow`` (or
+rule-specific ``# verify: allow-<rule>``) comment on the offending line —
+the audited escape hatch, used e.g. by the real-time clock adapter whose
+entire job is reading the wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["LintFinding", "RULES", "lint_source", "lint_paths", "default_lint_paths"]
+
+#: Rule names and one-line descriptions (``repro verify list`` prints these).
+RULES = {
+    "wall-clock": "reads real time instead of simulation/injected time",
+    "unseeded-rng": "draws randomness from global or entropy-backed state",
+    "hash-order": "depends on per-process hash randomization or set order",
+}
+
+_WALL_CLOCK_TIME_FNS = {
+    "time",
+    "monotonic",
+    "perf_counter",
+    "process_time",
+    "thread_time",
+    "time_ns",
+    "monotonic_ns",
+    "perf_counter_ns",
+    "process_time_ns",
+    "clock_gettime",
+    "clock_gettime_ns",
+}
+_WALL_CLOCK_DATETIME_FNS = {"now", "utcnow", "today"}
+_UNSEEDED_RANDOM_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "sample",
+    "shuffle",
+    "gauss",
+    "normalvariate",
+    "expovariate",
+    "betavariate",
+    "triangular",
+    "getrandbits",
+    "randbytes",
+    "seed",
+}
+#: Builtins/constructs whose output order mirrors the input's iteration order.
+#: (Order-insensitive consumers — sorted, min, max, sum, len, any, all — are
+#: deliberately absent: feeding them a set is safe.)
+_ORDER_SENSITIVE = {"list", "tuple", "iter", "enumerate", "reversed"}
+
+_ALLOW_MARKER = "# verify: allow"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One determinism hazard found in a source file."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+
+class _Imports:
+    """Tracks how hazard modules are visible in the linted file."""
+
+    def __init__(self) -> None:
+        self.module_aliases: dict[str, str] = {}  # local name -> module
+        self.direct: dict[str, tuple[str, str]] = {}  # local name -> (module, original)
+
+    def visit(self, node: ast.AST) -> None:
+        """Record ``import``/``from ... import`` bindings."""
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                self.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                self.direct[alias.asname or alias.name] = (node.module, alias.name)
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    """Walks one module's AST and collects determinism findings."""
+
+    def __init__(self, path: str, allowed_lines: dict[int, str]) -> None:
+        self.path = path
+        self.allowed_lines = allowed_lines
+        self.findings: list[LintFinding] = []
+        self.imports = _Imports()
+
+    # -- helpers ---------------------------------------------------------------
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        allowed = self.allowed_lines.get(line)
+        if allowed is not None and (allowed == "" or allowed == rule):
+            return
+        self.findings.append(
+            LintFinding(path=self.path, line=line, rule=rule, message=message)
+        )
+
+    def _call_target(self, func: ast.AST) -> tuple[str | None, str | None]:
+        """Resolve a call's ``(module, function)`` through local imports.
+
+        Returns ``(None, name)`` for bare names that were not imported
+        (builtins) and ``(None, None)`` for anything unresolvable.
+        """
+        if isinstance(func, ast.Name):
+            if func.id in self.imports.direct:
+                return self.imports.direct[func.id]
+            return None, func.id
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = func.value.id
+            if base in self.imports.module_aliases:
+                return self.imports.module_aliases[base], func.attr
+            if base in self.imports.direct:
+                # e.g. ``from datetime import datetime`` then datetime.now().
+                module, original = self.imports.direct[base]
+                return f"{module}.{original}", func.attr
+            return None, None
+        return None, None
+
+    def _is_set_expression(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            module, name = self._call_target(node.func)
+            return module is None and name in ("set", "frozenset")
+        return False
+
+    # -- visitors ---------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        """Track plain imports."""
+        self.imports.visit(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """Track from-imports."""
+        self.imports.visit(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag wall-clock reads, unseeded RNG, and hash()/set hazards."""
+        module, name = self._call_target(node.func)
+        if module == "time" and name in _WALL_CLOCK_TIME_FNS:
+            self._flag(node, "wall-clock", f"time.{name}() reads the host clock")
+        elif module in ("datetime.datetime", "datetime.date") and (
+            name in _WALL_CLOCK_DATETIME_FNS
+        ):
+            self._flag(node, "wall-clock", f"datetime {name}() reads the host clock")
+        elif module == "random" and name in _UNSEEDED_RANDOM_FNS:
+            self._flag(
+                node,
+                "unseeded-rng",
+                f"random.{name}() uses the shared module-level stream",
+            )
+        elif module == "random" and name == "Random" and not node.args and not node.keywords:
+            self._flag(
+                node,
+                "unseeded-rng",
+                "random.Random() without a seed draws from OS entropy",
+            )
+        elif module == "os" and name == "urandom":
+            self._flag(node, "unseeded-rng", "os.urandom() is entropy-backed")
+        elif module == "uuid" and name in ("uuid1", "uuid4"):
+            self._flag(node, "unseeded-rng", f"uuid.{name}() is non-deterministic")
+        elif module == "secrets":
+            self._flag(node, "unseeded-rng", f"secrets.{name}() is entropy-backed")
+        elif module is None and name == "hash" and node.args:
+            self._flag(
+                node,
+                "hash-order",
+                "builtin hash() is randomized per process for strings",
+            )
+        elif (
+            module is None
+            and name in _ORDER_SENSITIVE
+            and node.args
+            and self._is_set_expression(node.args[0])
+        ):
+            self._flag(
+                node,
+                "hash-order",
+                f"{name}() over a set observes hash-randomized order",
+            )
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        """Flag iteration directly over a set expression."""
+        if self._is_set_expression(node.iter):
+            self._flag(
+                node,
+                "hash-order",
+                "for-loop over a set observes hash-randomized order",
+            )
+        self.generic_visit(node)
+
+
+def _allowed_lines(source: str) -> dict[int, str]:
+    """Map line numbers carrying an allow marker to the allowed rule.
+
+    ``# verify: allow`` waives every rule on its line; ``# verify:
+    allow-<rule>`` waives just that rule (the empty string means "all").
+    """
+    allowed: dict[int, str] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        marker = text.find(_ALLOW_MARKER)
+        if marker < 0:
+            continue
+        suffix = text[marker + len(_ALLOW_MARKER):].strip()
+        allowed[lineno] = suffix[1:] if suffix.startswith("-") else ""
+    return allowed
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    """Lint one module's source text; return its findings in line order."""
+    tree = ast.parse(source, filename=path)
+    visitor = _DeterminismVisitor(path, _allowed_lines(source))
+    visitor.visit(tree)
+    return sorted(visitor.findings, key=lambda f: (f.line, f.rule))
+
+
+def default_lint_paths() -> list[Path]:
+    """The directories the determinism contract covers (core + simos)."""
+    import repro
+
+    package = Path(repro.__file__).resolve().parent
+    return [package / "core", package / "simos"]
+
+
+def lint_paths(paths: Iterable[str | Path] | None = None) -> list[LintFinding]:
+    """Lint every ``.py`` file under ``paths`` (default: core + simos).
+
+    Files are visited in sorted order so output is stable; a path may be a
+    single file or a directory walked recursively.
+    """
+    roots: Sequence[Path] = (
+        [Path(p) for p in paths] if paths is not None else default_lint_paths()
+    )
+    findings: list[LintFinding] = []
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            source = file.read_text(encoding="utf-8")
+            findings.extend(lint_source(source, path=str(file)))
+    return findings

@@ -1,0 +1,139 @@
+"""Determinism lint: clean on the shipped tree, loud on a known-bad fixture."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.verify.lint import (
+    RULES,
+    default_lint_paths,
+    lint_paths,
+    lint_source,
+)
+
+# A fixture holding one specimen of every hazard class the lint covers.
+_KNOWN_BAD = textwrap.dedent(
+    """\
+    import os
+    import random
+    import secrets
+    import time
+    import uuid
+    from datetime import datetime
+
+    def hazards():
+        a = time.time()
+        b = time.monotonic()
+        c = datetime.now()
+        d = random.random()
+        e = random.Random()
+        f = os.urandom(8)
+        g = uuid.uuid4()
+        h = secrets.token_bytes(4)
+        i = hash("payload")
+        for item in {1, 2, 3}:
+            print(item)
+        j = list({4, 5, 6})
+        return a, b, c, d, e, f, g, h, i, j
+    """
+)
+
+
+def _rules_in(findings):
+    return {f.rule for f in findings}
+
+
+def test_known_bad_fixture_trips_every_rule():
+    findings = lint_source(_KNOWN_BAD, path="fixture.py")
+    assert _rules_in(findings) == set(RULES)
+    # One finding per hazard line: 8 calls + hash + for-set + list-set.
+    assert len(findings) == 11
+
+
+def test_shipped_core_and_simos_are_clean():
+    assert lint_paths() == []
+
+
+def test_default_paths_cover_core_and_simos():
+    names = {p.name for p in default_lint_paths()}
+    assert names == {"core", "simos"}
+
+
+def test_seeded_rng_and_sanctioned_calls_pass():
+    clean = textwrap.dedent(
+        """\
+        import random
+        import time
+
+        def fine(seed):
+            rng = random.Random(seed)
+            time.sleep(0.1)  # delaying is not measuring
+            ordered = sorted({3, 1, 2})  # order-insensitive consumer
+            return rng.random(), ordered
+        """
+    )
+    assert lint_source(clean) == []
+
+
+def test_rng_method_calls_on_instances_are_not_flagged():
+    source = textwrap.dedent(
+        """\
+        import random
+
+        def fine(rng: random.Random):
+            return rng.random() + rng.uniform(0.0, 1.0)
+        """
+    )
+    assert lint_source(source) == []
+
+
+def test_allow_marker_suppresses_matching_rule():
+    source = "import time\nx = time.monotonic()  # verify: allow-wall-clock\n"
+    assert lint_source(source) == []
+
+
+def test_allow_marker_is_rule_specific():
+    source = "import time\nx = time.monotonic()  # verify: allow-unseeded-rng\n"
+    findings = lint_source(source)
+    assert [f.rule for f in findings] == ["wall-clock"]
+
+
+def test_bare_allow_marker_suppresses_everything():
+    source = "import random\nx = random.random()  # verify: allow\n"
+    assert lint_source(source) == []
+
+
+def test_import_aliases_are_resolved():
+    source = "import time as t\nx = t.perf_counter()\n"
+    findings = lint_source(source)
+    assert [f.rule for f in findings] == ["wall-clock"]
+
+
+def test_from_imports_are_resolved():
+    source = "from random import choice\nx = choice([1, 2])\n"
+    findings = lint_source(source)
+    assert [f.rule for f in findings] == ["unseeded-rng"]
+
+
+def test_lint_paths_accepts_single_file(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nx = time.time()\n", encoding="utf-8")
+    findings = lint_paths([bad])
+    assert len(findings) == 1
+    assert findings[0].path == str(bad)
+    assert findings[0].line == 2
+
+
+def test_findings_carry_location_and_message():
+    findings = lint_source(_KNOWN_BAD, path="fixture.py")
+    first = findings[0]
+    assert first.path == "fixture.py"
+    assert first.line > 0
+    assert first.message
+
+
+def test_syntax_error_propagates():
+    with pytest.raises(SyntaxError):
+        lint_source("def broken(:\n")
