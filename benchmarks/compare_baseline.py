@@ -1,0 +1,67 @@
+"""CI perf gate: compare fresh BENCH_*.json reports against the baseline.
+
+Usage (what the perf-smoke job runs):
+
+    python benchmarks/compare_baseline.py \
+        --baseline benchmarks/results --fresh fresh-results \
+        engine_hotpath defrag_idle defrag_database
+
+For every named benchmark, loads ``BENCH_<name>.json`` from both
+directories and fails (exit 1) if events/sec dropped — or wall time rose,
+when the runs did identical work — more than the tolerance below the
+committed baseline.  Improvements never fail; re-commit the baseline files
+to ratchet them in.  ``REPRO_BENCH_TOLERANCE`` overrides the default
+fractional tolerance of 0.20 (use a looser value on noisy shared runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.bench import compare_reports, load_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("names", nargs="+", help="benchmark names to compare")
+    parser.add_argument(
+        "--baseline", default="benchmarks/results",
+        help="directory holding the committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--fresh", required=True,
+        help="directory holding this run's BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.20")),
+        help="allowed fractional drift in the bad direction (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    for name in args.names:
+        baseline = load_report(name, args.baseline)
+        fresh = load_report(name, args.fresh)
+        problems = compare_reports(baseline, fresh, tolerance=args.tolerance)
+        if problems:
+            failures.extend(problems)
+            continue
+        base_eps = baseline.get("events_per_sec")
+        fresh_eps = fresh.get("events_per_sec")
+        if base_eps and fresh_eps:
+            print(
+                f"ok {name}: {fresh_eps:,} events/s vs baseline "
+                f"{base_eps:,} ({fresh_eps / base_eps - 1.0:+.1%})"
+            )
+        else:
+            print(f"ok {name}")
+    for line in failures:
+        print(f"REGRESSION {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

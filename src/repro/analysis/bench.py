@@ -37,7 +37,13 @@ from repro.analysis.parallel import (
 )
 from repro.analysis.runner import trial_count
 
-__all__ = ["BenchSpec", "BENCHMARKS", "run_benchmark", "write_report"]
+__all__ = [
+    "BenchSpec",
+    "BENCHMARKS",
+    "MICROBENCHMARKS",
+    "run_benchmark",
+    "write_report",
+]
 
 
 @dataclass(frozen=True)
@@ -81,6 +87,13 @@ BENCHMARKS: dict[str, BenchSpec] = {
     ),
 }
 
+#: In-process microbenchmarks (no trial fan-out; one line each for --list).
+MICROBENCHMARKS: dict[str, str] = {
+    "engine_hotpath": (
+        "event-core microbench: post/call chains + cancel churn (single core)"
+    ),
+}
+
 
 def _results_digest(results: list) -> str:
     """Order-sensitive digest of a trial-result list (canonical JSON)."""
@@ -105,32 +118,38 @@ def run_benchmark(
     """
     from repro.experiments.scenarios import measured_trial
 
+    if name in MICROBENCHMARKS:
+        from repro.analysis.hotpath import engine_hotpath_report
+
+        return engine_hotpath_report()
     try:
         spec = BENCHMARKS[name]
     except KeyError:
         raise ValueError(
-            f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}"
+            f"unknown benchmark {name!r}; choose from "
+            f"{sorted(BENCHMARKS) + sorted(MICROBENCHMARKS)}"
         ) from None
     jobs = resolve_jobs(jobs)
     n = trials if trials is not None else trial_count()
     scale = scale if scale is not None else spec.scale
     trial = partial(measured_trial, spec.scenario, spec.mode, scale=scale)
 
-    start = time.perf_counter()
-    results = ParallelRunner(jobs=jobs).run(trial, trials=n, seed_base=spec.seed_base)
-    wall = time.perf_counter() - start
-
-    serial_wall = None
-    speedup = None
-    parity_ok = None  # stays null when no serial reference pass ran
-    if jobs > 1:
+    with ParallelRunner(jobs=jobs) as runner:
         start = time.perf_counter()
-        serial_results = ParallelRunner(jobs=1).run(
-            trial, trials=n, seed_base=spec.seed_base
-        )
-        serial_wall = time.perf_counter() - start
-        speedup = serial_wall / wall if wall > 0 else None
-        parity_ok = serial_results == results
+        results = runner.run(trial, trials=n, seed_base=spec.seed_base)
+        wall = time.perf_counter() - start
+
+        serial_wall = None
+        speedup = None
+        parity_ok = None  # stays null when no serial reference pass ran
+        if jobs > 1:
+            start = time.perf_counter()
+            serial_results = ParallelRunner(jobs=1).run(
+                trial, trials=n, seed_base=spec.seed_base
+            )
+            serial_wall = time.perf_counter() - start
+            speedup = serial_wall / wall if wall > 0 else None
+            parity_ok = serial_results == results
 
     events_total = sum(int(r.get("events_fired", 0)) for r in results)
     report = {
@@ -170,3 +189,53 @@ def write_report(report: dict, out_dir: str | Path) -> Path:
     path = out / f"BENCH_{report['name']}.json"
     path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     return path
+
+
+def load_report(name: str, results_dir: str | Path) -> dict:
+    """Load ``BENCH_<name>.json`` from ``results_dir``."""
+    path = Path(results_dir) / f"BENCH_{name}.json"
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def compare_reports(
+    baseline: dict, fresh: dict, tolerance: float = 0.20
+) -> list[str]:
+    """Check a fresh report against the committed baseline; return failures.
+
+    Two gated metrics, each allowed to drift ``tolerance`` (a fraction)
+    in the *bad* direction only — improvements never fail the gate:
+
+    * ``events_per_sec`` may not drop below ``baseline * (1 - tolerance)``;
+    * ``wall_time_s`` may not rise above ``baseline * (1 + tolerance)``,
+      compared only when both runs did the same amount of work (same
+      ``trials`` and ``jobs``, or a microbench with the same sizing).
+
+    Returns a list of human-readable failure lines (empty = pass).
+    """
+    failures: list[str] = []
+    name = fresh.get("name", "?")
+
+    base_eps = baseline.get("events_per_sec")
+    fresh_eps = fresh.get("events_per_sec")
+    if base_eps and fresh_eps is not None:
+        floor = base_eps * (1.0 - tolerance)
+        if fresh_eps < floor:
+            failures.append(
+                f"{name}: events/sec regressed {fresh_eps:,.0f} < "
+                f"{floor:,.0f} (baseline {base_eps:,.0f} - {tolerance:.0%})"
+            )
+
+    same_work = all(
+        baseline.get(key) == fresh.get(key)
+        for key in ("trials", "jobs", "events", "rounds", "burst")
+    )
+    base_wall = baseline.get("wall_time_s")
+    fresh_wall = fresh.get("wall_time_s")
+    if same_work and base_wall and fresh_wall is not None:
+        ceiling = base_wall * (1.0 + tolerance)
+        if fresh_wall > ceiling:
+            failures.append(
+                f"{name}: wall time regressed {fresh_wall:.3f}s > "
+                f"{ceiling:.3f}s (baseline {base_wall:.3f}s + {tolerance:.0%})"
+            )
+    return failures

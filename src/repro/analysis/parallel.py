@@ -233,6 +233,25 @@ class ParallelRunner:
     def __init__(self, jobs: int | None = None, cache: TrialCache | None = None) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
+        #: Lazily created, *persistent* worker pool.  Spawning a process
+        #: pool costs tens of milliseconds plus a worker warm-up per
+        #: worker; a sweep that calls :meth:`run` once per sweep point
+        #: (mode, configuration, ...) reuses one pool across all of them.
+        #: Seed assignment and result ordering are per-:meth:`run` and do
+        #: not depend on pool identity, so reuse cannot change results.
+        self._pool: ProcessPoolExecutor | None = None
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(
         self,
@@ -294,22 +313,24 @@ class ParallelRunner:
             for index, seed in pending:
                 yield _execute_trial(trial, index, seed, with_telemetry)
             return
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        pool = self._pool
         workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            queue = iter(pending)
-            futures = set()
+        queue = iter(pending)
+        futures = set()
 
-            def submit_next() -> None:
-                item = next(queue, None)
-                if item is not None:
-                    futures.add(
-                        pool.submit(_execute_trial, trial, item[0], item[1], with_telemetry)
-                    )
+        def submit_next() -> None:
+            item = next(queue, None)
+            if item is not None:
+                futures.add(
+                    pool.submit(_execute_trial, trial, item[0], item[1], with_telemetry)
+                )
 
-            for _ in range(workers * _DISPATCH_DEPTH):
+        for _ in range(workers * _DISPATCH_DEPTH):
+            submit_next()
+        while futures:
+            done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield future.result()
                 submit_next()
-            while futures:
-                done, futures = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    yield future.result()
-                    submit_next()

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence, TypeVar
 from repro.analysis.stats import BoxStats, box_stats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.analysis.parallel import TrialCache
+    from repro.analysis.parallel import ParallelRunner, TrialCache
     from repro.obs.telemetry import Telemetry
 
 __all__ = ["trial_count", "run_trials", "aggregate"]
@@ -54,6 +54,7 @@ def run_trials(
     cache: "TrialCache | None" = None,
     cache_name: str | None = None,
     cache_config: Any = None,
+    runner: "ParallelRunner | None" = None,
 ) -> list[T]:
     """Run ``trial(seed)`` for ``trials`` distinct seeds; return the results.
 
@@ -65,16 +66,19 @@ def run_trials(
     merged into ``telemetry.metrics`` (in both serial and parallel modes,
     so the two stay bit-identical).  With ``cache`` and ``cache_name``,
     previously completed seeds are loaded from the trial cache instead of
-    re-run — see :class:`repro.analysis.parallel.TrialCache`.
+    re-run — see :class:`repro.analysis.parallel.TrialCache`.  Passing an
+    existing ``runner`` reuses its (persistent) worker pool and cache —
+    the sweep-loop path; ``jobs``/``cache`` are then ignored.
     """
     n = trials if trials is not None else trial_count()
     from repro.analysis.parallel import ParallelRunner, resolve_jobs
 
-    resolved = resolve_jobs(jobs, default=1)
-    if resolved == 1 and telemetry is None and cache is None:
-        # The historical fast path: plain loop, lambdas welcome.
-        return [trial(seed_base + i) for i in range(n)]
-    runner = ParallelRunner(jobs=resolved, cache=cache)
+    if runner is None:
+        resolved = resolve_jobs(jobs, default=1)
+        if resolved == 1 and telemetry is None and cache is None:
+            # The historical fast path: plain loop, lambdas welcome.
+            return [trial(seed_base + i) for i in range(n)]
+        runner = ParallelRunner(jobs=resolved, cache=cache)
     return runner.run(
         trial,
         trials=n,

@@ -22,6 +22,10 @@ Four commands:
   serial parity, and writes a machine-readable ``BENCH_<name>.json``
   (wall time, trials/sec, speedup vs serial, events/sec); see
   docs/performance.md.
+* ``profile`` — find the hot spots: ``profile SCENARIO --seed N`` runs
+  one seeded trial under cProfile (``--memory`` adds tracemalloc) and
+  prints top-N tables keyed to the exact scenario/mode/seed/scale so a
+  hot spot can be re-measured after a change; see docs/performance.md.
 * ``verify`` — the conformance suite: ``verify run --seeds N`` sweeps
   every differential oracle and invariant drive over N seeds (exit 1 on
   any mismatch or violation); ``verify lint [PATHS]`` runs the
@@ -297,11 +301,18 @@ def _cmd_faults(args: argparse.Namespace, out: Output) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace, out: Output) -> int:
-    from repro.analysis.bench import BENCHMARKS, run_benchmark, write_report
+    from repro.analysis.bench import (
+        BENCHMARKS,
+        MICROBENCHMARKS,
+        run_benchmark,
+        write_report,
+    )
 
     if args.list or args.name is None:
         for name, spec in sorted(BENCHMARKS.items()):
             out.result(f"  {name:<18} {spec.summary}")
+        for name, summary in sorted(MICROBENCHMARKS.items()):
+            out.result(f"  {name:<18} {summary}")
         if args.name is None and not args.list:
             out.error("name a benchmark to run it (see the list above)")
             return 2
@@ -318,6 +329,14 @@ def _cmd_bench(args: argparse.Namespace, out: Output) -> int:
         out.error(str(exc))
         return 2
     path = write_report(report, args.out)
+    if report.get("kind") == "micro":
+        out.result(
+            f"{report['name']}: {report['events_per_sec']:,} events/s (post chain), "
+            f"{report['call_events_per_sec']:,} events/s (call chain), "
+            f"{report['churn_ops_per_sec']:,} schedules/s (cancel churn)"
+        )
+        out.say(f"  report -> {path}")
+        return 0
     out.result(
         f"{report['name']}: {report['trials']} trials @ jobs={report['jobs']} "
         f"in {report['wall_time_s']:.2f}s "
@@ -332,6 +351,33 @@ def _cmd_bench(args: argparse.Namespace, out: Output) -> int:
         )
     out.say(f"  report -> {path}")
     return 0 if report["parity_ok"] is not False else 1
+
+
+def _cmd_profile(args: argparse.Namespace, out: Output) -> int:
+    from repro.analysis.profiling import profile_scenario
+
+    try:
+        report = profile_scenario(
+            args.scenario,
+            mode=args.mode,
+            seed=args.seed,
+            scale=args.scale,
+            top=args.top,
+            memory=args.memory,
+        )
+    except ValueError as exc:
+        out.error(str(exc))
+        return 2
+    text = report.render()
+    out.result(text)
+    if args.out is not None:
+        from pathlib import Path
+
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        out.say(f"  report -> {path}")
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace, out: Output) -> int:
@@ -501,6 +547,36 @@ def main(argv: list[str] | None = None) -> int:
         help="directory for BENCH_<name>.json (default benchmarks/results)",
     )
 
+    profile = sub.add_parser(
+        "profile", help="profile one seeded scenario trial (cProfile top-N)"
+    )
+    profile.add_argument(
+        "scenario", help="scenario name (e.g. defrag_database, defrag_idle)"
+    )
+    profile.add_argument(
+        "--mode", default="MS Manners",
+        help='regulation mode value (default "MS Manners")',
+    )
+    profile.add_argument(
+        "--seed", type=int, default=1000, help="trial seed (default 1000)"
+    )
+    profile.add_argument(
+        "--scale", type=float, default=0.05,
+        help="workload scale (default 0.05, the bench scale)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=25,
+        help="entries per pstats table (default 25)",
+    )
+    profile.add_argument(
+        "--memory", action="store_true",
+        help="also record tracemalloc top allocation sites",
+    )
+    profile.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the report to this file",
+    )
+
     verify = sub.add_parser(
         "verify", help="run the conformance oracles, invariants, and lint"
     )
@@ -548,6 +624,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_faults(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
+    if args.command == "profile":
+        return _cmd_profile(args, out)
     if args.command == "verify":
         return _cmd_verify(args, out)
     if args.command == "obs":

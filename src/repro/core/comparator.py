@@ -100,20 +100,25 @@ class StatisticalComparator:
             # (precomputed thresholds, no binomial walks) and allocates
             # nothing — guarded by bench_engine_hotpath.
             return self._test.add_sample(below)
-        # The window resets on a definitive verdict; capture its size first.
-        samples = self._test.sample_count + 1
-        below_count = self._test.below_count + (1 if below else 0)
+        # The window resets on a definitive verdict; capture its size first
+        # (only when an event will actually be built — a NullSink run skips
+        # the captures and the event construction, keeping just metrics).
+        emitting = tel.emitting
+        if emitting:
+            samples = self._test.sample_count + 1
+            below_count = self._test.below_count + (1 if below else 0)
         verdict = self._test.add_sample(below)
         if verdict is not Judgment.INDETERMINATE:
-            tel.emit(
-                obs_events.JudgmentIssued(
-                    t=tel.now,
-                    src=tel.label,
-                    judgment=verdict.value,
-                    samples=samples,
-                    below=below_count,
+            if emitting:
+                tel.emit(
+                    obs_events.JudgmentIssued(
+                        t=tel.now,
+                        src=tel.label,
+                        judgment=verdict.value,
+                        samples=samples,
+                        below=below_count,
+                    )
                 )
-            )
             tel.metrics.inc(f"signtest_{verdict.value}_windows")
         return verdict
 

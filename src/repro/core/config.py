@@ -34,7 +34,7 @@ def _require(condition: bool, message: str) -> None:
         raise ConfigError(message)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MannersConfig:
     """Tuning parameters for progress-based regulation.
 

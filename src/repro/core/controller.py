@@ -79,7 +79,7 @@ def _decode_time(value: float | None) -> float:
 _SET_WARMUP_SAMPLES = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TestpointDecision:
     """Outcome of one testpoint call.
 
@@ -130,7 +130,7 @@ class TestpointDecision:
         return self.delay > 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class RegulatorStats:
     """Aggregate counters for introspection, tracing, and experiments."""
 
@@ -164,6 +164,10 @@ class _MetricSetState:
 
 class ThreadRegulator:
     """Full regulation state machine for one low-importance thread."""
+
+    # verify: allow-slots (the verify regulator invariant monitor shadows
+    # on_testpoint through the instance dict; one regulator per thread, so
+    # the per-instance dict is not hot-path allocation churn)
 
     def __init__(
         self,

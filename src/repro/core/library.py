@@ -54,6 +54,8 @@ class Manners:
     #: Default interval between automatic target saves, in clock seconds.
     DEFAULT_SAVE_INTERVAL = 300.0
 
+    __slots__ = ("_regulator", "_store", "_app_id", "_clock", "_save_interval", "_last_save")
+
     def __init__(
         self,
         config: MannersConfig = DEFAULT_CONFIG,

@@ -41,6 +41,8 @@ __all__ = ["ParametricComparator"]
 class ParametricComparator:
     """Gaussian SPRT on log duration ratios (RateComparator-compatible)."""
 
+    __slots__ = ("_mu1", "_sigma2", "_sigma_theta", "_clamp", "_min_samples", "_samples", "_llr", "_lower", "_upper")
+
     def __init__(
         self,
         alpha: float = 0.05,

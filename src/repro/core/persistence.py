@@ -75,6 +75,8 @@ class TargetStore:
             saves emit ``anomaly``/``recovery`` events through it.
     """
 
+    __slots__ = ("_dir", "_strict", "_save_retries", "_save_backoff", "_sleep", "_telemetry", "quarantined", "save_failures")
+
     def __init__(
         self,
         directory: str | os.PathLike[str],

@@ -235,7 +235,7 @@ def worst_case_overshoot(maximum: float = 256.0) -> float:
     return maximum
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChainResult:
     """Outcome of a Monte Carlo run of the judgment chain."""
 

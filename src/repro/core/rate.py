@@ -42,7 +42,7 @@ __all__ = ["MIN_MEASURABLE_DURATION", "RateSample", "RateCalculator"]
 MIN_MEASURABLE_DURATION = sys.float_info.epsilon
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RateSample:
     """One processed testpoint's measurements.
 

@@ -81,7 +81,7 @@ class ClockAnomalyGuard:
         return None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SanityVerdict:
     """Outcome of one sanity observation."""
 
@@ -96,6 +96,8 @@ class SanityVerdict:
 
 class ProgressSanityChecker:
     """Cross-checks reported progress against observed resource usage."""
+
+    __slots__ = ("_baseline", "_min_samples", "_threshold", "_suspicion", "_suspicion_threshold")
 
     def __init__(
         self,

@@ -31,7 +31,7 @@ from repro.core.errors import ConfigError, RegulationStateError
 __all__ = ["CandidateState", "MultiplexArbiter"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CandidateState:
     """Arbitration state of one candidate (thread or process)."""
 
@@ -46,6 +46,8 @@ class CandidateState:
 
 class MultiplexArbiter:
     """At-most-one-owner arbitration with priority and decay usage."""
+
+    __slots__ = ("_candidates", "_decay", "_next_order", "_owner")
 
     def __init__(self, usage_decay: float = 0.9) -> None:
         if not 0.0 < usage_decay < 1.0:

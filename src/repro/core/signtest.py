@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from statistics import NormalDist
 
@@ -142,7 +142,7 @@ def _threshold_tables(
     return poor, good
 
 
-@dataclass
+@dataclass(slots=True)
 class SignTest:
     """Sequential paired-sample sign test.
 
@@ -162,6 +162,13 @@ class SignTest:
     alpha: float = 0.05
     beta: float = 0.2
     max_samples: int = 4096
+    # Window state and the precomputed verdict tables, established in
+    # __post_init__; excluded from init/repr/eq so the dataclass surface
+    # (construction, comparison) is unchanged by slots.
+    _n: int = field(init=False, repr=False, compare=False, default=0)
+    _below: int = field(init=False, repr=False, compare=False, default=0)
+    _poor_table: tuple = field(init=False, repr=False, compare=False)
+    _good_table: tuple = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha < 1.0:

@@ -38,6 +38,8 @@ __all__ = ["Superintendent"]
 class Superintendent:
     """Shares the machine-wide execution token among regulated processes."""
 
+    __slots__ = ("_arbiter", "_telemetry")
+
     def __init__(
         self, usage_decay: float = 0.9, telemetry: "Telemetry | None" = None
     ) -> None:

@@ -50,7 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["Supervisor", "ThreadRecord"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadRecord:
     """Supervisor-side state for one regulated thread."""
 
@@ -69,6 +69,8 @@ class ThreadRecord:
 
 class Supervisor:
     """Arbitrates the execution slot among one process's regulated threads."""
+
+    __slots__ = ("_config", "_threads", "_arbiter", "_superintendent", "_telemetry", "_pid")
 
     def __init__(
         self,

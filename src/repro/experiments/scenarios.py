@@ -375,20 +375,25 @@ def mode_sweep(
     """
     from functools import partial
 
+    from repro.analysis.parallel import ParallelRunner, resolve_jobs
     from repro.analysis.runner import run_trials
 
+    # One runner — and therefore at most one worker pool — for the whole
+    # sweep: each mode reuses the warm pool instead of paying pool spin-up
+    # per sweep point.  Seeds and result order are assigned per run_trials
+    # call exactly as before, so samples (and digests) are unchanged.
     samples: dict[str, list[float]] = {}
-    for mode in modes:
-        results = run_trials(
-            partial(measured_trial, scenario, mode.value, scale=scale),
-            trials=trials,
-            seed_base=seed_base,
-            jobs=jobs,
-            cache=cache,
-            cache_name=f"{scenario}:{mode.value}",
-            cache_config={"scenario": scenario, "mode": mode.value, "scale": scale},
-        )
-        samples[mode.value] = [r[metric] for r in results]
+    with ParallelRunner(jobs=resolve_jobs(jobs, default=1), cache=cache) as runner:
+        for mode in modes:
+            results = run_trials(
+                partial(measured_trial, scenario, mode.value, scale=scale),
+                trials=trials,
+                seed_base=seed_base,
+                runner=runner,
+                cache_name=f"{scenario}:{mode.value}",
+                cache_config={"scenario": scenario, "mode": mode.value, "scale": scale},
+            )
+            samples[mode.value] = [r[metric] for r in results]
     return samples
 
 

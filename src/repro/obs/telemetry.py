@@ -18,10 +18,20 @@ Scoping: :meth:`Telemetry.scoped` derives a child handle that shares the
 sink, registry, and clock but carries its own ``label`` (stamped into each
 event's ``src`` field), so per-thread regulators emit attributable events
 without the event sites knowing about threads.
+
+Batching: by default every :meth:`Telemetry.emit` hands the event straight
+to the sink.  Constructing with ``batch_interval=<seconds>`` instead
+buffers hot-loop events and flushes them once per simulated interval (at
+the :meth:`Telemetry.tick` that crosses the boundary), when the buffer
+reaches ``batch_limit``, or at :meth:`Telemetry.flush`/:meth:`close`.
+Buffering preserves emission order exactly — the sink sees the same events
+in the same sequence, just in bursts — so summaries and traces are
+bit-identical batched vs. unbatched (guarded by tests/obs).
 """
 
 from __future__ import annotations
 
+import math
 import warnings
 from typing import Any
 
@@ -55,10 +65,14 @@ class Telemetry:
         "metrics",
         "label",
         "emitting",
+        "batch_interval",
         "_root",
         "_now",
         "_sink_failures",
         "_sink_disabled",
+        "_buffer",
+        "_batch_limit",
+        "_flush_at",
     )
 
     def __init__(
@@ -66,17 +80,33 @@ class Telemetry:
         sink: EventSink | None = None,
         metrics: MetricsRegistry | None = None,
         label: str = "",
+        batch_interval: float | None = None,
+        batch_limit: int = 1024,
     ) -> None:
+        if batch_interval is not None and not (batch_interval > 0.0):
+            raise ValueError(
+                f"batch_interval must be positive, got {batch_interval}"
+            )
+        if batch_limit < 1:
+            raise ValueError(f"batch_limit must be >= 1, got {batch_limit}")
         self.sink: EventSink = sink if sink is not None else NullSink()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.label = label
         #: False when the sink is a ``NullSink``: per-testpoint emit sites
         #: may then skip event *construction* entirely (metrics still run).
         self.emitting = not isinstance(self.sink, NullSink)
+        #: Simulated seconds between buffered flushes, or ``None`` for
+        #: direct (unbatched) emission.
+        self.batch_interval = batch_interval
         self._root = self
         self._now = 0.0
         self._sink_failures = 0
         self._sink_disabled = False
+        self._buffer: list[Event] | None = (
+            [] if batch_interval is not None else None
+        )
+        self._batch_limit = batch_limit
+        self._flush_at = batch_interval if batch_interval is not None else math.inf
 
     @property
     def now(self) -> float:
@@ -84,8 +114,15 @@ class Telemetry:
         return self._root._now
 
     def tick(self, now: float) -> None:
-        """Feed the substrate's current time (shared across scopes)."""
-        self._root._now = now
+        """Feed the substrate's current time (shared across scopes).
+
+        On a batched handle, crossing the flush boundary drains the buffer
+        — so batching adds exactly one float compare to the hot tick path.
+        """
+        root = self._root
+        root._now = now
+        if now >= root._flush_at:
+            root.flush()
 
     def scoped(self, label: str) -> "Telemetry":
         """A child handle with its own ``src`` label, sharing everything else."""
@@ -109,7 +146,7 @@ class Telemetry:
         return self._root._sink_disabled
 
     def emit(self, event: Event) -> None:
-        """Hand one event to the sink.
+        """Hand one event to the sink (or the batch buffer).
 
         A raising sink is an observability fault, not a regulation fault:
         the exception is absorbed and counted, and after
@@ -119,23 +156,57 @@ class Telemetry:
         root = self._root
         if root._sink_disabled:
             return
+        buffer = root._buffer
+        if buffer is not None:
+            buffer.append(event)
+            if len(buffer) >= root._batch_limit:
+                root.flush()
+            return
         try:
             self.sink.emit(event)
         except Exception:
-            root._sink_failures += 1
-            self.metrics.inc("sink_failures")
-            if root._sink_failures >= _SINK_FAILURE_LIMIT:
-                root._sink_disabled = True
-                root.emitting = False
-                self.metrics.inc("sink_disabled")
-                warnings.warn(
-                    f"telemetry sink {self.sink!r} disabled after "
-                    f"{root._sink_failures} emit failures; "
-                    "regulation continues without telemetry",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
+            self._note_sink_failure()
+
+    def flush(self) -> None:
+        """Drain buffered events to the sink, preserving emission order.
+
+        A no-op on unbatched handles and empty buffers.  Failure isolation
+        matches direct emission: each event that raises is counted, and
+        once the sink is disabled the rest of the batch is dropped.
+        """
+        root = self._root
+        buffer = root._buffer
+        if buffer is not None:
+            root._flush_at = root._now + root.batch_interval
+            if buffer:
+                root._buffer = []
+                sink = root.sink
+                for event in buffer:
+                    if root._sink_disabled:
+                        break
+                    try:
+                        sink.emit(event)
+                    except Exception:
+                        self._note_sink_failure()
+
+    def _note_sink_failure(self) -> None:
+        """Count one emit failure; disable the sink past the limit."""
+        root = self._root
+        root._sink_failures += 1
+        self.metrics.inc("sink_failures")
+        if root._sink_failures >= _SINK_FAILURE_LIMIT:
+            root._sink_disabled = True
+            root.emitting = False
+            self.metrics.inc("sink_disabled")
+            warnings.warn(
+                f"telemetry sink {self.sink!r} disabled after "
+                f"{root._sink_failures} emit failures; "
+                "regulation continues without telemetry",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def close(self) -> None:
-        """Close the sink (flushes file-backed sinks)."""
+        """Flush any buffered events and close the sink."""
+        self.flush()
         self.sink.close()

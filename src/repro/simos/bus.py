@@ -22,7 +22,7 @@ from repro.simos.engine import Engine, SimulationError
 __all__ = ["BusStats", "Bus"]
 
 
-@dataclass
+@dataclass(slots=True)
 class BusStats:
     """Aggregate bus accounting."""
 
@@ -34,6 +34,8 @@ class BusStats:
 class Bus:
     """A FCFS-shared transfer channel."""
 
+    __slots__ = ("_engine", "bandwidth", "name", "_busy", "_queue", "stats")
+
     def __init__(self, engine: Engine, bandwidth: float, name: str = "scsi0") -> None:
         if bandwidth <= 0:
             raise SimulationError(f"bus bandwidth must be positive, got {bandwidth}")
@@ -42,7 +44,7 @@ class Bus:
         self.bandwidth = float(bandwidth)
         self.name = name
         self._busy = False
-        self._queue: deque[tuple[float, Callable[[], None]]] = deque()
+        self._queue: deque[tuple[float, Callable[..., None], tuple]] = deque()
         self.stats = BusStats()
 
     @property
@@ -55,18 +57,19 @@ class Bus:
         """Transfers waiting behind the current one."""
         return len(self._queue)
 
-    def transfer(self, duration: float, on_done: Callable[[], None]) -> None:
-        """Occupy the bus for ``duration`` seconds; ``on_done`` at completion.
+    def transfer(self, duration: float, on_done: Callable[..., None], *args) -> None:
+        """Occupy the bus for ``duration`` seconds; ``on_done(*args)`` at completion.
 
         The caller computes the duration (a disk uses its media rate capped
         by the bus bandwidth), because a transfer's speed is limited by the
-        slower of the device and the channel.
+        slower of the device and the channel.  Extra positional ``args`` are
+        forwarded to ``on_done`` so callers need not allocate a closure.
         """
         if duration < 0:
             raise SimulationError(
                 f"transfer duration must be non-negative, got {duration}"
             )
-        self._queue.append((duration, on_done))
+        self._queue.append((duration, on_done, args))
         self.stats.queued_peak = max(self.stats.queued_peak, len(self._queue))
         self._pump()
 
@@ -74,13 +77,13 @@ class Bus:
     def _pump(self) -> None:
         if self._busy or not self._queue:
             return
-        duration, on_done = self._queue.popleft()
+        duration, on_done, args = self._queue.popleft()
         self._busy = True
         self.stats.transfers += 1
         self.stats.busy_time += duration
-        self._engine.call_after(duration, self._finish, on_done)
+        self._engine.post_after(duration, self._finish, on_done, args)
 
-    def _finish(self, on_done: Callable[[], None]) -> None:
+    def _finish(self, on_done: Callable[..., None], args: tuple) -> None:
         self._busy = False
-        on_done()
+        on_done(*args)
         self._pump()

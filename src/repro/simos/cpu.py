@@ -40,7 +40,7 @@ class CpuPriority(enum.IntEnum):
     HIGH = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class CpuStats:
     """Aggregate CPU accounting."""
 
@@ -66,6 +66,17 @@ class _Burst:
 
 class CPU:
     """A single processor with priority run queues."""
+
+    __slots__ = (
+        "_engine",
+        "_quantum",
+        "_queues",
+        "_current",
+        "_slice_started",
+        "_slice_event",
+        "_per_thread_busy",
+        "stats",
+    )
 
     def __init__(self, engine: Engine, quantum: float = 0.02) -> None:
         if quantum <= 0:
@@ -125,7 +136,7 @@ class CPU:
         if service == 0.0:
             # Zero-length bursts complete immediately but still round-trip
             # through the event queue for deterministic ordering.
-            self._engine.call_after(0.0, on_done)
+            self._engine.post_after(0.0, on_done)
             return
         burst = _Burst(tid, service, priority, on_done)
         if self._current is not None and priority > self._current.priority:
@@ -207,7 +218,7 @@ class CPU:
             # finish their interrupted slice first.
             self._queues.setdefault(burst.priority, deque()).appendleft(burst)
         else:
-            self._engine.call_after(0.0, burst.on_done)
+            self._engine.post_after(0.0, burst.on_done)
 
     def _on_slice_end(self) -> None:
         assert self._current is not None
@@ -219,5 +230,5 @@ class CPU:
             self._enqueue(burst)
         else:
             self.stats.bursts_completed += 1
-            self._engine.call_after(0.0, burst.on_done)
+            self._engine.post_after(0.0, burst.on_done)
         self._dispatch()

@@ -36,7 +36,7 @@ from repro.simos.engine import Engine, SimulationError
 __all__ = ["DiskParams", "DiskStats", "DiskRequest", "Disk"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DiskParams:
     """Geometry and timing parameters.
 
@@ -87,7 +87,7 @@ CDROM_PARAMS = DiskParams(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskStats:
     """Aggregate per-disk accounting."""
 
@@ -123,6 +123,22 @@ class DiskRequest:
 
 class Disk:
     """A single disk drive with a FCFS request queue."""
+
+    __slots__ = (
+        "_engine",
+        "name",
+        "params",
+        "_bus",
+        "_rng",
+        "_scheduler",
+        "_direction",
+        "_queue",
+        "_busy",
+        "_head_cylinder",
+        "_last_end_block",
+        "_service_started",
+        "stats",
+    )
 
     #: Supported queue disciplines.  FCFS is the default because it gives
     #: the roughly *symmetric* contention the paper's core assumption
@@ -212,7 +228,7 @@ class Disk:
             self.stats.max_queue_wait, self._engine.now - request.enqueued_at
         )
         mechanical = self._mechanical_time(request)
-        self._engine.call_after(mechanical, self._start_transfer, request)
+        self._engine.post_after(mechanical, self._start_transfer, request)
 
     def _select(self) -> DiskRequest:
         """Pick the next request per the configured queue discipline."""
@@ -262,10 +278,10 @@ class Disk:
     def _start_transfer(self, request: DiskRequest) -> None:
         if self._bus is not None:
             rate = min(self.params.transfer_rate, self._bus.bandwidth)
-            self._bus.transfer(request.nbytes / rate, lambda: self._finish(request))
+            self._bus.transfer(request.nbytes / rate, self._finish, request)
         else:
             duration = request.nbytes / self.params.transfer_rate
-            self._engine.call_after(duration, self._finish, request)
+            self._engine.post_after(duration, self._finish, request)
 
     def _finish(self, request: DiskRequest) -> None:
         blocks_spanned = max(1, -(-request.nbytes // self.params.block_size))

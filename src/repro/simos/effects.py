@@ -43,14 +43,14 @@ class Effect:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Delay(Effect):
     """Sleep for ``seconds`` of simulated time (no resource use)."""
 
     seconds: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UseCPU(Effect):
     """Consume ``seconds`` of CPU *service* time.
 
@@ -63,7 +63,7 @@ class UseCPU(Effect):
     seconds: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DiskRead(Effect):
     """Read ``nbytes`` starting at logical ``block`` of disk ``disk``.
 
@@ -77,7 +77,7 @@ class DiskRead(Effect):
     nbytes: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DiskWrite(Effect):
     """Write ``nbytes`` starting at logical ``block`` of disk ``disk``."""
 
@@ -106,14 +106,14 @@ class Condition:
         return f"Condition({self.name!r}, waiters={len(self.waiters)})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaitCondition(Effect):
     """Block until the condition is signalled; resumes with the payload."""
 
     condition: Condition
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SignalCondition(Effect):
     """Wake waiters on a condition and continue immediately.
 
@@ -126,7 +126,7 @@ class SignalCondition(Effect):
     broadcast: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Yield(Effect):
     """Reschedule immediately: let same-time events interleave.
 

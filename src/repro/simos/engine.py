@@ -1,19 +1,33 @@
 """Discrete-event simulation engine.
 
-A minimal, fast event core: a binary heap of ``(time, sequence, callback)``
-entries.  Everything in :mod:`repro.simos` — the CPU scheduler, disks, bus,
-timers, and the MS Manners bridge — is built from these primitives.
+A minimal, fast event core: a binary heap of ``(time, sequence, callback,
+args)`` entries.  Everything in :mod:`repro.simos` — the CPU scheduler,
+disks, bus, timers, and the MS Manners bridge — is built from these
+primitives.
 
 Determinism: two events scheduled for the same instant fire in scheduling
 order (the monotone sequence number breaks ties), so a seeded simulation
 replays exactly.  Time is a float in seconds, starting at 0.
 
-Hot-path accounting: the engine maintains a live count of pending
-(scheduled, not yet fired or cancelled) events, so :attr:`Engine.pending`
-is O(1) rather than a heap scan, and it compacts the heap when cancelled
-entries dominate it — a long regulator suspension cancels and reschedules
-timers repeatedly, and without compaction those inert entries would bloat
-the heap and slow every push/pop.
+Hot-path design (profile-driven; see docs/performance.md):
+
+* The steady-state scheduling API is :meth:`Engine.post_at` /
+  :meth:`Engine.post_after`.  They push a **plain tuple** onto the heap —
+  no event object is allocated, no per-event attribute writes happen, and
+  ``heapq`` compares entries element-wise in C (the unique sequence number
+  means comparison never reaches the callback).  Steady-state simulation
+  therefore allocates ~zero event objects beyond the tuples the heap
+  itself owns.
+* :meth:`Engine.call_at` / :meth:`Engine.call_after` return a cancellable
+  :class:`EventHandle`.  Handles are the rare path (retained timers,
+  preemptible CPU slices); they are tuple subclasses so they live in the
+  same heap and compare in C against plain entries.
+* ``pending`` is derived from four monotone counters (scheduled, fired,
+  cancelled, drained) instead of being written on every schedule/fire.
+* The heap is compacted when cancelled handles dominate it — a long
+  regulator suspension cancels and reschedules timers repeatedly, and
+  without compaction those inert entries would bloat the heap and slow
+  every push/pop.
 """
 
 from __future__ import annotations
@@ -23,6 +37,8 @@ import math
 from typing import Any, Callable
 
 __all__ = ["EventHandle", "Engine", "SimulationError"]
+
+_INF = math.inf
 
 #: Compact the heap when it holds more than this many cancelled entries
 #: *and* they outnumber the live ones.  Small enough to bound waste, large
@@ -34,57 +50,72 @@ class SimulationError(RuntimeError):
     """The simulation was driven into an invalid state."""
 
 
-class EventHandle:
-    """A cancellable reference to one scheduled event."""
+class EventHandle(tuple):
+    """A cancellable reference to one scheduled event.
 
-    __slots__ = ("when", "seq", "fn", "args", "cancelled", "_engine")
+    Heap entries are ``(when, seq, fn, args)`` tuples; a handle *is* its
+    heap entry (a tuple subclass), so plain posted entries and cancellable
+    handles share one heap and compare element-wise in C.  Tuple subclasses
+    cannot carry nonempty ``__slots__``, so the two mutable fields
+    (``cancelled``, ``_engine``) live in the instance dict — acceptable
+    because handles are the rare path.
+    """
 
-    def __init__(
-        self,
-        when: float,
-        seq: int,
-        fn: Callable[..., None],
-        args: tuple,
-        engine: "Engine | None" = None,
-    ) -> None:
-        self.when = when
-        self.seq = seq
-        self.fn: Callable[..., None] | None = fn
-        self.args = args
-        self.cancelled = False
-        self._engine = engine
+    # verify: allow-slots (tuple subclass; nonempty __slots__ unsupported)
+
+    #: Class-level default: creation writes only ``_engine``; cancelling or
+    #: firing shadows this with an instance attribute.
+    cancelled = False
+
+    _engine: "Engine"
+
+    @property
+    def when(self) -> float:
+        """Absolute firing time."""
+        return self[0]
+
+    @property
+    def seq(self) -> int:
+        """Scheduling-order tie-breaker."""
+        return self[1]
+
+    @property
+    def fn(self) -> Callable[..., None] | None:
+        """The callback, or ``None`` once cancelled or fired."""
+        return None if self.cancelled else self[2]
+
+    @property
+    def args(self) -> tuple:
+        return () if self.cancelled else self[3]
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
         if self.cancelled:
             return
-        self.cancelled = True
-        self.fn = None  # Free references early; the heap entry stays inert.
-        self.args = ()
-        engine = self._engine
-        if engine is not None:
-            engine._note_cancel()
+        self.cancelled = True  # The heap entry stays behind, inert.
+        self._engine._note_cancel()
 
-    def _consume(self) -> None:
-        """Mark fired-and-removed-from-heap (bypasses cancel accounting)."""
-        self.cancelled = True
-        self.fn = None
-        self.args = ()
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.when, self.seq) < (other.when, other.seq)
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else f"fn={self[2]!r}"
+        return f"<EventHandle when={self[0]} seq={self[1]} {state}>"
 
 
 class Engine:
     """The event heap and simulation clock."""
 
+    # verify: allow-slots (the verify invariant monitor shadows step/call_at
+    # and friends through the instance dict; Engine is one object per
+    # simulation, so slots buy nothing here anyway)
+
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[EventHandle] = []
-        self._seq = 0
+        self._heap: list[tuple] = []
+        self._seq = 0  # total events ever scheduled (posts + handles)
         self._events_fired = 0
-        self._pending = 0  # live entries in the heap (not fired, not cancelled)
-        self._stale = 0  # cancelled entries still sitting in the heap
+        self._cancelled = 0  # handles cancelled before firing
+        self._drained = 0  # live entries discarded by drain()
+        self._stale = 0  # cancelled handles still sitting in the heap
+        self._monitored = False  # routes run() through step() for audit hooks
 
     # -- time ----------------------------------------------------------------
     @property
@@ -99,61 +130,96 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Scheduled events not yet fired or cancelled (O(1))."""
-        return self._pending
+        """Scheduled events not yet fired or cancelled (O(1), derived)."""
+        return self._seq - self._events_fired - self._cancelled - self._drained
 
     # -- scheduling ----------------------------------------------------------
-    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule ``fn(*args)`` at absolute time ``when``."""
+    def _reject_time(self, when: float) -> None:
+        """Cold path: raise the precise error for an out-of-range time."""
         if not math.isfinite(when):
             raise SimulationError(f"event time must be finite, got {when}")
-        if when < self._now:
-            raise SimulationError(
-                f"cannot schedule event at {when} before current time {self._now}"
-            )
-        handle = EventHandle(when, self._seq, fn, args, self)
+        raise SimulationError(
+            f"cannot schedule event at {when} before current time {self._now}"
+        )
+
+    def post_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute time ``when``; no handle.
+
+        The allocation-free hot path: use this whenever the caller never
+        cancels (completion callbacks, device pumps, frame delivery).  The
+        chained comparison rejects NaN, ±inf, and past times in one check.
+        """
+        if not (self._now <= when < _INF):
+            self._reject_time(when)
+        heapq.heappush(self._heap, (when, self._seq, fn, args))
+        self._seq += 1
+
+    def post_after(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` after ``delay`` seconds; no handle."""
+        when = self._now + delay
+        if not (self._now <= when < _INF):
+            if delay < 0:
+                raise SimulationError(f"delay must be non-negative, got {delay}")
+            self._reject_time(when)
+        heapq.heappush(self._heap, (when, self._seq, fn, args))
+        self._seq += 1
+
+    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute time ``when``; cancellable."""
+        if not (self._now <= when < _INF):
+            self._reject_time(when)
+        handle = tuple.__new__(EventHandle, (when, self._seq, fn, args))
+        handle._engine = self
         self._seq += 1
         heapq.heappush(self._heap, handle)
-        self._pending += 1
         return handle
 
     def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule ``fn(*args)`` after ``delay`` seconds."""
-        if delay < 0:
-            raise SimulationError(f"delay must be non-negative, got {delay}")
-        return self.call_at(self._now + delay, fn, *args)
+        """Schedule ``fn(*args)`` after ``delay`` seconds; cancellable."""
+        when = self._now + delay
+        if not (self._now <= when < _INF):
+            if delay < 0:
+                raise SimulationError(f"delay must be non-negative, got {delay}")
+            self._reject_time(when)
+        handle = tuple.__new__(EventHandle, (when, self._seq, fn, args))
+        handle._engine = self
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
 
     def _note_cancel(self) -> None:
         """A live heap entry was cancelled; compact if inert entries dominate."""
-        self._pending -= 1
+        self._cancelled += 1
         self._stale += 1
-        if self._stale > _COMPACT_MIN_STALE and self._stale > self._pending:
+        if self._stale > _COMPACT_MIN_STALE and self._stale > self.pending:
             self._compact()
 
     def _compact(self) -> None:
         """Rebuild the heap without cancelled entries.
 
-        ``heapify`` over ``(when, seq)``-ordered handles preserves the
+        ``heapify`` over ``(when, seq)``-ordered entries preserves the
         firing order exactly, so compaction is invisible to the simulation.
         """
-        self._heap = [h for h in self._heap if not h.cancelled]
+        self._heap = [
+            h for h in self._heap if h.__class__ is tuple or not h.cancelled
+        ]
         heapq.heapify(self._heap)
         self._stale = 0
 
     # -- execution ------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next event; return ``False`` if the heap is empty."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled or handle.fn is None:
-                self._stale -= 1
-                continue
-            self._now = handle.when
-            fn, args = handle.fn, handle.args
-            handle._consume()  # Mark fired; frees references.
-            self._pending -= 1
+        heap = self._heap
+        while heap:
+            head = heapq.heappop(heap)
+            if head.__class__ is not tuple:
+                if head.cancelled:
+                    self._stale -= 1
+                    continue
+                head.cancelled = True  # Consumed: a late cancel() is a no-op.
+            self._now = head[0]
             self._events_fired += 1
-            fn(*args)
+            head[2](*head[3])
             return True
         return False
 
@@ -164,14 +230,60 @@ class Engine:
         the clock is advanced to exactly ``until`` even if the last event
         fired earlier (so back-to-back ``run`` calls tile time seamlessly).
         """
+        if self._monitored:
+            return self._run_stepped(until, max_events)
+        heap = self._heap
+        pop = heapq.heappop
+        if until is None and max_events is None:
+            # Drain-all fast loop: no bound checks, no head peeking.
+            while heap:
+                head = pop(heap)
+                if head.__class__ is not tuple:
+                    if head.cancelled:
+                        self._stale -= 1
+                        continue
+                    head.cancelled = True
+                self._now = head[0]
+                self._events_fired += 1
+                head[2](*head[3])
+            return self._now
+        fired = 0
+        while heap:
+            head = heap[0]
+            if head.__class__ is not tuple and head.cancelled:
+                pop(heap)
+                self._stale -= 1
+                continue
+            if until is not None and head[0] > until:
+                break
+            if max_events is not None and fired >= max_events:
+                return self._now
+            pop(heap)
+            if head.__class__ is not tuple:
+                head.cancelled = True
+            self._now = head[0]
+            self._events_fired += 1
+            head[2](*head[3])
+            fired += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def _run_stepped(self, until: float | None, max_events: int | None) -> float:
+        """run() routed through ``self.step()`` so monitors see every fire.
+
+        The verify invariant monitor shadows ``step`` (and the scheduling
+        methods) in the instance dict; the fast loops above would bypass
+        that shadow, so a monitored engine takes this path instead.
+        """
         fired = 0
         while self._heap:
             head = self._heap[0]
-            if head.cancelled or head.fn is None:
+            if head.__class__ is not tuple and head.cancelled:
                 heapq.heappop(self._heap)
                 self._stale -= 1
                 continue
-            if until is not None and head.when > until:
+            if until is not None and head[0] > until:
                 break
             if max_events is not None and fired >= max_events:
                 return self._now
@@ -183,8 +295,9 @@ class Engine:
 
     def drain(self) -> None:
         """Discard all pending events (used when tearing a simulation down)."""
-        for handle in self._heap:
-            handle._consume()  # Late cancel() calls stay no-ops.
+        self._drained += self.pending
+        for head in self._heap:
+            if head.__class__ is not tuple:
+                head.cancelled = True  # Late cancel() calls stay no-ops.
         self._heap.clear()
-        self._pending = 0
         self._stale = 0

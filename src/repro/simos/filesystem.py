@@ -40,7 +40,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Extent:
     """A contiguous run of volume blocks."""
 
@@ -53,7 +53,7 @@ class Extent:
         return self.start + self.count
 
 
-@dataclass
+@dataclass(slots=True)
 class SimFile:
     """One file: a named sequence of extents with a content identity."""
 
@@ -79,7 +79,7 @@ class SimFile:
         return len(self.extents)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChangeRecord:
     """One entry of the USN-style change journal."""
 
@@ -91,6 +91,8 @@ class ChangeRecord:
 
 class Volume:
     """A filesystem volume over a block range of one disk."""
+
+    __slots__ = ("name", "disk", "start_block", "total_blocks", "block_size", "_files", "_by_path", "_free", "_journal", "_next_file_id", "_next_usn")
 
     def __init__(
         self,

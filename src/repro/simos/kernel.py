@@ -76,6 +76,22 @@ class ThreadState(enum.Enum):
 class SimThread:
     """One simulated thread of execution."""
 
+    __slots__ = (
+        "tid",
+        "name",
+        "body",
+        "priority",
+        "process",
+        "state",
+        "blocked_on",
+        "suspended",
+        "_parked",
+        "_pending_cpu",
+        "_on_done",
+        "result",
+        "error",
+    )
+
     _next_tid = 1
 
     def __init__(
@@ -102,6 +118,9 @@ class SimThread:
         self._parked: tuple[Any, BaseException | None] | None = None
         #: CPU service remaining when suspension evicted a running burst.
         self._pending_cpu: float | None = None
+        #: The kernel's completion callback for this thread, built once at
+        #: spawn so effect dispatch never allocates a fresh closure.
+        self._on_done: Callable[[], None] | None = None
         #: Generator return value once DONE.
         self.result: Any = None
         #: The exception that killed the thread, if FAILED.
@@ -122,6 +141,20 @@ Listener = Callable[[str, SimThread, float], None]
 class Kernel:
     """The simulated machine: engine + CPU + disks + threads."""
 
+    __slots__ = (
+        "engine",
+        "cpu",
+        "bus",
+        "disks",
+        "_seed",
+        "_threads",
+        "_listeners",
+        "_disk_faults",
+        "_handlers",
+        "_post_after",
+        "_network_links",
+    )
+
     def __init__(
         self,
         seed: int = 0,
@@ -129,6 +162,11 @@ class Kernel:
         bus_bandwidth: float | None = DEFAULT_BUS_BANDWIDTH,
     ) -> None:
         self.engine = Engine()
+        #: Bound hot-path scheduler, cached so effect dispatch skips the
+        #: ``self.engine.post_after`` attribute chain on every effect.
+        self._post_after = self.engine.post_after
+        #: Link registry installed by :func:`repro.simos.network.attach`.
+        self._network_links = None
         self.cpu = CPU(self.engine, quantum=cpu_quantum)
         #: The shared I/O bus, or ``None`` for fully independent disks.
         self.bus: Bus | None = (
@@ -208,9 +246,11 @@ class Kernel:
     ) -> SimThread:
         """Create a thread and schedule its first step."""
         thread = SimThread(name, body, priority, process or name)
+        thread._on_done = lambda: self.deliver(thread, None)
         self._threads.append(thread)
-        self._notify("spawn", thread)
-        self.engine.call_after(start_after, self._first_step, thread)
+        if self._listeners:
+            self._notify("spawn", thread)
+        self._post_after(start_after, self._first_step, thread)
         return thread
 
     def threads(self) -> tuple[SimThread, ...]:
@@ -241,24 +281,26 @@ class Kernel:
             remaining = self.cpu.remove(thread)
             if remaining is not None:
                 thread._pending_cpu = remaining
-        self._notify("suspend", thread)
+        if self._listeners:
+            self._notify("suspend", thread)
 
     def resume_thread(self, thread: SimThread) -> None:
         """Undo :meth:`suspend_thread`; parked completions are delivered."""
         if not thread.alive or not thread.suspended:
             return
         thread.suspended = False
-        self._notify("unsuspend", thread)
+        if self._listeners:
+            self._notify("unsuspend", thread)
         if thread._pending_cpu is not None:
             remaining = thread._pending_cpu
             thread._pending_cpu = None
             self.cpu.request(
-                thread, remaining, int(thread.priority), lambda: self.deliver(thread, None)
+                thread, remaining, int(thread.priority), thread._on_done
             )
         elif thread._parked is not None:
             value, exc = thread._parked
             thread._parked = None
-            self.engine.call_after(0.0, self._advance, thread, value, exc)
+            self._post_after(0.0, self._advance, thread, value, exc)
 
     def kill_thread(
         self, thread: SimThread, error: BaseException | None = None
@@ -287,7 +329,8 @@ class Kernel:
         thread.state = ThreadState.DONE
         thread.error = error
         thread.blocked_on = None
-        self._notify("exit", thread)
+        if self._listeners:
+            self._notify("exit", thread)
 
     def inject_disk_fault(self, disk: str, count: int = 1) -> None:
         """Fail the next ``count`` I/O requests submitted to ``disk``.
@@ -343,9 +386,11 @@ class Kernel:
     ) -> None:
         if not thread.alive:
             return
+        listeners = self._listeners
         thread.state = ThreadState.RUNNING
         thread.blocked_on = None
-        self._notify("run", thread)
+        if listeners:
+            self._notify("run", thread)
         try:
             if exc is not None:
                 effect = thread.body.throw(exc)
@@ -354,22 +399,26 @@ class Kernel:
         except StopIteration as stop:
             thread.state = ThreadState.DONE
             thread.result = stop.value
-            self._notify("exit", thread)
+            if listeners:
+                self._notify("exit", thread)
             return
         except Exception as exc:  # Deliberate: capture app bugs, fail loudly in run().
             thread.state = ThreadState.FAILED
             thread.error = exc
-            self._notify("exit", thread)
+            if listeners:
+                self._notify("exit", thread)
             return
         handler = self._handlers.get(type(effect))
         if handler is None:
             thread.state = ThreadState.FAILED
             thread.error = SimulationError(f"unknown effect {effect!r}")
-            self._notify("exit", thread)
+            if listeners:
+                self._notify("exit", thread)
             return
         thread.state = ThreadState.BLOCKED
         handler(thread, effect)
-        self._notify("block", thread)
+        if listeners:
+            self._notify("block", thread)
 
     def _notify(self, kind: str, thread: SimThread) -> None:
         now = self.engine.now
@@ -381,12 +430,12 @@ class Kernel:
         if effect.seconds < 0:
             raise SimulationError(f"cannot sleep for {effect.seconds}")
         thread.blocked_on = "sleep"
-        self.engine.call_after(effect.seconds, self.deliver, thread, None)
+        self._post_after(effect.seconds, self.deliver, thread, None)
 
     def _do_cpu(self, thread: SimThread, effect: UseCPU) -> None:
         thread.blocked_on = "cpu"
         self.cpu.request(
-            thread, effect.seconds, int(thread.priority), lambda: self.deliver(thread, None)
+            thread, effect.seconds, int(thread.priority), thread._on_done
         )
 
     def _do_disk(self, thread: SimThread, effect: DiskRead | DiskWrite) -> None:
@@ -401,14 +450,14 @@ class Kernel:
                 del self._disk_faults[effect.disk]
             else:
                 self._disk_faults[effect.disk] = pending_faults - 1
-            self.engine.call_after(
+            self._post_after(
                 0.0,
                 self.deliver_error,
                 thread,
                 DiskFault(f"injected {kind} failure on disk {effect.disk!r}"),
             )
             return
-        disk.submit(kind, effect.block, effect.nbytes, lambda: self.deliver(thread, None))
+        disk.submit(kind, effect.block, effect.nbytes, thread._on_done)
 
     def _do_wait(self, thread: SimThread, effect: WaitCondition) -> None:
         thread.blocked_on = f"cond:{effect.condition.name}"
@@ -423,14 +472,14 @@ class Kernel:
             else:
                 woken = (condition.waiters.pop(0),)
             for waiter in woken:
-                self.engine.call_after(0.0, self.deliver, waiter, effect.payload)
+                self._post_after(0.0, self.deliver, waiter, effect.payload)
         # The signalling thread continues immediately (next event tick).
         thread.blocked_on = "signal"
-        self.engine.call_after(0.0, self.deliver, thread, None)
+        self._post_after(0.0, self.deliver, thread, None)
 
     def _do_yield(self, thread: SimThread, effect: Yield) -> None:
         thread.blocked_on = "yield"
-        self.engine.call_after(0.0, self.deliver, thread, None)
+        self._post_after(0.0, self.deliver, thread, None)
 
     def signal(self, condition: Condition, payload: Any = None, broadcast: bool = False) -> None:
         """Signal a condition from non-thread code (timers, externals)."""
@@ -442,4 +491,4 @@ class Kernel:
         else:
             woken = (condition.waiters.pop(0),)
         for waiter in woken:
-            self.engine.call_after(0.0, self.deliver, waiter, payload)
+            self._post_after(0.0, self.deliver, waiter, payload)

@@ -32,7 +32,7 @@ from repro.simos.kernel import Kernel, SimThread
 __all__ = ["TouchMemory", "MemoryManager"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TouchMemory(Effect):
     """Touch ``pages`` pages of the calling thread's process working set."""
 
@@ -45,6 +45,16 @@ class MemoryManager:
     Register with the kernel via :meth:`attach`; afterwards any thread may
     yield :class:`TouchMemory`.
     """
+
+    __slots__ = (
+        "_engine",
+        "frames",
+        "fault_service",
+        "_rng",
+        "_working_sets",
+        "faults",
+        "touches",
+    )
 
     def __init__(
         self,
@@ -119,6 +129,6 @@ class MemoryManager:
                     self.faults[process] = self.faults.get(process, 0) + 1
                     delay += self.fault_service
             thread.blocked_on = "memory"
-            kernel.engine.call_after(delay, kernel.deliver, thread, None)
+            kernel.engine.post_after(delay, kernel.deliver, thread, None)
 
         return handler

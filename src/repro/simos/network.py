@@ -29,7 +29,7 @@ from repro.simos.kernel import Kernel, SimThread
 __all__ = ["NetSend", "NetworkStats", "NetworkLink"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetSend(Effect):
     """Transmit ``nbytes`` over the named network link."""
 
@@ -37,7 +37,7 @@ class NetSend(Effect):
     nbytes: int
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Aggregate link accounting."""
 
@@ -54,6 +54,18 @@ class NetworkLink:
     be changed at any time (e.g. from a scheduled event) to model remote
     load the sender cannot observe directly.
     """
+
+    __slots__ = (
+        "_engine",
+        "name",
+        "bandwidth",
+        "latency",
+        "frame_bytes",
+        "congestion_factor",
+        "_busy",
+        "_queue",
+        "stats",
+    )
 
     def __init__(
         self,
@@ -96,7 +108,7 @@ class NetworkLink:
                 if link is None:
                     raise SimulationError(f"no such network link {effect.link!r}")
                 thread.blocked_on = f"net:{effect.link}"
-                link.send(effect.nbytes, lambda: kernel.deliver(thread, None))
+                link.send(effect.nbytes, thread._on_done)
 
             kernel.register_handler(NetSend, handler)
         if self.name in registry:
@@ -137,6 +149,6 @@ class NetworkLink:
         duration = frame / rate + (self.latency if first else 0.0)
         self.stats.bytes_sent += frame
         self.stats.busy_time += duration
-        self._engine.call_after(
+        self._engine.post_after(
             duration, self._send_frames, remaining - frame, on_done, False
         )

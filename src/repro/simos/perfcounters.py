@@ -52,6 +52,8 @@ class PerfCounter:
 class PerfCounterRegistry:
     """The machine-wide counter namespace."""
 
+    __slots__ = ("_counters")
+
     def __init__(self) -> None:
         self._counters: dict[tuple[str, str], PerfCounter] = {}
 

@@ -43,7 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["MannersTestpoint", "SetThreadPriority", "SimManners"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MannersTestpoint(Effect):
     """The paper's ``Testpoint(index, count, metrics)`` call.
 
@@ -55,7 +55,7 @@ class MannersTestpoint(Effect):
     index: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SetThreadPriority(Effect):
     """The library call by which a thread sets its relative priority.
 
@@ -68,6 +68,8 @@ class SetThreadPriority(Effect):
 
 class SimManners:
     """Supervisors + superintendent running on simulated time."""
+
+    __slots__ = ("_kernel", "_config", "_telemetry", "_machine_wide", "_supervisors", "_superintendent", "_registration", "_waiting", "_parked_at", "_timer", "_time", "traces")
 
     def __init__(
         self,
@@ -229,7 +231,7 @@ class SimManners:
         if not decision.processed:
             # Lightweight path: continue on the next tick, keeping the slot.
             thread.blocked_on = "manners-light"
-            self._kernel.engine.call_after(0.0, self._kernel.deliver, thread, decision)
+            self._kernel.engine.post_after(0.0, self._kernel.deliver, thread, decision)
             return
         # Processed: the thread gave up the slot inside on_testpoint and is
         # eligible again after its delay.  Park it until arbitration
@@ -247,7 +249,7 @@ class SimManners:
             raise RegulationStateError(f"thread {thread!r} is not regulated")
         sup.set_thread_priority(thread, effect.priority)
         thread.blocked_on = "manners-light"
-        self._kernel.engine.call_after(0.0, self._kernel.deliver, thread, None)
+        self._kernel.engine.post_after(0.0, self._kernel.deliver, thread, None)
 
     def _on_thread_event(self, kind: str, thread: SimThread, now: float) -> None:
         """Release a regulated thread's slot when it exits."""
@@ -310,7 +312,7 @@ class SimManners:
                                 )
                             )
                     owner.blocked_on = "manners-released"
-                    self._kernel.engine.call_after(
+                    self._kernel.engine.post_after(
                         0.0, self._kernel.deliver, owner, decision
                     )
                     released = True

@@ -37,6 +37,8 @@ class DutyTrace:
     tracing is done, so discarded traces stop costing a callback per event.
     """
 
+    __slots__ = ("_kernel", "_traced", "_blocked_labels", "_closed")
+
     def __init__(self, kernel: Kernel, blocked_labels: tuple[str, ...] = ("manners",)) -> None:
         self._kernel = kernel
         self._blocked_labels = blocked_labels
@@ -122,7 +124,7 @@ class DutyTrace:
         return out
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TestpointRecord:
     """One processed testpoint as seen by the regulation bridge."""
 
@@ -135,6 +137,8 @@ class TestpointRecord:
 
 class TestpointTrace:
     """Chronological record of processed testpoints for one thread."""
+
+    __slots__ = ("_records")
 
     def __init__(self) -> None:
         self._records: list[TestpointRecord] = []

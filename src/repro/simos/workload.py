@@ -17,7 +17,7 @@ from dataclasses import dataclass
 __all__ = ["Burst", "bursty_schedule", "busy_fraction", "is_busy"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Burst:
     """One busy interval of a load schedule."""
 

@@ -239,16 +239,23 @@ class EngineInvariantMonitor:
     engine's original methods.
     """
 
+    #: Engine methods shadowed through the instance dict while monitoring.
+    _SHADOWED = ("step", "call_at", "call_after", "post_at", "post_after")
+
     def __init__(self, engine, recorder: ViolationRecorder) -> None:
         self._engine = engine
         self._recorder = recorder
         self._last_now = engine.now
         self._orig_step = engine.step
-        self._orig_call_at = engine.call_at
-        # Instance attributes shadow the class methods, so Engine.run()'s
-        # internal self.step() calls route through the monitor too.
+        # Instance attributes shadow the class methods; setting
+        # ``_monitored`` routes Engine.run()'s inlined fast loops through
+        # self.step() so every fired event passes the audit too.
         engine.step = self._step
-        engine.call_at = self._call_at
+        engine.call_at = self._wrap_schedule(engine.call_at, "call_at")
+        engine.call_after = self._wrap_schedule(engine.call_after, "call_after")
+        engine.post_at = self._wrap_schedule(engine.post_at, "post_at")
+        engine.post_after = self._wrap_schedule(engine.post_after, "post_after")
+        engine._monitored = True
 
     def _audit(self, context: str) -> None:
         engine = self._engine
@@ -264,15 +271,19 @@ class EngineInvariantMonitor:
         else:
             rec.passed()
         self._last_now = max(self._last_now, now)
+        # Plain tuple entries are the non-cancellable hot path: always live.
+        # Handle entries are live until cancelled (or consumed by firing).
         live = sum(
-            1 for h in engine._heap if not h.cancelled and h.fn is not None
+            1
+            for h in engine._heap
+            if h.__class__ is tuple or not h.cancelled
         )
         stale = len(engine._heap) - live
-        if engine._pending != live:
+        if engine.pending != live:
             rec.report(
                 "engine",
                 "pending_count",
-                f"{context}: pending counter {engine._pending}, live scan {live}",
+                f"{context}: pending counter {engine.pending}, live scan {live}",
                 t=now,
             )
         elif engine._stale != stale:
@@ -290,18 +301,22 @@ class EngineInvariantMonitor:
         self._audit("step")
         return fired
 
-    def _call_at(self, when, fn, *args):
-        handle = self._orig_call_at(when, fn, *args)
-        self._audit("call_at")
-        return handle
+    def _wrap_schedule(self, orig, context: str):
+        def audited(*args, **kwargs):
+            result = orig(*args, **kwargs)
+            self._audit(context)
+            return result
+
+        return audited
 
     def detach(self) -> None:
         """Restore the engine's unmonitored methods."""
         # Bound-method access creates a fresh object each time, so identity
         # checks against self._step would never match; pop unconditionally.
         engine = self._engine
-        engine.__dict__.pop("step", None)
-        engine.__dict__.pop("call_at", None)
+        for name in self._SHADOWED:
+            engine.__dict__.pop(name, None)
+        engine._monitored = False
 
 
 def check_regulator_roundtrip(

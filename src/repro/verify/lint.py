@@ -41,6 +41,7 @@ RULES = {
     "wall-clock": "reads real time instead of simulation/injected time",
     "unseeded-rng": "draws randomness from global or entropy-backed state",
     "hash-order": "depends on per-process hash randomization or set order",
+    "slots": "hot-path class lacks __slots__ (per-instance dict churn)",
 }
 
 _WALL_CLOCK_TIME_FNS = {
@@ -79,6 +80,23 @@ _UNSEEDED_RANDOM_FNS = {
 #: (Order-insensitive consumers — sorted, min, max, sum, len, any, all — are
 #: deliberately absent: feeding them a set is safe.)
 _ORDER_SENSITIVE = {"list", "tuple", "iter", "enumerate", "reversed"}
+
+#: Base classes whose subclasses are exempt from the ``slots`` rule: enums
+#: and exceptions are not hot-path instances, and Protocol/ABC/NamedTuple/
+#: TypedDict classes are structural, not allocated per event.
+_SLOTS_EXEMPT_BASES = {
+    "Enum",
+    "IntEnum",
+    "StrEnum",
+    "Flag",
+    "IntFlag",
+    "Protocol",
+    "NamedTuple",
+    "TypedDict",
+    "ABC",
+    "BaseException",
+    "Exception",
+}
 
 _ALLOW_MARKER = "# verify: allow"
 
@@ -217,6 +235,57 @@ class _DeterminismVisitor(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        """Flag hot-path classes that silently lost their ``__slots__``."""
+        self._check_slots(node)
+        self.generic_visit(node)
+
+    def _check_slots(self, node: ast.ClassDef) -> None:
+        # A ``# verify: allow-slots`` marker anywhere in the class body
+        # waives the class (the marker usually sits under the docstring,
+        # next to the explanation of *why* the instance dict is needed).
+        for lineno in range(node.lineno, (node.end_lineno or node.lineno) + 1):
+            if self.allowed_lines.get(lineno) == "slots":
+                return
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__slots__" for t in stmt.targets
+            ):
+                return
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            ):
+                return
+        for decorator in node.decorator_list:
+            if isinstance(decorator, ast.Call):
+                _module, name = self._call_target(decorator.func)
+                if name == "dataclass" and any(
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in decorator.keywords
+                ):
+                    return
+        for base in node.bases:
+            name = (
+                base.id
+                if isinstance(base, ast.Name)
+                else base.attr if isinstance(base, ast.Attribute) else None
+            )
+            if name in _SLOTS_EXEMPT_BASES or (
+                name is not None and name.endswith(("Error", "Exception", "Warning"))
+            ):
+                return
+        self._flag(
+            node,
+            "slots",
+            f"class {node.name} lacks __slots__ (pays per-instance dict churn "
+            "on the hot path; add __slots__/dataclass(slots=True) or waive "
+            "with '# verify: allow-slots')",
+        )
+
     def visit_For(self, node: ast.For) -> None:
         """Flag iteration directly over a set expression."""
         if self._is_set_expression(node.iter):
@@ -240,7 +309,12 @@ def _allowed_lines(source: str) -> dict[int, str]:
         if marker < 0:
             continue
         suffix = text[marker + len(_ALLOW_MARKER):].strip()
-        allowed[lineno] = suffix[1:] if suffix.startswith("-") else ""
+        if suffix.startswith("-"):
+            # ``allow-<rule>``, optionally followed by a parenthesized
+            # justification: ``# verify: allow-slots (monitor shadows ...)``.
+            allowed[lineno] = suffix[1:].split(None, 1)[0] if suffix[1:] else ""
+        else:
+            allowed[lineno] = ""
     return allowed
 
 

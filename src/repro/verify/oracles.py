@@ -163,6 +163,14 @@ class _EngineScriptDriver:
             )
             self.handles.append(handle)
 
+    def post_fire(self, tag: int, repeats: int, interval: float) -> None:
+        """Scripted callback for the non-cancellable hot path."""
+        self.log.append((tag, self.engine.now))
+        if repeats > 0:
+            self.engine.post_after(
+                interval, self.post_fire, tag + 1, repeats - 1, interval
+            )
+
     def apply(self, op: tuple) -> None:
         """Execute one script op against the engine."""
         kind = op[0]
@@ -171,6 +179,9 @@ class _EngineScriptDriver:
             self.handles.append(
                 self.engine.call_after(delay, self.fire, tag, repeats, interval)
             )
+        elif kind == "post":
+            _, delay, repeats, interval, tag = op
+            self.engine.post_after(delay, self.post_fire, tag, repeats, interval)
         elif kind == "cancel":
             if self.handles:
                 self.handles[op[1] % len(self.handles)].cancel()
@@ -193,9 +204,12 @@ def _generate_engine_script(rng: random.Random, ops: int) -> list[tuple]:
         roll = rng.random()
         if roll < 0.45:
             tag += 100
+            # Mix cancellable handles with hot-path posts: the same seeded
+            # stream drives both scheduling APIs on both engines.
+            kind = "schedule" if rng.random() < 0.6 else "post"
             script.append(
                 (
-                    "schedule",
+                    kind,
                     round(rng.uniform(0.0, 10.0), 3),
                     rng.randint(0, 3),
                     round(rng.uniform(0.1, 2.0), 3),

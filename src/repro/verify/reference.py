@@ -175,6 +175,20 @@ class ReferenceEngine:
             raise SimulationError(f"delay must be non-negative, got {delay}")
         return self.call_at(self._now + delay, fn, *args)
 
+    def post_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        """Non-cancellable twin of :meth:`call_at` (no handle returned).
+
+        The fast engine pushes a bare tuple for these; the reference keeps
+        a normal handle and simply never hands it out.
+        """
+        self.call_at(when, fn, *args)
+
+    def post_after(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Non-cancellable twin of :meth:`call_after` (no handle returned)."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        self.call_at(self._now + delay, fn, *args)
+
     def _next_live(self) -> ReferenceHandle | None:
         best: ReferenceHandle | None = None
         for handle in self._events:

@@ -227,3 +227,100 @@ class TestProperties:
                 handle.cancel()
         engine.run()
         assert len(fired) == expected
+
+
+class TestPostAPI:
+    """post_at/post_after: the allocation-free, handle-less hot path."""
+
+    def test_post_at_fires_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.post_at(2.0, fired.append, "b")
+        engine.post_at(1.0, fired.append, "a")
+        engine.post_at(3.0, fired.append, "c")
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_post_after_is_relative(self):
+        engine = Engine()
+        when = []
+        engine.post_at(5.0, lambda: engine.post_after(2.5, lambda: when.append(engine.now)))
+        engine.run()
+        assert when == [7.5]
+
+    def test_posts_and_handles_interleave_fifo(self):
+        engine = Engine()
+        fired = []
+        engine.post_at(1.0, fired.append, "post-first")
+        engine.call_at(1.0, fired.append, "handle-second")
+        engine.post_at(1.0, fired.append, "post-third")
+        engine.run()
+        assert fired == ["post-first", "handle-second", "post-third"]
+
+    def test_post_rejects_past_and_nonfinite_times(self):
+        engine = Engine()
+        engine.post_at(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError, match="before current time"):
+            engine.post_at(0.5, lambda: None)
+        with pytest.raises(SimulationError, match="must be finite"):
+            engine.post_at(float("inf"), lambda: None)
+        with pytest.raises(SimulationError, match="must be finite"):
+            engine.post_at(float("nan"), lambda: None)
+        with pytest.raises(SimulationError, match="non-negative"):
+            engine.post_after(-1.0, lambda: None)
+
+    def test_post_counts_in_pending_and_events_fired(self):
+        engine = Engine()
+        engine.post_at(1.0, lambda: None)
+        engine.post_after(2.0, lambda: None)
+        assert engine.pending == 2
+        engine.run()
+        assert engine.pending == 0
+        assert engine.events_fired == 2
+
+    def test_post_args_are_forwarded(self):
+        engine = Engine()
+        seen = []
+        engine.post_at(1.0, lambda a, b, c: seen.append((a, b, c)), 1, "x", None)
+        engine.run()
+        assert seen == [(1, "x", None)]
+
+    def test_drain_discards_posts_and_handles(self):
+        engine = Engine()
+        engine.post_at(1.0, lambda: None)
+        handle = engine.call_at(2.0, lambda: None)
+        engine.drain()
+        assert engine.pending == 0
+        assert engine._heap == []
+        handle.cancel()  # late cancel after drain stays a no-op
+        assert engine.pending == 0
+
+    def test_fired_handle_reports_cancelled(self):
+        engine = Engine()
+        handle = engine.call_at(1.0, lambda: None)
+        assert handle.fn is not None
+        assert handle.args == ()
+        engine.run()
+        # Fired handles are marked consumed: fn/args read as cancelled.
+        assert handle.cancelled
+        assert handle.fn is None
+        assert handle.when == 1.0
+
+    def test_run_until_with_posts_only(self):
+        engine = Engine()
+        fired = []
+        for i in range(5):
+            engine.post_at(float(i), fired.append, i)
+        assert engine.run(until=2.5) == 2.5
+        assert fired == [0, 1, 2]
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_max_events_with_posts(self):
+        engine = Engine()
+        fired = []
+        for i in range(5):
+            engine.post_at(float(i), fired.append, i)
+        engine.run(max_events=2)
+        assert fired == [0, 1]

@@ -1,0 +1,112 @@
+"""The CI perf gate: compare_reports semantics and the compare script.
+
+The gate (docs/performance.md) fails only on drift in the *bad* direction
+beyond the tolerance — events/sec down, or wall time up when the two runs
+did identical work.  Improvements must never fail, and wall time must not
+be compared across runs of different sizing.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.bench import compare_reports, load_report, write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _report(**overrides) -> dict:
+    base = {
+        "name": "defrag_idle",
+        "trials": 4,
+        "jobs": 1,
+        "wall_time_s": 2.0,
+        "events_per_sec": 100_000,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        assert compare_reports(_report(), _report()) == []
+
+    def test_drop_within_tolerance_passes(self):
+        fresh = _report(events_per_sec=85_000)  # -15% < 20%
+        assert compare_reports(_report(), fresh) == []
+
+    def test_drop_beyond_tolerance_fails(self):
+        fresh = _report(events_per_sec=70_000)  # -30%
+        failures = compare_reports(_report(), fresh)
+        assert len(failures) == 1
+        assert "events/sec regressed" in failures[0]
+        assert "defrag_idle" in failures[0]
+
+    def test_improvement_never_fails(self):
+        fresh = _report(events_per_sec=1_000_000, wall_time_s=0.1)
+        assert compare_reports(_report(), fresh) == []
+
+    def test_tolerance_is_configurable(self):
+        fresh = _report(events_per_sec=85_000)
+        assert compare_reports(_report(), fresh, tolerance=0.10)  # -15% > 10%
+
+    def test_wall_time_rise_fails_when_same_work(self):
+        fresh = _report(wall_time_s=3.0)  # +50%
+        failures = compare_reports(_report(), fresh)
+        assert len(failures) == 1
+        assert "wall time regressed" in failures[0]
+
+    def test_wall_time_ignored_across_different_sizing(self):
+        # A bigger run is slower for a good reason; only events/sec gates.
+        fresh = _report(trials=8, wall_time_s=4.0, events_per_sec=100_000)
+        assert compare_reports(_report(), fresh) == []
+
+    def test_microbench_sizing_keys_gate_wall_time(self):
+        base = _report(name="engine_hotpath", events=200_000, rounds=4000)
+        bigger = _report(name="engine_hotpath", events=400_000, rounds=4000,
+                         wall_time_s=4.0)
+        assert compare_reports(base, bigger) == []
+        same = _report(name="engine_hotpath", events=200_000, rounds=4000,
+                       wall_time_s=4.0)
+        assert compare_reports(base, same)
+
+    def test_missing_metrics_are_not_compared(self):
+        assert compare_reports({"name": "x"}, {"name": "x"}) == []
+
+
+class TestLoadReport:
+    def test_roundtrips_write_report(self, tmp_path):
+        report = _report()
+        write_report(report, tmp_path)
+        assert load_report("defrag_idle", tmp_path) == report
+
+
+class TestCompareBaselineScript:
+    def _run(self, *args: str) -> subprocess.CompletedProcess:
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "benchmarks" / "compare_baseline.py"),
+             *args],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        )
+
+    def test_exit_zero_on_identical_and_one_on_regression(self, tmp_path):
+        baseline_dir = tmp_path / "baseline"
+        fresh_dir = tmp_path / "fresh"
+        write_report(_report(), baseline_dir)
+        write_report(_report(), fresh_dir)
+
+        ok = self._run("--baseline", str(baseline_dir), "--fresh",
+                       str(fresh_dir), "defrag_idle")
+        assert ok.returncode == 0, ok.stderr
+        assert "ok defrag_idle" in ok.stdout
+        assert "+0.0%" in ok.stdout  # the drift ratio, not fresh/base
+
+        write_report(_report(events_per_sec=70_000), fresh_dir)
+        bad = self._run("--baseline", str(baseline_dir), "--fresh",
+                        str(fresh_dir), "defrag_idle")
+        assert bad.returncode == 1
+        assert "REGRESSION" in bad.stderr

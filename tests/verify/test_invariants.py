@@ -131,7 +131,7 @@ def test_engine_monitor_detects_corrupted_pending_counter():
     engine = Engine()
     EngineInvariantMonitor(engine, recorder)
     engine.call_after(1.0, lambda: None)
-    engine._pending += 1  # simulate an accounting bug
+    engine._cancelled -= 1  # simulate an accounting bug (pending reads high)
     engine.run()
     assert any(v.invariant == "pending_count" for v in recorder.violations)
 

@@ -37,6 +37,10 @@ _KNOWN_BAD = textwrap.dedent(
             print(item)
         j = list({4, 5, 6})
         return a, b, c, d, e, f, g, h, i, j
+
+    class PerEventState:
+        def __init__(self):
+            self.value = 0
     """
 )
 
@@ -48,8 +52,9 @@ def _rules_in(findings):
 def test_known_bad_fixture_trips_every_rule():
     findings = lint_source(_KNOWN_BAD, path="fixture.py")
     assert _rules_in(findings) == set(RULES)
-    # One finding per hazard line: 8 calls + hash + for-set + list-set.
-    assert len(findings) == 11
+    # One finding per hazard line: 8 calls + hash + for-set + list-set +
+    # the slot-less class.
+    assert len(findings) == 12
 
 
 def test_shipped_core_and_simos_are_clean():
@@ -137,3 +142,88 @@ def test_findings_carry_location_and_message():
 def test_syntax_error_propagates():
     with pytest.raises(SyntaxError):
         lint_source("def broken(:\n")
+
+
+# -- the slots rule ----------------------------------------------------------
+
+
+def test_slotless_class_is_flagged():
+    source = "class Hot:\n    def __init__(self):\n        self.x = 1\n"
+    findings = lint_source(source)
+    assert [f.rule for f in findings] == ["slots"]
+    assert "Hot" in findings[0].message
+
+
+def test_slots_assignment_satisfies_rule():
+    source = 'class Hot:\n    __slots__ = ("x",)\n'
+    assert lint_source(source) == []
+
+
+def test_annotated_slots_assignment_satisfies_rule():
+    source = 'class Hot:\n    __slots__: tuple = ("x",)\n'
+    assert lint_source(source) == []
+
+
+def test_dataclass_slots_true_satisfies_rule():
+    source = textwrap.dedent(
+        """\
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True, slots=True)
+        class Sample:
+            value: float
+        """
+    )
+    assert lint_source(source) == []
+
+
+def test_plain_dataclass_is_flagged():
+    source = textwrap.dedent(
+        """\
+        from dataclasses import dataclass
+
+        @dataclass
+        class Sample:
+            value: float
+        """
+    )
+    assert [f.rule for f in lint_source(source)] == ["slots"]
+
+
+def test_enum_exception_protocol_are_exempt():
+    source = textwrap.dedent(
+        """\
+        import enum
+        from typing import Protocol
+
+        class Mode(enum.Enum):
+            A = "a"
+
+        class BoomError(Exception):
+            pass
+
+        class Sink(Protocol):
+            def emit(self, event) -> None: ...
+        """
+    )
+    assert lint_source(source) == []
+
+
+def test_allow_slots_marker_in_class_body_waives():
+    source = textwrap.dedent(
+        """\
+        class Shadowed:
+            # verify: allow-slots (monitor shadows methods via instance dict)
+            def __init__(self):
+                self.x = 1
+        """
+    )
+    assert lint_source(source) == []
+
+
+def test_allow_marker_with_justification_suffix_parses():
+    source = (
+        "import time\n"
+        "x = time.monotonic()  # verify: allow-wall-clock (adapter's whole job)\n"
+    )
+    assert lint_source(source) == []
