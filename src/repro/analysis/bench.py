@@ -197,6 +197,16 @@ def load_report(name: str, results_dir: str | Path) -> dict:
     return json.loads(path.read_text(encoding="utf-8"))
 
 
+#: Hard ceilings on telemetry overhead reports (``BENCH_obs_overhead``),
+#: in fractional extra interpreter calls vs the disabled path.  Unlike the
+#: drift tolerance below these are absolute: a fresh report at or above a
+#: cap fails the gate even if the committed baseline was just as bad.
+OVERHEAD_CAPS: dict[str, float] = {
+    "null_overhead": 0.02,
+    "traced_overhead": 0.05,
+}
+
+
 def compare_reports(
     baseline: dict, fresh: dict, tolerance: float = 0.20
 ) -> list[str]:
@@ -210,10 +220,21 @@ def compare_reports(
       compared only when both runs did the same amount of work (same
       ``trials`` and ``jobs``, or a microbench with the same sizing).
 
+    Overhead reports additionally face the absolute :data:`OVERHEAD_CAPS`
+    ceilings: those are contract bounds, not drift bounds, so a baseline
+    refresh can never ratchet them loose.
+
     Returns a list of human-readable failure lines (empty = pass).
     """
     failures: list[str] = []
     name = fresh.get("name", "?")
+
+    for key, cap in OVERHEAD_CAPS.items():
+        value = fresh.get(key)
+        if value is not None and value >= cap:
+            failures.append(
+                f"{name}: {key} {value:.3%} breaches the hard cap {cap:.0%}"
+            )
 
     base_eps = baseline.get("events_per_sec")
     fresh_eps = fresh.get("events_per_sec")

@@ -12,11 +12,18 @@ Four commands:
   as tab-separated files ready for any plotting tool.
 * ``obs`` — inspect regulation telemetry: ``obs summarize TRACE.jsonl``
   prints the regulation timeline and aggregates of a JSONL event trace
-  (written via ``--trace-out`` on ``figures`` or ``benice``).
+  (written via ``--trace-out`` on ``figures`` or ``benice``);
+  ``obs explain TRACE.jsonl THREAD [--at TIME]`` reconstructs a
+  suspension decision as a causal span tree (testpoint samples →
+  sign-test accumulation → judgment → backoff);
+  ``obs export TRACE.jsonl --format jsonl|prom`` re-exports normalized
+  events or trace-derived histogram metrics in Prometheus text format.
 * ``faults`` — the chaos harness: ``faults run --scenario NAME --seed N``
   executes one named fault-injection scenario against the simulator and
   reports whether the resilience layer absorbed it (exit 0) or not
-  (exit 1); ``faults list`` names the scenarios.
+  (exit 1); ``--flightrec DIR`` arms a bounded flight recorder that
+  dumps the last-N event ring on each injected fault;
+  ``faults list`` names the scenarios.
 * ``bench`` — the performance harness: ``bench NAME --jobs N`` runs a
   named benchmark through the parallel trial engine, checks parallel vs
   serial parity, and writes a machine-readable ``BENCH_<name>.json``
@@ -88,10 +95,11 @@ def _make_telemetry(trace_out: str | None, metrics_out: str | None):
     if trace_out is None and metrics_out is None:
         return None, lambda out: None
 
-    from repro.obs import JsonlSink, MetricsRegistry, Telemetry
+    from repro.obs import JsonlSink, MetricsRegistry, Telemetry, Tracer
 
     sink = JsonlSink(trace_out) if trace_out is not None else None
-    telemetry = Telemetry(sink=sink, metrics=MetricsRegistry())
+    tracer = Tracer() if trace_out is not None else None
+    telemetry = Telemetry(sink=sink, metrics=MetricsRegistry(), tracer=tracer)
 
     def finish(out: Output) -> None:
         if metrics_out is not None:
@@ -268,18 +276,33 @@ def _cmd_faults(args: argparse.Namespace, out: Output) -> int:
         return 0
     if args.faults_command == "run":
         extra_sink = None
+        recorder = None
+        sinks = []
         if args.trace_out is not None:
             from repro.obs import JsonlSink
 
-            extra_sink = JsonlSink(args.trace_out)
+            sinks.append(JsonlSink(args.trace_out))
+        if args.flightrec is not None:
+            from repro.obs import FlightRecorder
+
+            recorder = FlightRecorder(
+                capacity=args.flightrec_capacity, dump_dir=args.flightrec
+            )
+            sinks.append(recorder)
+        if len(sinks) == 1:
+            extra_sink = sinks[0]
+        elif sinks:
+            from repro.obs import FanoutSink
+
+            extra_sink = FanoutSink(*sinks)
         try:
             report = run_scenario(args.scenario, seed=args.seed, extra_sink=extra_sink)
         except FaultError as exc:
             out.error(str(exc))
             return 2
         finally:
-            if extra_sink is not None:
-                extra_sink.close()
+            for sink in sinks:
+                sink.close()
         if args.json:
             out.result(json.dumps(report.as_dict(), indent=2))
         else:
@@ -296,6 +319,12 @@ def _cmd_faults(args: argparse.Namespace, out: Output) -> int:
                 out.say(f"  [{'pass' if passed else 'FAIL'}] {check}")
         if args.trace_out is not None:
             out.say(f"  event trace -> {args.trace_out}")
+        if recorder is not None:
+            if recorder.dump_paths:
+                for path in recorder.dump_paths:
+                    out.say(f"  flight-recorder dump -> {path}")
+            else:
+                out.say("  flight recorder armed but no dump was triggered")
         return 0 if report.ok else 1
     return 2  # pragma: no cover - argparse enforces the choices
 
@@ -429,17 +458,63 @@ def _cmd_verify(args: argparse.Namespace, out: Output) -> int:
 
 def _cmd_obs(args: argparse.Namespace, out: Output) -> int:
     from repro.core.errors import MannersError
-    from repro.obs.report import summarize_file
+    from repro.obs.report import read_events
 
     if args.obs_command == "summarize":
+        from repro.obs.report import summarize
+
         try:
-            out.result(summarize_file(args.trace, width=args.width))
+            events = read_events(args.trace)
         except FileNotFoundError:
             out.error(f"no such trace file: {args.trace}")
             return 2
         except MannersError as exc:
             out.error(str(exc))
             return 2
+        if not events:
+            out.error(
+                f"{args.trace}: trace is empty (no events) — nothing to "
+                "summarize; was the run telemetry-disabled or the file "
+                "truncated to zero length?"
+            )
+            return 1
+        out.result(summarize(events, width=args.width))
+        return 0
+    if args.obs_command == "explain":
+        from repro.obs.trace2 import explain
+
+        try:
+            out.result(explain(args.trace, args.thread, at=args.at))
+        except FileNotFoundError:
+            out.error(f"no such trace file: {args.trace}")
+            return 2
+        except MannersError as exc:
+            out.error(str(exc))
+            return 1
+        return 0
+    if args.obs_command == "export":
+        try:
+            events = read_events(args.trace)
+        except FileNotFoundError:
+            out.error(f"no such trace file: {args.trace}")
+            return 2
+        except MannersError as exc:
+            out.error(str(exc))
+            return 2
+        if args.format == "jsonl":
+            from repro.obs.events import event_to_dict
+
+            text = "".join(json.dumps(event_to_dict(e)) + "\n" for e in events)
+        else:
+            from repro.obs.metrics import to_prometheus
+            from repro.obs.report import metrics_from_events
+
+            text = to_prometheus(metrics_from_events(events))
+        if args.out is not None:
+            Path(args.out).write_text(text, encoding="utf-8")
+            out.say(f"  {args.format} export -> {args.out}")
+        else:
+            sys.stdout.write(text)
         return 0
     return 2  # pragma: no cover - argparse enforces the choices
 
@@ -511,6 +586,15 @@ def main(argv: list[str] | None = None) -> int:
     faults_run.add_argument(
         "--trace-out", dest="trace_out", default=None,
         help="also write the scenario's event trace to this JSONL file",
+    )
+    faults_run.add_argument(
+        "--flightrec", default=None, metavar="DIR",
+        help="arm a flight recorder; dump the last-N event ring to DIR "
+        "whenever a fault fires or an invariant violation is recorded",
+    )
+    faults_run.add_argument(
+        "--flightrec-capacity", dest="flightrec_capacity", type=int, default=256,
+        metavar="N", help="flight-recorder ring capacity in events (default 256)",
     )
     faults_run.add_argument(
         "--json", action="store_true", help="print the full report as JSON"
@@ -609,6 +693,29 @@ def main(argv: list[str] | None = None) -> int:
     summarize.add_argument("trace", help="path to a --trace-out JSONL file")
     summarize.add_argument(
         "--width", type=int, default=72, help="plot width in characters"
+    )
+    explain = obs_sub.add_parser(
+        "explain", help="reconstruct why a thread was suspended, as a span tree"
+    )
+    explain.add_argument("trace", help="path to a --trace-out JSONL file")
+    explain.add_argument("thread", help="thread id (the span's src label)")
+    explain.add_argument(
+        "--at", type=float, default=None, metavar="TIME",
+        help="explain the latest suspension at or before TIME "
+        "(default: the thread's last suspension)",
+    )
+    export = obs_sub.add_parser(
+        "export", help="re-export a trace as normalized JSONL or Prometheus text"
+    )
+    export.add_argument("trace", help="path to a --trace-out JSONL file")
+    export.add_argument(
+        "--format", choices=("jsonl", "prom"), default="jsonl",
+        help="jsonl: normalized events; prom: histogram metrics derived "
+        "from the trace in Prometheus exposition format",
+    )
+    export.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write to PATH instead of stdout",
     )
 
     args = parser.parse_args(argv)

@@ -32,6 +32,7 @@ from repro.core.config import MannersConfig
 from repro.core.errors import MetricError
 from repro.core.regression import RidgeCalibrator
 from repro.obs import events as obs_events
+from repro.obs.metrics import RATE_BUCKETS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.telemetry import Telemetry
@@ -204,9 +205,29 @@ class SingleMetricCalibrator:
                         scale=self._median.scale,
                     )
                 )
+                ctx = tel.trace_ctx
+                if ctx is not None:
+                    tel.emit(
+                        obs_events.Span(
+                            t=tel.now,
+                            src=tel.label,
+                            span_id=ctx.new_id(),
+                            parent=ctx.testpoint,
+                            name="calibration_update",
+                            attrs={
+                                "set_index": self._set_index,
+                                "sample_count": self._avg.sample_count,
+                                "target_rate": self._avg.value,
+                                "scale": self._median.scale,
+                            },
+                        )
+                    )
             if self._avg.value is not None:
                 tel.metrics.gauge("target_rate").set(self._avg.value)
             tel.metrics.gauge("calibration_scale").set(self._median.scale)
+            tel.metrics.histogram("progress_rate", RATE_BUCKETS).observe(
+                dp / duration
+            )
 
     def _mean_duration(self, deltas: Sequence[float]) -> float:
         rate = self._avg.value

@@ -69,7 +69,7 @@ class StatisticalComparator:
     verdicts consume the sample window.
     """
 
-    __slots__ = ("_test", "_telemetry")
+    __slots__ = ("_test", "_telemetry", "_window_opened")
 
     def __init__(
         self,
@@ -80,6 +80,9 @@ class StatisticalComparator:
     ) -> None:
         self._test = SignTest(alpha=alpha, beta=beta, max_samples=max_samples)
         self._telemetry = telemetry
+        #: Telemetry-only: substrate time the open window's first sample
+        #: arrived, for the time-to-detect histogram and judgment spans.
+        self._window_opened = 0.0
 
     @property
     def sample_count(self) -> int:
@@ -100,15 +103,45 @@ class StatisticalComparator:
             # (precomputed thresholds, no binomial walks) and allocates
             # nothing — guarded by bench_engine_hotpath.
             return self._test.add_sample(below)
+        test = self._test
+        if test.sample_count == 0:
+            self._window_opened = tel.now
         # The window resets on a definitive verdict; capture its size first
         # (only when an event will actually be built — a NullSink run skips
         # the captures and the event construction, keeping just metrics).
         emitting = tel.emitting
+        ctx = tel.trace_ctx if emitting else None
         if emitting:
-            samples = self._test.sample_count + 1
-            below_count = self._test.below_count + (1 if below else 0)
-        verdict = self._test.add_sample(below)
+            samples = test.sample_count + 1
+            below_count = test.below_count + (1 if below else 0)
+        if ctx is not None:
+            # One span per accumulation step, carrying the exact evidence:
+            # the sample's comparison and the threshold-table row it was
+            # held to.  Parented to the testpoint that produced the sample.
+            poor_at, good_at = test.thresholds(samples)
+            sample_span = ctx.new_id()
+            ctx.window.append(sample_span)
+            tel.emit(
+                obs_events.Span(
+                    t=tel.now,
+                    src=tel.label,
+                    span_id=sample_span,
+                    parent=ctx.testpoint,
+                    name="signtest_sample",
+                    attrs={
+                        "n": samples,
+                        "below": below,
+                        "below_count": below_count,
+                        "poor_at": poor_at,
+                        "good_at": good_at,
+                        "measured": measured_duration,
+                        "target": target_duration,
+                    },
+                )
+            )
+        verdict = test.add_sample(below)
         if verdict is not Judgment.INDETERMINATE:
+            time_to_detect = tel.now - self._window_opened
             if emitting:
                 tel.emit(
                     obs_events.JudgmentIssued(
@@ -119,7 +152,34 @@ class StatisticalComparator:
                         below=below_count,
                     )
                 )
+            if ctx is not None:
+                judgment_span = ctx.new_id()
+                tel.emit(
+                    obs_events.Span(
+                        t=tel.now,
+                        src=tel.label,
+                        span_id=judgment_span,
+                        parent=ctx.testpoint,
+                        links=tuple(ctx.window),
+                        name="judgment",
+                        attrs={
+                            "judgment": verdict.value,
+                            "samples": samples,
+                            "below": below_count,
+                            "poor_at": poor_at,
+                            "good_at": good_at,
+                            "time_to_detect": time_to_detect,
+                        },
+                    )
+                )
+                ctx.judgment = judgment_span
+                ctx.window.clear()
             tel.metrics.inc(f"signtest_{verdict.value}_windows")
+            tel.metrics.histogram("time_to_detect").observe(time_to_detect)
+        elif ctx is not None and test.sample_count == 0:
+            # The window hit max_samples and restarted without a verdict;
+            # its sample spans no longer feed a future judgment.
+            ctx.window.clear()
         return verdict
 
     def reset(self) -> None:

@@ -570,6 +570,27 @@ class ThreadRegulator:
                     ),
                 )
 
+        # Causal tracing (repro.obs.trace2): the testpoint span roots this
+        # decision's tree — calibration updates, sign-test samples, the
+        # judgment, and the suspension all parent back to it.
+        ctx = tel.trace_ctx if tel is not None and tel.emitting else None
+        if ctx is not None:
+            ctx.testpoint = ctx.new_id()
+            tel.emit(
+                obs_events.Span(
+                    t=now,
+                    src=tel.label,
+                    span_id=ctx.testpoint,
+                    name="testpoint",
+                    attrs={
+                        "set_index": index,
+                        "duration": duration,
+                        "off_protocol": off_protocol,
+                        "probation": self.in_probation(now),
+                    },
+                )
+            )
+
         # Calibration (section 4.3): every on-protocol sample feeds the
         # calibrator with equal weight; off-protocol samples are subsampled
         # away because they would not have executed under strict regulation.
@@ -643,6 +664,29 @@ class ThreadRegulator:
                 probation_delay = floor - delay
                 delay = floor
             self.stats.probation_suspension += probation_delay
+
+        if ctx is not None and delay > 0.0:
+            # POOR-imposed suspensions chain to the judgment that caused
+            # them; probation-floor suspensions chain to the testpoint.
+            tel.emit(
+                obs_events.Span(
+                    t=now,
+                    src=tel.label,
+                    span_id=ctx.new_id(),
+                    parent=(
+                        ctx.judgment
+                        if judgment is Judgment.POOR
+                        else ctx.testpoint
+                    ),
+                    name="suspension",
+                    attrs={
+                        "delay": delay,
+                        "level": self._suspension.consecutive_poor,
+                        "probation_delay": probation_delay,
+                        "target": target_duration,
+                    },
+                )
+            )
 
         self.stats.total_suspension += delay
         if tel is not None:

@@ -242,6 +242,21 @@ class SignTest:
             self.reset()
         return verdict
 
+    def thresholds(self, n: int) -> tuple[int, int]:
+        """The decision row for a window of ``n`` samples: ``(poor_at, good_at)``.
+
+        ``below >= poor_at`` judges POOR and ``below <= good_at`` judges
+        GOOD (``poor_at = n + 1`` / ``good_at = -1`` mean the window is too
+        small for that verdict).  This is the threshold-table row the
+        tracing layer stamps into sign-test spans so an audit trail shows
+        the exact evidence bar each sample was held to.
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if n <= self.max_samples:
+            return self._poor_table[n], self._good_table[n]
+        return poor_threshold(n, self.alpha), good_threshold(n, self.beta)
+
     def evaluate(self, n: int, below: int) -> Judgment:
         """Stateless verdict for ``below`` below-target samples out of ``n``.
 

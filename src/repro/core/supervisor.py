@@ -312,6 +312,23 @@ class Supervisor:
                     idle_for=stalled_for,
                 )
             )
+            ctx = tel.trace_ctx if tel.emitting else None
+            if ctx is not None:
+                tel.emit(
+                    obs_events.Span(
+                        t=now,
+                        src=tel.label,
+                        span_id=ctx.new_id(),
+                        name="watchdog_eviction",
+                        attrs={
+                            "process": scope_label(self._pid),
+                            "thread": scope_label(owner),
+                            "idle_for": stalled_for,
+                            "threshold": threshold,
+                            "watchdog": watchdog,
+                        },
+                    )
+                )
             if watchdog:
                 tel.metrics.inc("watchdog_evictions")
                 tel.emit(

@@ -132,6 +132,20 @@ class SuspensionTimer:
                     t=tel.now, src=tel.label, from_level=self._consecutive_poor
                 )
             )
+            ctx = tel.trace_ctx if tel.emitting else None
+            if ctx is not None:
+                # Parent: the GOOD judgment that triggered this reset (the
+                # comparator judged before the regulator called on_good).
+                tel.emit(
+                    obs_events.Span(
+                        t=tel.now,
+                        src=tel.label,
+                        span_id=ctx.new_id(),
+                        parent=ctx.judgment,
+                        name="backoff_reset",
+                        attrs={"from_level": self._consecutive_poor},
+                    )
+                )
             tel.metrics.inc("backoff_resets")
         self._current = self.initial
         self._consecutive_poor = 0

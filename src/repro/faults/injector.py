@@ -150,3 +150,9 @@ class FaultInjector:
                 )
             )
             tel.metrics.inc("faults_injected")
+            # Push everything buffered so far — including this fault — to
+            # the sinks now.  An attached flight recorder auto-dumps on the
+            # fault event, so the dump holds the complete ordered history
+            # up to the moment of injection even if the run crashes before
+            # the next scheduled batch flush.
+            tel.flush()

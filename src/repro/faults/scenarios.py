@@ -39,6 +39,7 @@ from repro.faults.stores import FlakySink, corrupt_target_file
 from repro.obs import events as obs_events
 from repro.obs.sinks import EventSink, FanoutSink, MemorySink
 from repro.obs.telemetry import Telemetry
+from repro.obs.trace2 import Tracer
 from repro.simos.effects import Delay, DiskRead
 from repro.simos.kernel import Kernel
 from repro.simos.sim_manners import MannersTestpoint, SimManners
@@ -129,6 +130,19 @@ def _make_sink(extra_sink: EventSink | None) -> tuple[MemorySink, EventSink]:
     return memory, FanoutSink(memory, extra_sink)
 
 
+def _chaos_telemetry(sink: EventSink, tracer: Tracer | None = None) -> Telemetry:
+    """Scenario telemetry with causal tracing on.
+
+    Every scenario traces its decisions so a ``repro obs explain`` over
+    the teed trace can reconstruct any suspension the run produced.
+    Scenarios that restart the stack mid-run pass a shared ``tracer`` so
+    span ids stay unique across the whole trace.
+    """
+    return Telemetry(
+        sink=sink, label="chaos", tracer=tracer if tracer is not None else Tracer()
+    )
+
+
 def _summarize(
     name: str,
     seed: int,
@@ -177,7 +191,8 @@ def _scenario_torn_target_store(
         # Phase 1: calibrate under contention and persist the targets.
         kernel1 = Kernel(seed=seed)
         kernel1.add_disk("C")
-        tel1 = Telemetry(sink=sink, label="chaos")
+        tracer = Tracer()
+        tel1 = _chaos_telemetry(sink, tracer)
         manners1 = SimManners(kernel1, config, telemetry=tel1)
         w1 = kernel1.spawn("w1", _worker(600), process="li")
         reg1 = manners1.regulate(w1)
@@ -196,7 +211,7 @@ def _scenario_torn_target_store(
         # Phase 2: restart against the torn file with a lenient store.
         kernel2 = Kernel(seed=seed)
         kernel2.add_disk("C")
-        tel2 = Telemetry(sink=sink, label="chaos")
+        tel2 = _chaos_telemetry(sink, tracer)
         manners2 = SimManners(kernel2, config, telemetry=tel2)
         store2 = TargetStore(tmp, strict=False, telemetry=tel2)
         w2 = kernel2.spawn("w1", _worker(800), process="li")
@@ -231,7 +246,7 @@ def _scenario_clock_jump(
     config = _chaos_config()
     kernel = Kernel(seed=seed)
     kernel.add_disk("C")
-    tel = Telemetry(sink=sink, label="chaos")
+    tel = _chaos_telemetry(sink)
     skew = SkewedTime(lambda: kernel.now)
     manners = SimManners(kernel, config, telemetry=tel, time_source=skew)
     w1 = kernel.spawn("w1", _worker(20000), process="li")
@@ -282,7 +297,7 @@ def _scenario_stalled_thread(
     config = _chaos_config(watchdog_multiplier=8.0)
     kernel = Kernel(seed=seed)
     kernel.add_disk("C")
-    tel = Telemetry(sink=sink, label="chaos")
+    tel = _chaos_telemetry(sink)
     manners = SimManners(kernel, config, telemetry=tel)
     w1 = kernel.spawn("w1", _worker(3000), process="li")
     w2 = kernel.spawn("w2", _worker(3000), process="li")
@@ -340,7 +355,7 @@ def _scenario_crash_mid_suspension(
     config = _chaos_config()
     kernel = Kernel(seed=seed)
     kernel.add_disk("C")
-    tel = Telemetry(sink=sink, label="chaos")
+    tel = _chaos_telemetry(sink)
     manners = SimManners(kernel, config, telemetry=tel)
     w1 = kernel.spawn("w1", _worker(20000), process="li")
     w2 = kernel.spawn("w2", _worker(20000), process="li")
@@ -401,7 +416,7 @@ def _scenario_flaky_sink(
     if extra_sink is not None:
         children.append(extra_sink)
     fanout = FanoutSink(*children)
-    tel = Telemetry(sink=fanout, label="chaos")
+    tel = _chaos_telemetry(fanout)
     config = _chaos_config()
     kernel = Kernel(seed=seed)
     kernel.add_disk("C")

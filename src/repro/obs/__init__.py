@@ -13,7 +13,13 @@ debug a misbehaving regulator or compare runs.  This package provides:
 * :mod:`repro.obs.telemetry` — the :class:`Telemetry` handle threaded
   through the decision engines and substrates;
 * :mod:`repro.obs.report` — JSONL trace → regulation timeline + aggregate
-  report (the ``repro obs summarize`` CLI).
+  report (the ``repro obs summarize`` CLI);
+* :mod:`repro.obs.trace2` — causal decision tracing: spans with
+  parent/causal links over the whole regulation pipeline, and the
+  reconstruction behind ``repro obs explain``;
+* :mod:`repro.obs.flightrec` — a bounded ring-buffer flight recorder that
+  snapshots the last N spans/events to disk on faults, invariant
+  violations, and crashes.
 
 Overhead contract: every instrumented component accepts
 ``telemetry: Telemetry | None = None``; with ``None`` (the default) the
@@ -31,12 +37,14 @@ from repro.obs.events import (
     CalibrationSample,
     Event,
     FaultInjected,
+    FlightRecorderDump,
     JudgmentIssued,
     PhaseTransition,
     RecoveryAction,
     SampleDiscarded,
     SlotEvicted,
     SlotGranted,
+    Span,
     SuspensionEnded,
     SuspensionStarted,
     TargetUpdated,
@@ -45,14 +53,43 @@ from repro.obs.events import (
     event_from_dict,
     event_to_dict,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.report import read_events, summarize, summarize_file
+from repro.obs.flightrec import DEFAULT_CAPACITY, FlightRecorder
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    RATE_BUCKETS,
+    TICK_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    to_prometheus,
+)
+from repro.obs.report import (
+    metrics_from_events,
+    read_events,
+    summarize,
+    summarize_file,
+)
 from repro.obs.sinks import EventSink, FanoutSink, JsonlSink, MemorySink, NullSink
 from repro.obs.telemetry import Telemetry, scope_label
+from repro.obs.trace2 import (
+    SPAN_NAMES,
+    TraceContext,
+    Tracer,
+    explain,
+    explain_events,
+    span_index,
+    spans_of,
+)
 
 __all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_CAPACITY",
     "EVENT_SCHEMA_VERSION",
     "EVENT_TYPES",
+    "RATE_BUCKETS",
+    "SPAN_NAMES",
+    "TICK_LATENCY_BUCKETS",
     "AnomalyDetected",
     "BackoffReset",
     "BeNicePoll",
@@ -62,6 +99,8 @@ __all__ = [
     "EventSink",
     "FanoutSink",
     "FaultInjected",
+    "FlightRecorder",
+    "FlightRecorderDump",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -74,16 +113,25 @@ __all__ = [
     "SampleDiscarded",
     "SlotEvicted",
     "SlotGranted",
+    "Span",
     "SuspensionEnded",
     "SuspensionStarted",
     "TargetUpdated",
     "Telemetry",
     "TestpointProcessed",
     "TokenHandoff",
+    "TraceContext",
+    "Tracer",
     "event_from_dict",
     "event_to_dict",
+    "explain",
+    "explain_events",
+    "metrics_from_events",
     "read_events",
     "scope_label",
+    "span_index",
+    "spans_of",
     "summarize",
     "summarize_file",
+    "to_prometheus",
 ]

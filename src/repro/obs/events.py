@@ -24,7 +24,7 @@ that a trace is self-describing without importing this package.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import Any, ClassVar, Mapping
 
 from repro.core.errors import MannersError
@@ -33,6 +33,8 @@ __all__ = [
     "EVENT_SCHEMA_VERSION",
     "EVENT_TYPES",
     "Event",
+    "Span",
+    "FlightRecorderDump",
     "TestpointProcessed",
     "JudgmentIssued",
     "SuspensionStarted",
@@ -68,6 +70,50 @@ class Event:
     t: float
     #: Emitting scope — typically a thread or process label.
     src: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Span(Event):
+    """One causally-linked step of a regulation decision (``repro.obs.trace2``).
+
+    Spans form a forest over the regulation pipeline: each carries a
+    run-unique ``span_id``, the ``span_id`` of its causal ``parent`` (0 =
+    root), and optional additional causal ``links`` (a judgment span links
+    every sign-test sample in its window).  ``name`` identifies the pipeline
+    step (``"testpoint"``, ``"signtest_sample"``, ``"judgment"``,
+    ``"suspension"``, ``"backoff_reset"``, ``"calibration_update"``,
+    ``"watchdog_eviction"``, ``"violation"``); ``attrs`` carries the step's
+    decision inputs as JSON-scalar values (samples seen, threshold-table
+    row, target rate, probation state, ...).  Spans compare by value like
+    every other event (batched-vs-direct parity), but are not hashable
+    (``attrs`` is a dict).
+    """
+
+    kind: ClassVar[str] = "span"
+
+    span_id: int = 0
+    parent: int = 0
+    links: tuple[int, ...] = ()
+    name: str = ""
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class FlightRecorderDump(Event):
+    """Header record of a flight-recorder snapshot file.
+
+    Written as the first line of every dump so the file is self-describing:
+    ``reason`` names the trigger (``"fault"``, ``"violation"``,
+    ``"crash"``, or a caller-supplied label), ``captured`` counts the
+    buffered events that follow, and ``dropped`` counts the older events
+    the ring buffer had already discarded.
+    """
+
+    kind: ClassVar[str] = "flightrec_dump"
+
+    reason: str = ""
+    captured: int = 0
+    dropped: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -297,6 +343,8 @@ class RecoveryAction(Event):
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (
+        Span,
+        FlightRecorderDump,
         TestpointProcessed,
         JudgmentIssued,
         SuspensionStarted,
@@ -355,7 +403,10 @@ def event_from_dict(data: Mapping[str, Any]) -> Event:
         if name not in data:
             continue
         value = data[name]
-        if name == "deltas" and value is not None:
-            value = tuple(float(v) for v in value)
+        if value is not None:
+            if name == "deltas":
+                value = tuple(float(v) for v in value)
+            elif name == "links":
+                value = tuple(int(v) for v in value)
         kwargs[name] = value
     return cls(**kwargs)

@@ -1,0 +1,164 @@
+"""Bounded in-memory flight recorder for post-mortem telemetry.
+
+A :class:`FlightRecorder` is an :class:`~repro.obs.sinks.EventSink` that
+keeps the last ``capacity`` events (spans included) in a ring buffer and
+snapshots them to disk when something goes wrong — the observability
+equivalent of an aircraft's crash-survivable recorder.  Composed into the
+sink chain (typically via :class:`~repro.obs.sinks.FanoutSink` next to the
+primary trace sink), it costs one deque append per event and nothing else
+until a dump triggers.
+
+Dumps trigger two ways:
+
+* **automatically**, when a trigger event flows through ``emit``:
+  a :class:`~repro.obs.events.FaultInjected` event (``repro.faults``
+  injected a fault), an :class:`~repro.obs.events.AnomalyDetected` tagged
+  ``invariant:*`` (a verify monitor recorded a violation), or a
+  :class:`~repro.obs.events.RecoveryAction` with ``action ==
+  "slot_released"`` (a regulated thread crashed);
+* **manually**, via :meth:`FlightRecorder.dump` with a caller-supplied
+  reason.
+
+Each dump file is ordinary JSONL readable by
+:func:`repro.obs.report.read_events` and ``repro obs explain``: a
+:class:`~repro.obs.events.FlightRecorderDump` header line followed by the
+buffered events, oldest first, in their original emission order.  File
+names are deterministic (``flightrec-0001-<reason>.jsonl``, a
+monotone per-recorder sequence) so seeded scenarios produce identical
+artifacts run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Deque
+
+from repro.obs.events import (
+    AnomalyDetected,
+    Event,
+    FaultInjected,
+    FlightRecorderDump,
+    RecoveryAction,
+    event_to_dict,
+)
+
+__all__ = ["FlightRecorder", "DEFAULT_CAPACITY"]
+
+#: Default ring size: enough for several regulation cycles of spans and
+#: events, small enough to be invisible in memory.
+DEFAULT_CAPACITY = 256
+
+
+def _slug(reason: str) -> str:
+    """A filesystem-safe fragment of the dump reason."""
+    cleaned = "".join(c if c.isalnum() or c in "-_" else "-" for c in reason)
+    return cleaned.strip("-")[:40] or "dump"
+
+
+def _is_trigger(event: Event) -> bool:
+    if isinstance(event, FaultInjected):
+        return True
+    if isinstance(event, AnomalyDetected):
+        return event.anomaly.startswith("invariant:")
+    if isinstance(event, RecoveryAction):
+        return event.action == "slot_released"
+    return False
+
+
+class FlightRecorder:
+    """Ring-buffer sink that snapshots recent telemetry on failure triggers."""
+
+    __slots__ = (
+        "capacity",
+        "dump_dir",
+        "auto_trigger",
+        "dropped",
+        "dumps",
+        "dump_paths",
+        "_ring",
+        "_seq",
+    )
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        dump_dir: str | os.PathLike[str] | None = None,
+        auto_trigger: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dump_dir = os.fspath(dump_dir) if dump_dir is not None else None
+        #: Whether fault/violation/crash events dump automatically.
+        self.auto_trigger = auto_trigger
+        #: Events discarded by the ring (beyond ``capacity``) since start.
+        self.dropped = 0
+        #: In-memory snapshots, one ``(header, events)`` pair per dump.
+        self.dumps: list[tuple[FlightRecorderDump, tuple[Event, ...]]] = []
+        #: Paths of dump files written (empty when ``dump_dir`` is unset).
+        self.dump_paths: list[str] = []
+        self._ring: Deque[Event] = deque(maxlen=capacity)
+        self._seq = 0
+
+    # -- EventSink protocol ----------------------------------------------------
+    def emit(self, event: Event) -> None:
+        """Record one event; auto-dump when it is a failure trigger."""
+        ring = self._ring
+        if len(ring) == self.capacity:
+            self.dropped += 1
+        ring.append(event)
+        if self.auto_trigger and _is_trigger(event):
+            self.dump(self._trigger_reason(event), t=event.t)
+
+    def close(self) -> None:
+        """Nothing held open between dumps."""
+
+    # -- dumping ---------------------------------------------------------------
+    @staticmethod
+    def _trigger_reason(event: Event) -> str:
+        if isinstance(event, FaultInjected):
+            return f"fault-{event.fault}"
+        if isinstance(event, AnomalyDetected):
+            return event.anomaly.replace(":", "-")
+        return "crash"
+
+    @property
+    def last_dump(self) -> tuple[FlightRecorderDump, tuple[Event, ...]] | None:
+        """The most recent snapshot, or ``None`` before any trigger."""
+        return self.dumps[-1] if self.dumps else None
+
+    def dump(self, reason: str, t: float = 0.0) -> str | None:
+        """Snapshot the ring now; returns the file path when one is written.
+
+        The snapshot is always retained in :attr:`dumps`; a JSONL file is
+        written only when the recorder was given a ``dump_dir``.  Write
+        failures are absorbed (a flight recorder must never turn an
+        observability problem into a regulation outage).
+        """
+        events = tuple(self._ring)
+        self._seq += 1
+        header = FlightRecorderDump(
+            t=t,
+            src="flightrec",
+            reason=reason,
+            captured=len(events),
+            dropped=self.dropped,
+        )
+        self.dumps.append((header, events))
+        if self.dump_dir is None:
+            return None
+        path = os.path.join(
+            self.dump_dir, f"flightrec-{self._seq:04d}-{_slug(reason)}.jsonl"
+        )
+        try:
+            os.makedirs(self.dump_dir, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(event_to_dict(header)) + "\n")
+                for event in events:
+                    handle.write(json.dumps(event_to_dict(event)) + "\n")
+        except OSError:
+            return None
+        self.dump_paths.append(path)
+        return path

@@ -18,13 +18,36 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "TICK_LATENCY_BUCKETS",
+    "RATE_BUCKETS",
+    "to_prometheus",
+]
 
 #: Default histogram bucket upper bounds (seconds): geometric, spanning the
 #: regulator's dynamic range from the lightweight gate to the suspension cap.
 DEFAULT_BUCKETS: tuple[float, ...] = (
     0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0,
     16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+)
+
+#: Buckets for engine tick latency (wall seconds per fired-event batch):
+#: sub-microsecond through one second, geometric.
+TICK_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0,
+)
+
+#: Buckets for progress-rate distributions (progress units per second):
+#: the calibrated targets in the shipped scenarios span roughly 1..1e4/s.
+RATE_BUCKETS: tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
 )
 
 
@@ -191,3 +214,51 @@ class MetricsRegistry:
             if denominator > 0:
                 out["derived"]["duty_cycle"] = executed.value / denominator
         return out
+
+    def histograms(self) -> dict[str, Histogram]:
+        """The live histogram instruments, by name (read-only view)."""
+        return dict(self._histograms)
+
+
+def _prom_float(value: float) -> str:
+    """Prometheus text-format float (``+Inf``/``-Inf``/``NaN`` spellings)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value != value:
+        return "NaN"
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry snapshot in the Prometheus text exposition format.
+
+    Counters become ``repro_<name>_total``; gauges keep their name;
+    histograms expose cumulative ``_bucket{le=...}`` series plus ``_sum``
+    and ``_count``, exactly as a scrape endpoint would.  Output is sorted
+    by metric name, so seeded runs export byte-identical snapshots.
+    """
+    snap = registry.snapshot()
+    lines: list[str] = []
+    for name, value in snap["counters"].items():
+        lines.append(f"# TYPE repro_{name}_total counter")
+        lines.append(f"repro_{name}_total {_prom_float(value)}")
+    for name, value in snap["gauges"].items():
+        if value is None:
+            continue
+        lines.append(f"# TYPE repro_{name} gauge")
+        lines.append(f"repro_{name} {_prom_float(value)}")
+    for name, hist in sorted(registry.histograms().items()):
+        lines.append(f"# TYPE repro_{name} histogram")
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.counts):
+            cumulative += count
+            lines.append(
+                f'repro_{name}_bucket{{le="{_prom_float(bound)}"}} {cumulative}'
+            )
+        cumulative += hist.counts[-1]
+        lines.append(f'repro_{name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"repro_{name}_sum {_prom_float(hist.total)}")
+        lines.append(f"repro_{name}_count {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

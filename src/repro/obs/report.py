@@ -29,13 +29,20 @@ from repro.obs.events import (
     PhaseTransition,
     SampleDiscarded,
     SlotEvicted,
+    Span,
     SuspensionEnded,
     SuspensionStarted,
     TestpointProcessed,
     event_from_dict,
 )
+from repro.obs.metrics import RATE_BUCKETS, MetricsRegistry
 
-__all__ = ["read_events", "summarize", "summarize_file"]
+__all__ = [
+    "read_events",
+    "metrics_from_events",
+    "summarize",
+    "summarize_file",
+]
 
 #: Timeline rows beyond this are elided around the middle to keep the
 #: report terminal-sized; first and last cycles always survive.
@@ -43,21 +50,79 @@ _MAX_TIMELINE_ROWS = 60
 
 
 def read_events(path: str | os.PathLike[str]) -> list[Event]:
-    """Parse a JSONL trace file into typed events (order preserved)."""
+    """Parse a JSONL trace file into typed events (order preserved).
+
+    Raises :class:`~repro.core.errors.MannersError` on malformed input; a
+    JSON error on the *final* line is reported as a likely-truncated file
+    (a crashed writer leaves a partial last record), so the CLI can give
+    an actionable message instead of a bare parse error.
+    """
     events: list[Event] = []
     with open(os.fspath(path), "r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                data = json.loads(line)
-            except json.JSONDecodeError as exc:
+        lines = handle.readlines()
+    last_line = len(lines)
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if line_number == last_line:
                 raise MannersError(
-                    f"{path}:{line_number}: not valid JSON: {exc}"
+                    f"{path}:{line_number}: trace appears truncated — the "
+                    f"final line is not valid JSON ({exc}); the writer "
+                    "likely crashed mid-record or the file was cut short"
                 ) from exc
-            events.append(event_from_dict(data))
+            raise MannersError(
+                f"{path}:{line_number}: not valid JSON: {exc}"
+            ) from exc
+        events.append(event_from_dict(data))
     return events
+
+
+def metrics_from_events(events: Iterable[Event]) -> MetricsRegistry:
+    """Rebuild distribution metrics from a trace's events.
+
+    Gives offline traces the same histogram vocabulary the live registry
+    uses: ``suspension_delay`` (imposed suspensions), ``suspension_slept``
+    (served suspensions), ``progress_rate`` (measured per-testpoint
+    progress rates), and ``time_to_detect`` (window-open to verdict, from
+    judgment spans).  Powers the percentile section of :func:`summarize`
+    and ``repro obs export --format prom``.
+    """
+    registry = MetricsRegistry()
+    for event in events:
+        if isinstance(event, SuspensionStarted):
+            if event.delay > 0:
+                registry.histogram("suspension_delay").observe(event.delay)
+        elif isinstance(event, SuspensionEnded):
+            if event.slept > 0:
+                registry.histogram("suspension_slept").observe(event.slept)
+        elif isinstance(event, TestpointProcessed):
+            if event.duration > 0 and event.deltas:
+                rate = (sum(event.deltas) / len(event.deltas)) / event.duration
+                registry.histogram("progress_rate", RATE_BUCKETS).observe(rate)
+        elif isinstance(event, Span):
+            if event.name == "judgment" and "time_to_detect" in event.attrs:
+                registry.histogram("time_to_detect").observe(
+                    float(event.attrs["time_to_detect"])
+                )
+    return registry
+
+
+def _percentile_lines(registry: MetricsRegistry) -> list[str]:
+    lines: list[str] = []
+    for name, hist in sorted(registry.histograms().items()):
+        if not hist.count:
+            continue
+        p50, p90, p99 = (hist.quantile(q) for q in (0.5, 0.9, 0.99))
+        lines.append(
+            f"{name:<18} n={hist.count:<6} "
+            f"p50<={p50:<8.3g} p90<={p90:<8.3g} p99<={p99:<8.3g} "
+            f"max={hist.max:.3g}"
+        )
+    return lines
 
 
 def _timeline_rows(events: Sequence[Event]) -> list[tuple[str, bool]]:
@@ -205,6 +270,12 @@ def summarize(events: Iterable[Event], width: int = 72) -> str:
     out.append("")
     out.append("aggregates:")
     out.extend("  " + line for line in _aggregate_lines(events))
+
+    percentiles = _percentile_lines(metrics_from_events(events))
+    if percentiles:
+        out.append("")
+        out.append("percentiles (bucket resolution):")
+        out.extend("  " + line for line in percentiles)
 
     suspensions = [
         e for e in events if isinstance(e, SuspensionStarted) and e.delay > 0

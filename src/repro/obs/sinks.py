@@ -127,13 +127,23 @@ class FanoutSink:
     an observability problem and must never become a regulation outage.
     """
 
-    __slots__ = ("sinks", "failures", "max_failures", "_enabled", "_warned")
+    __slots__ = (
+        "sinks",
+        "failures",
+        "last_errors",
+        "max_failures",
+        "_enabled",
+        "_warned",
+    )
 
     def __init__(self, *sinks: EventSink, max_failures: int = 3) -> None:
         if max_failures < 1:
             raise ValueError(f"max_failures must be >= 1, got {max_failures}")
         self.sinks: tuple[EventSink, ...] = tuple(sinks)
         self.failures = [0 for _ in self.sinks]
+        #: Per-child most recent emit exception (``None`` until one fails),
+        #: so diagnostics can say *which* sink failed and *how*.
+        self.last_errors: list[BaseException | None] = [None for _ in self.sinks]
         self.max_failures = max_failures
         self._enabled = [True for _ in self.sinks]
         self._warned = [False for _ in self.sinks]
@@ -145,15 +155,17 @@ class FanoutSink:
                 continue
             try:
                 sink.emit(event)
-            except Exception:
+            except Exception as exc:
                 self.failures[i] += 1
+                self.last_errors[i] = exc
                 if self.failures[i] >= self.max_failures:
                     self._enabled[i] = False
                     if not self._warned[i]:
                         self._warned[i] = True
                         warnings.warn(
-                            f"telemetry sink {sink!r} disabled after "
-                            f"{self.failures[i]} emit failures; "
+                            f"telemetry sink {type(sink).__name__} ({sink!r}) "
+                            f"disabled after {self.failures[i]} emit failures; "
+                            f"last error: {type(exc).__name__}: {exc}; "
                             "regulation continues without it",
                             RuntimeWarning,
                             stacklevel=2,

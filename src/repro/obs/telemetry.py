@@ -36,8 +36,10 @@ import warnings
 from typing import Any
 
 from repro.obs.events import Event
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.sinks import EventSink, NullSink
+from repro.obs.sinks import EventSink, FanoutSink, NullSink
+from repro.obs.trace2 import TraceContext, Tracer
 
 __all__ = ["Telemetry", "scope_label"]
 
@@ -66,6 +68,9 @@ class Telemetry:
         "label",
         "emitting",
         "batch_interval",
+        "tracer",
+        "trace_ctx",
+        "flight_recorder",
         "_root",
         "_now",
         "_sink_failures",
@@ -82,6 +87,8 @@ class Telemetry:
         label: str = "",
         batch_interval: float | None = None,
         batch_limit: int = 1024,
+        tracer: Tracer | None = None,
+        flight_recorder: FlightRecorder | None = None,
     ) -> None:
         if batch_interval is not None and not (batch_interval > 0.0):
             raise ValueError(
@@ -90,8 +97,21 @@ class Telemetry:
         if batch_limit < 1:
             raise ValueError(f"batch_limit must be >= 1, got {batch_limit}")
         self.sink: EventSink = sink if sink is not None else NullSink()
+        if flight_recorder is not None:
+            # Tee the recorder into the sink chain; with no primary sink it
+            # *is* the sink (the ring alone still enables event emission).
+            if isinstance(self.sink, NullSink):
+                self.sink = flight_recorder
+            else:
+                self.sink = FanoutSink(self.sink, flight_recorder)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.label = label
+        #: Optional span-id allocator; when set, every scope carries a
+        #: :class:`~repro.obs.trace2.TraceContext` and the pipeline emits
+        #: causal spans alongside its point events.
+        self.tracer = tracer
+        self.trace_ctx = TraceContext(tracer) if tracer is not None else None
+        self.flight_recorder = flight_recorder
         #: False when the sink is a ``NullSink``: per-testpoint emit sites
         #: may then skip event *construction* entirely (metrics still run).
         self.emitting = not isinstance(self.sink, NullSink)
@@ -125,12 +145,22 @@ class Telemetry:
             root.flush()
 
     def scoped(self, label: str) -> "Telemetry":
-        """A child handle with its own ``src`` label, sharing everything else."""
+        """A child handle with its own ``src`` label, sharing everything else.
+
+        When tracing is on, the child gets its *own*
+        :class:`~repro.obs.trace2.TraceContext` (per-thread causal
+        cursors) over the *shared* tracer (run-unique span ids).
+        """
         child = object.__new__(Telemetry)
         child.sink = self.sink
         child.metrics = self.metrics
         child.label = label
         child.emitting = self.emitting
+        child.tracer = self.tracer
+        child.trace_ctx = (
+            TraceContext(self.tracer) if self.tracer is not None else None
+        )
+        child.flight_recorder = self.flight_recorder
         child._root = self._root
         child._now = 0.0  # unused; ``now`` delegates to the root
         return child
@@ -205,6 +235,19 @@ class Telemetry:
                 RuntimeWarning,
                 stacklevel=2,
             )
+
+    def flight_dump(self, reason: str) -> str | None:
+        """Flush buffered events and snapshot the flight recorder, if any.
+
+        Flushing first guarantees the ring holds every event emitted so
+        far, in order — the batched-telemetry contract extends to dumps.
+        Returns the dump file path when one was written.
+        """
+        recorder = self._root.flight_recorder
+        if recorder is None:
+            return None
+        self.flush()
+        return recorder.dump(reason, t=self._root._now)
 
     def close(self) -> None:
         """Flush any buffered events and close the sink."""

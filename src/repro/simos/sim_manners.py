@@ -31,6 +31,7 @@ from repro.core.persistence import TargetStore
 from repro.core.superintendent import Superintendent
 from repro.core.supervisor import Supervisor
 from repro.obs import events as obs_events
+from repro.obs.metrics import TICK_LATENCY_BUCKETS
 from repro.obs.telemetry import scope_label
 from repro.simos.effects import Effect
 from repro.simos.engine import EventHandle
@@ -97,6 +98,14 @@ class SimManners:
         )
         self._machine_wide = machine_wide
         self._telemetry = telemetry
+        if telemetry is not None:
+            # Engine tick-latency histogram: mean wall-clock cost per fired
+            # event, sampled once per batch so the hot loop stays cheap.
+            kernel.engine.attach_tick_observer(
+                telemetry.metrics.histogram(
+                    "engine_tick_latency", TICK_LATENCY_BUCKETS
+                ).observe
+            )
         self._superintendent = Superintendent(
             usage_decay=config.usage_decay, telemetry=telemetry
         )

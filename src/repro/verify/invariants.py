@@ -111,7 +111,27 @@ class ViolationRecorder:
                     detail=f"{component}: {detail}",
                 )
             )
+            ctx = tel.trace_ctx if tel.emitting else None
+            if ctx is not None:
+                tel.emit(
+                    obs_events.Span(
+                        t=t,
+                        src=tel.label,
+                        span_id=ctx.new_id(),
+                        parent=ctx.testpoint,
+                        name="violation",
+                        attrs={
+                            "component": component,
+                            "invariant": invariant,
+                            "detail": detail,
+                        },
+                    )
+                )
             tel.metrics.inc("invariant_violations")
+            # Deliver the anomaly (and its span) to any attached flight
+            # recorder now, so the auto-dump captures a complete, ordered
+            # buffer up to and including the violation itself.
+            tel.flush()
         if self.mode == "raise":
             raise VerificationError(f"{component}.{invariant}: {detail}")
 

@@ -53,6 +53,18 @@ SAMPLE_EVENTS = [
     obs_events.RecoveryAction(
         t=17.0, src="a", action="quarantine", detail="app.manners.json.corrupt"
     ),
+    obs_events.Span(
+        t=18.0,
+        src="a",
+        span_id=7,
+        parent=3,
+        links=(4, 5, 6),
+        name="judgment",
+        attrs={"judgment": "poor", "samples": 3, "below": 2},
+    ),
+    obs_events.FlightRecorderDump(
+        t=19.0, src="flightrec", reason="fault-crash", captured=256, dropped=12
+    ),
 ]
 
 

@@ -169,12 +169,19 @@ class TestBatchedParity:
 
 
 def _crash_run(telemetry: Telemetry, seed: int = 7) -> float:
-    """A regulated worker is crashed mid-run; recovery events must surface."""
+    """A regulated worker is crashed mid-run; recovery events must surface.
+
+    A second regulated worker keeps testpointing after the crash, so the
+    trace has a tail *beyond* the injector's fault-time flush — the part
+    only the shutdown flush can deliver.
+    """
     kernel = Kernel(seed=seed)
     kernel.add_disk("C")
     manners = SimManners(kernel, _chaos_config(), telemetry=telemetry)
     w1 = kernel.spawn("w1", _worker(3000), process="li")
+    w2 = kernel.spawn("w2", _worker(3000), process="li")
     manners.regulate(w1)
+    manners.regulate(w2)
     kernel.spawn("hog", _hog(5.0, 2000), process="hog")
     injector = FaultInjector(kernel, telemetry=telemetry)
     injector.register_thread(w1)
@@ -205,8 +212,10 @@ class TestFaultTraceCompleteness:
 
     def test_unflushed_crash_events_would_be_lost_without_close(self):
         # Companion guard: the shutdown flush is load-bearing.  With a huge
-        # interval and no close(), the tail of the trace sits in the buffer
-        # — proving the parity above comes from the flush, not luck.
+        # interval and no close(), the post-crash tail of the trace (the
+        # injector flushes everything *up to* the fault, but the surviving
+        # worker keeps emitting afterwards) sits in the buffer — proving
+        # the parity above comes from the flush, not luck.
         sink = MemorySink()
         tel = Telemetry(sink=sink, batch_interval=1e9)
         _crash_run(tel)

@@ -1,0 +1,202 @@
+"""Causal decision tracing: span emission, determinism, and explain().
+
+The acceptance bar for trace v2 (docs/observability.md): on a seeded
+scenario, ``repro obs explain`` must deterministically reconstruct a
+suspension decision end to end — testpoint samples → sign-test
+accumulation with the active threshold-table row → judgment → backoff —
+from the span records alone, without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MannersError
+from repro.faults.scenarios import _chaos_config, _hog, _worker
+from repro.obs import events as obs_events
+from repro.obs.sinks import MemorySink
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace2 import (
+    SPAN_NAMES,
+    TraceContext,
+    Tracer,
+    explain_events,
+    span_index,
+    spans_of,
+)
+from repro.simos.kernel import Kernel
+from repro.simos.sim_manners import SimManners
+
+
+def _traced_run(seed: int = 5, until: float = 60.0) -> MemorySink:
+    """One regulated worker under contention, with tracing on."""
+    sink = MemorySink()
+    tel = Telemetry(sink=sink, label="run", tracer=Tracer())
+    kernel = Kernel(seed=seed)
+    kernel.add_disk("C")
+    manners = SimManners(kernel, _chaos_config(), telemetry=tel)
+    w1 = kernel.spawn("w1", _worker(3000), process="li")
+    manners.regulate(w1)
+    kernel.spawn("hog", _hog(5.0, 2000), process="hog")
+    kernel.run(until=until)
+    tel.close()
+    return sink
+
+
+class TestTracer:
+    def test_ids_start_at_one_and_are_sequential(self):
+        tracer = Tracer()
+        assert tracer.spans_issued == 0
+        assert [tracer.next_id() for _ in range(3)] == [1, 2, 3]
+        assert tracer.spans_issued == 3
+
+    def test_contexts_share_the_allocator(self):
+        tracer = Tracer()
+        a, b = TraceContext(tracer), TraceContext(tracer)
+        assert a.new_id() == 1
+        assert b.new_id() == 2
+        assert a.new_id() == 3
+
+    def test_context_cursors_start_null(self):
+        ctx = TraceContext(Tracer())
+        assert ctx.testpoint == 0
+        assert ctx.judgment == 0
+        assert ctx.window == []
+
+
+class TestSpanEmission:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return _traced_run().events
+
+    def test_pipeline_emits_every_decision_span(self, trace):
+        names = {s.name for s in spans_of(trace)}
+        assert {
+            "testpoint",
+            "signtest_sample",
+            "judgment",
+            "suspension",
+            "calibration_update",
+        } <= names
+        assert names <= set(SPAN_NAMES)
+
+    def test_span_ids_are_unique_and_in_emission_order(self, trace):
+        ids = [s.span_id for s in spans_of(trace)]
+        assert len(ids) == len(set(ids))
+        assert ids == sorted(ids)
+
+    def test_parents_precede_children(self, trace):
+        index = span_index(spans_of(trace))
+        for span in index.values():
+            if span.parent:
+                assert span.parent in index
+                assert span.parent < span.span_id
+
+    def test_samples_parent_to_their_testpoint(self, trace):
+        index = span_index(spans_of(trace))
+        samples = [s for s in index.values() if s.name == "signtest_sample"]
+        assert samples
+        for sample in samples:
+            assert index[sample.parent].name == "testpoint"
+
+    def test_judgment_links_cover_its_window(self, trace):
+        index = span_index(spans_of(trace))
+        judgments = [s for s in index.values() if s.name == "judgment"]
+        assert judgments
+        for judgment in judgments:
+            assert judgment.attrs["samples"] == len(judgment.links)
+            for sid in judgment.links:
+                assert index[sid].name == "signtest_sample"
+
+    def test_poor_suspensions_parent_to_their_judgment(self, trace):
+        index = span_index(spans_of(trace))
+        poor = [
+            s
+            for s in index.values()
+            if s.name == "suspension" and index[s.parent].name == "judgment"
+        ]
+        assert poor
+        for suspension in poor:
+            assert index[suspension.parent].attrs["judgment"] == "poor"
+
+    def test_threshold_row_recorded_on_samples_and_judgments(self, trace):
+        for span in spans_of(trace):
+            if span.name in ("signtest_sample", "judgment"):
+                assert "poor_at" in span.attrs
+                assert "good_at" in span.attrs
+
+    def test_seeded_run_reproduces_the_span_forest(self):
+        first = spans_of(_traced_run().events)
+        second = spans_of(_traced_run().events)
+        assert first == second
+
+    def test_disabled_telemetry_emits_no_spans(self):
+        sink = MemorySink()
+        tel = Telemetry(sink=sink, label="run")  # no tracer attached
+        kernel = Kernel(seed=5)
+        kernel.add_disk("C")
+        manners = SimManners(kernel, _chaos_config(), telemetry=tel)
+        w1 = kernel.spawn("w1", _worker(500), process="li")
+        manners.regulate(w1)
+        kernel.run(until=20.0)
+        tel.close()
+        assert spans_of(sink.events) == []
+        assert sink.events  # the flat event stream is unchanged
+
+
+class TestExplain:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return _traced_run().events
+
+    def test_reconstructs_the_decision_end_to_end(self, trace):
+        text = explain_events(trace, "w1")
+        assert "why was 'w1' suspended" in text
+        assert "judgment #" in text
+        assert "POOR" in text
+        assert "threshold row n=" in text
+        assert "sample 1 at t=" in text
+        assert "from testpoint #" in text
+        assert "time to detect" in text
+
+    def test_sample_count_matches_judgment_window(self, trace):
+        index = span_index(spans_of(trace))
+        suspension = [
+            s
+            for s in spans_of(trace)
+            if s.name == "suspension" and index[s.parent].name == "judgment"
+        ][-1]
+        judgment = index[suspension.parent]
+        text = explain_events(trace, "w1", at=suspension.t)
+        assert text.count("├─ sample") == judgment.attrs["samples"]
+
+    def test_at_selects_the_decision_in_effect(self, trace):
+        suspensions = [s for s in spans_of(trace) if s.name == "suspension"]
+        first = suspensions[0]
+        text = explain_events(trace, "w1", at=first.t)
+        assert f"suspension #{first.span_id}:" in text
+
+    def test_backoff_ladder_rendered_after_doublings(self, trace):
+        suspensions = [s for s in spans_of(trace) if s.name == "suspension"]
+        deep = [s for s in suspensions if s.attrs.get("level", 0) >= 2]
+        if not deep:
+            pytest.skip("seed produced no consecutive poor judgments")
+        text = explain_events(trace, "w1", at=deep[0].t)
+        assert "backoff doubling since last reset:" in text
+        assert "level 1:" in text
+
+    def test_deterministic_output(self, trace):
+        assert explain_events(trace, "w1") == explain_events(trace, "w1")
+
+    def test_unknown_thread_names_the_candidates(self, trace):
+        with pytest.raises(MannersError, match="threads with suspensions: w1"):
+            explain_events(trace, "nope")
+
+    def test_at_before_first_suspension_is_an_error(self, trace):
+        with pytest.raises(MannersError, match="at or before t=0.0"):
+            explain_events(trace, "w1", at=0.0)
+
+    def test_spanless_trace_is_an_error(self):
+        flat = [obs_events.JudgmentIssued(t=1.0, src="w1", judgment="poor")]
+        with pytest.raises(MannersError, match="no spans"):
+            explain_events(flat, "w1")

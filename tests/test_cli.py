@@ -85,6 +85,114 @@ class TestObsSummarize:
         assert main(["obs", "summarize", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_empty_trace_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["obs", "summarize", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "trace is empty" in captured.err
+
+    def test_truncated_trace_is_an_error(self, trace_path, capsys):
+        clipped = trace_path.with_name("clipped.jsonl")
+        clipped.write_bytes(trace_path.read_bytes()[:-20])
+        assert main(["obs", "summarize", str(clipped)]) == 2
+        assert "appears truncated" in capsys.readouterr().err
+
+    def test_percentile_section_in_summary(self, trace_path, capsys):
+        assert main(["obs", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "percentiles (bucket resolution):" in out
+        assert "p99<=" in out
+
+
+class TestObsExplainAndExport:
+    @pytest.fixture(scope="class")
+    def traced_scenario(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("explain") / "trace.jsonl"
+        code = main(
+            [
+                "--quiet", "faults", "run",
+                "--scenario", "crash-mid-suspension",
+                "--seed", "3",
+                "--trace-out", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_explain_reconstructs_a_suspension(self, traced_scenario, capsys):
+        assert main(["obs", "explain", str(traced_scenario), "w1"]) == 0
+        out = capsys.readouterr().out
+        assert "why was 'w1' suspended" in out
+        assert "judgment #" in out
+        assert "threshold row n=" in out
+        assert "from testpoint #" in out
+
+    def test_explain_is_deterministic(self, traced_scenario, capsys):
+        assert main(["obs", "explain", str(traced_scenario), "w1", "--at", "30"]) == 0
+        first = capsys.readouterr().out
+        assert main(["obs", "explain", str(traced_scenario), "w1", "--at", "30"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_explain_unknown_thread_fails_with_hint(self, traced_scenario, capsys):
+        assert main(["obs", "explain", str(traced_scenario), "ghost"]) == 1
+        assert "threads with suspensions" in capsys.readouterr().err
+
+    def test_explain_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["obs", "explain", str(tmp_path / "nope.jsonl"), "w1"]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_export_prom_writes_histograms(self, traced_scenario, capsys):
+        assert main(["obs", "export", str(traced_scenario), "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_progress_rate histogram" in out
+        assert 'le="+Inf"' in out
+
+    def test_export_jsonl_round_trips(self, traced_scenario, tmp_path, capsys):
+        from repro.obs.report import read_events
+
+        out_path = tmp_path / "normalized.jsonl"
+        code = main(
+            [
+                "obs", "export", str(traced_scenario),
+                "--format", "jsonl", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert read_events(out_path) == read_events(traced_scenario)
+
+
+class TestFaultsFlightRecorder:
+    def test_faults_run_dumps_recent_spans_on_fault(self, tmp_path, capsys):
+        from repro.obs import events as obs_events
+        from repro.obs.report import read_events
+        from repro.obs.trace2 import spans_of
+
+        dumps = tmp_path / "dumps"
+        code = main(
+            [
+                "faults", "run",
+                "--scenario", "crash-mid-suspension",
+                "--seed", "3",
+                "--flightrec", str(dumps),
+                "--flightrec-capacity", "64",
+            ]
+        )
+        assert code == 0
+        assert "flight-recorder dump ->" in capsys.readouterr().out
+        paths = sorted(dumps.iterdir())
+        assert paths
+        fault_dump = [p for p in paths if "fault-crash" in p.name]
+        assert fault_dump
+        events = read_events(fault_dump[0])
+        header, body = events[0], events[1:]
+        assert isinstance(header, obs_events.FlightRecorderDump)
+        assert header.captured == len(body) == 64  # the N most recent events
+        assert body[-1].kind == "fault"  # ... ending at the trigger, in order
+        assert [e.t for e in body] == sorted(e.t for e in body)
+        assert spans_of(body)
+
 
 class TestQuiet:
     def test_quiet_suppresses_progress_not_results(self, tmp_path, capsys):
