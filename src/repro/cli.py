@@ -21,9 +21,20 @@ Four commands:
 * ``faults`` — the chaos harness: ``faults run --scenario NAME --seed N``
   executes one named fault-injection scenario against the simulator and
   reports whether the resilience layer absorbed it (exit 0) or not
-  (exit 1); ``--flightrec DIR`` arms a bounded flight recorder that
+  (exit 1, also on determinism-fingerprint drift against the recorded
+  value; re-record deliberately with ``--record-fingerprints``);
+  ``--flightrec DIR`` arms a bounded flight recorder that
   dumps the last-N event ring on each injected fault;
   ``faults list`` names the scenarios.
+* ``daemon`` — the supervised regulator daemon (ROADMAP item 5):
+  ``daemon serve --socket PATH --state-dir DIR --workers groveler:g1``
+  regulates real worker subprocesses over local-socket IPC with
+  crash-safe target persistence; ``daemon worker`` runs one regulated
+  workload; ``daemon status``/``daemon stop`` speak the control
+  protocol; ``daemon soak --scenarios all --seeds 3 --duration 60``
+  runs the fault-injected soak and exits non-zero unless every injected
+  IPC fault was answered by a matching recovery action (and a kill -9'd
+  daemon restored calibration bit-identically).
 * ``bench`` — the performance harness: ``bench NAME --jobs N`` runs a
   named benchmark through the parallel trial engine, checks parallel vs
   serial parity, and writes a machine-readable ``BENCH_<name>.json``
@@ -303,8 +314,22 @@ def _cmd_faults(args: argparse.Namespace, out: Output) -> int:
         finally:
             for sink in sinks:
                 sink.close()
+        # Determinism gate: same seed must reproduce the recorded trace
+        # fingerprint exactly; drift is a failure even when every scenario
+        # check passed.
+        from repro.faults import fingerprint_key, record_fingerprints, recorded_fingerprint
+
+        recorded = recorded_fingerprint(report.name, report.seed)
+        if args.record_fingerprints:
+            record_fingerprints({fingerprint_key(report.name, report.seed): report.fingerprint})
+            fingerprint_ok = True
+        else:
+            fingerprint_ok = recorded is None or recorded == report.fingerprint
         if args.json:
-            out.result(json.dumps(report.as_dict(), indent=2))
+            body = report.as_dict()
+            body["recorded_fingerprint"] = recorded
+            body["fingerprint_ok"] = fingerprint_ok
+            out.result(json.dumps(body, indent=2))
         else:
             verdict = "ok" if report.ok else "FAILED"
             out.result(
@@ -317,6 +342,19 @@ def _cmd_faults(args: argparse.Namespace, out: Output) -> int:
             out.say(f"  recoveries: {', '.join(sorted(set(report.recoveries))) or '-'}")
             for check, passed in report.checks:
                 out.say(f"  [{'pass' if passed else 'FAIL'}] {check}")
+        if args.record_fingerprints:
+            out.say(f"  fingerprint recorded: {report.fingerprint}")
+        elif recorded is None:
+            out.say(
+                "  no recorded fingerprint for this scenario/seed "
+                "(record one with --record-fingerprints)"
+            )
+        elif not fingerprint_ok:
+            out.error(
+                f"determinism fingerprint mismatch for {report.name} "
+                f"seed={report.seed}: recorded {recorded}, got {report.fingerprint} "
+                "— the scenario no longer reproduces bit-for-bit"
+            )
         if args.trace_out is not None:
             out.say(f"  event trace -> {args.trace_out}")
         if recorder is not None:
@@ -325,6 +363,144 @@ def _cmd_faults(args: argparse.Namespace, out: Output) -> int:
                     out.say(f"  flight-recorder dump -> {path}")
             else:
                 out.say("  flight recorder armed but no dump was triggered")
+        return 0 if report.ok and fingerprint_ok else 1
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _cmd_daemon(args: argparse.Namespace, out: Output) -> int:
+    import asyncio
+    import socket as socket_module
+    import tempfile
+
+    from repro.core.errors import FaultError, MannersError
+
+    if args.daemon_command == "serve":
+        from repro.daemon.server import RegulatorDaemon, WorkerSpec
+
+        try:
+            workers = WorkerSpec.parse(args.workers) if args.workers else []
+        except ValueError as exc:
+            out.error(str(exc))
+            return 2
+        if args.fast:
+            from repro.daemon.soak import soak_config
+
+            config = soak_config()
+        else:
+            config = _config_from_args(args)
+        telemetry = None
+        sinks = []
+        if args.trace_out is not None:
+            from repro.obs import JsonlSink
+
+            sinks.append(JsonlSink(args.trace_out))
+        if args.flightrec is not None:
+            from repro.obs import FlightRecorder, Telemetry
+
+            recorder = FlightRecorder(capacity=1024, dump_dir=args.flightrec)
+            telemetry = Telemetry(
+                sink=sinks[0] if sinks else None,
+                label="daemon",
+                flight_recorder=recorder,
+            )
+        elif sinks:
+            from repro.obs import Telemetry
+
+            telemetry = Telemetry(sink=sinks[0], label="daemon")
+        daemon = RegulatorDaemon(
+            args.socket,
+            state_dir=args.state_dir,
+            config=config,
+            telemetry=telemetry,
+            workers=workers,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            journal_interval=args.journal_interval,
+            save_interval=args.save_interval,
+        )
+        out.say(
+            f"regulator daemon on {args.socket} "
+            f"(state={args.state_dir or '-'}, workers={args.workers or '-'})"
+        )
+        try:
+            asyncio.run(
+                daemon.run(
+                    duration=args.duration if args.duration > 0 else None,
+                    install_signals=True,
+                )
+            )
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
+        finally:
+            if telemetry is not None:
+                telemetry.close()
+        out.say("daemon drained")
+        return 0
+
+    if args.daemon_command == "worker":
+        from repro.daemon.worker import run_worker
+
+        return run_worker(
+            socket_path=args.socket,
+            name=args.name,
+            kind=args.kind,
+            app_id=args.app_id,
+            unit_bytes=args.unit_bytes,
+            max_units=args.max_units,
+        )
+
+    if args.daemon_command in ("status", "stop"):
+        from repro.daemon.client import ControlClient
+
+        control = ControlClient(args.socket)
+        try:
+            reply = control.request(args.daemon_command)
+        except (OSError, socket_module.timeout, MannersError) as exc:
+            out.error(f"cannot reach daemon at {args.socket}: {exc}")
+            return 1
+        finally:
+            control.close()
+        out.result(json.dumps(reply, indent=2))
+        return 0
+
+    if args.daemon_command == "soak":
+        from repro.daemon.chaos import SCENARIO_KINDS
+        from repro.daemon.soak import run_soak
+
+        if args.scenarios.strip() == "all":
+            scenarios = sorted(SCENARIO_KINDS)
+        else:
+            scenarios = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+        seeds = list(range(1, args.seeds + 1))
+        workdir = args.workdir or tempfile.mkdtemp(prefix="repro-soak-")
+        out.say(
+            f"soaking scenarios {scenarios} over seeds {seeds} "
+            f"({args.duration:g}s each) in {workdir}"
+        )
+        try:
+            report = run_soak(
+                scenarios, seeds, args.duration, workdir, say=out.say
+            )
+        except FaultError as exc:
+            out.error(str(exc))
+            return 2
+        if args.json:
+            out.result(json.dumps(report.to_dict(), indent=2))
+        else:
+            for run in report.runs:
+                verdict = "ok" if run.ok else "FAILED"
+                out.result(
+                    f"  {run.scenario:<14} seed={run.seed}: {verdict} "
+                    f"injected={run.injected} matched={run.matched} "
+                    f"recoveries={run.recoveries}"
+                    + (f" note={run.note}" if run.note else "")
+                )
+                for line in run.unmatched:
+                    out.result(f"      unrecovered: {line}")
+            out.result(
+                f"soak {'ok' if report.ok else 'FAILED'}: "
+                f"{len(report.runs)} run(s), artifacts in {workdir}"
+            )
         return 0 if report.ok else 1
     return 2  # pragma: no cover - argparse enforces the choices
 
@@ -599,7 +775,107 @@ def main(argv: list[str] | None = None) -> int:
     faults_run.add_argument(
         "--json", action="store_true", help="print the full report as JSON"
     )
+    faults_run.add_argument(
+        "--record-fingerprints", dest="record_fingerprints", action="store_true",
+        help="record this run's determinism fingerprint as the expected "
+        "value instead of checking against it",
+    )
     faults_sub.add_parser("list", help="list the available scenarios")
+
+    daemon = sub.add_parser(
+        "daemon", help="the supervised regulator daemon (serve/worker/soak)"
+    )
+    daemon_sub = daemon.add_subparsers(dest="daemon_command", required=True)
+    serve = daemon_sub.add_parser(
+        "serve", help="run the daemon: regulate worker subprocesses over IPC"
+    )
+    serve.add_argument("--socket", required=True, help="Unix socket path to serve on")
+    serve.add_argument(
+        "--state-dir", dest="state_dir", default=None,
+        help="directory for target snapshots + the write-ahead journal",
+    )
+    serve.add_argument(
+        "--workers", default="",
+        help="comma-separated KIND:NAME worker subprocesses to spawn and "
+        "supervise (e.g. groveler:g1,compressor:c1)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=0.0,
+        help="drain after N seconds (default: run until signalled)",
+    )
+    serve.add_argument(
+        "--fast", action="store_true",
+        help="use the fast-converging soak configuration",
+    )
+    serve.add_argument("--alpha", type=float, default=None)
+    serve.add_argument("--beta", type=float, default=None)
+    serve.add_argument("--initial-suspension", dest="initial_suspension", type=float)
+    serve.add_argument("--max-suspension", dest="max_suspension", type=float)
+    serve.add_argument(
+        "--min-testpoint-interval", dest="min_testpoint_interval", type=float
+    )
+    serve.add_argument(
+        "--heartbeat-interval", dest="heartbeat_interval", type=float, default=1.0,
+        help="seconds between wait/liveness beats (default 1.0)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout", dest="heartbeat_timeout", type=float, default=5.0,
+        help="silence after which a non-parked worker is evicted (default 5.0)",
+    )
+    serve.add_argument(
+        "--journal-interval", dest="journal_interval", type=float, default=1.0,
+        help="seconds between write-ahead journal appends (default 1.0)",
+    )
+    serve.add_argument(
+        "--save-interval", dest="save_interval", type=float, default=30.0,
+        help="seconds between atomic snapshots + journal compaction (default 30)",
+    )
+    serve.add_argument(
+        "--trace-out", dest="trace_out", default=None,
+        help="write the daemon's telemetry event trace to this JSONL file",
+    )
+    serve.add_argument(
+        "--flightrec", default=None, metavar="DIR",
+        help="arm a flight recorder dumping the event ring to DIR on faults",
+    )
+    worker = daemon_sub.add_parser(
+        "worker", help="run one regulated worker against a daemon"
+    )
+    worker.add_argument("--socket", required=True, help="daemon socket path")
+    worker.add_argument("--name", required=True, help="unique worker name")
+    worker.add_argument(
+        "--kind", default="groveler", choices=("groveler", "compressor")
+    )
+    worker.add_argument("--app-id", dest="app_id", default=None)
+    worker.add_argument("--unit-bytes", dest="unit_bytes", type=int, default=262144)
+    worker.add_argument("--max-units", dest="max_units", type=int, default=None)
+    status = daemon_sub.add_parser("status", help="query a running daemon")
+    status.add_argument("--socket", required=True, help="daemon socket path")
+    stop = daemon_sub.add_parser("stop", help="request a graceful drain")
+    stop.add_argument("--socket", required=True, help="daemon socket path")
+    soak = daemon_sub.add_parser(
+        "soak", help="fault-injected soak: chaos scenarios against a live daemon"
+    )
+    soak.add_argument(
+        "--scenarios", default="all",
+        help="comma-separated scenario names, or 'all' "
+        "(ipc-chaos, peer-hang, worker-crash, daemon-crash)",
+    )
+    soak.add_argument(
+        "--seeds", type=int, default=3, help="sweep seeds 1..N (default 3)"
+    )
+    soak.add_argument(
+        "--duration", type=float, default=60.0,
+        help="seconds of chaos per run (default 60)",
+    )
+    soak.add_argument(
+        "--workdir", default=None,
+        help="directory for per-run state/traces/flight-recorder dumps "
+        "(default: a fresh temp directory)",
+    )
+    soak.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
 
     bench = sub.add_parser(
         "bench", help="run a named benchmark with the parallel trial engine"
@@ -729,6 +1005,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figures(args, out)
     if args.command == "faults":
         return _cmd_faults(args, out)
+    if args.command == "daemon":
+        return _cmd_daemon(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
     if args.command == "profile":

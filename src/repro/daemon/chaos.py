@@ -1,0 +1,181 @@
+"""IPC-level fault injection for the regulator daemon.
+
+The simulator's chaos harness (:mod:`repro.faults`) injects clock and
+thread faults *inside* one process.  The daemon adds the failure domain a
+real deployment actually has: the wire.  This module generates seeded
+plans of IPC faults and holds the runtime state the daemon's frame
+read/write paths consult to realize them:
+
+* ``msg_drop`` — the next frame to/from the target worker vanishes;
+* ``msg_delay`` — the next frame is held ``param`` seconds;
+* ``msg_dup`` — the next outbound frame is sent twice;
+* ``frame_truncate`` — the next outbound frame is cut mid-payload
+  (a torn write: the worker sees one unparseable line);
+* ``peer_hang`` — the daemon goes silent toward the target worker for
+  ``param`` seconds (inbound frames are buffered, outbound held);
+* ``worker_kill`` — the worker subprocess is SIGKILLed outright.
+
+Every injection is emitted as a
+:class:`~repro.obs.events.FaultInjected` event the moment it takes
+effect, and every absorbed consequence as the matching
+:class:`~repro.obs.events.RecoveryAction` — the pairing the soak harness
+asserts over the trace (see :data:`RECOVERY_ACTIONS`).
+
+Faults are injected *by the daemon, on itself*: determinism comes from
+the seeded :class:`~repro.faults.plan.FaultPlan` schedule, and honesty
+from the injection sitting below the protocol handlers — the recovery
+paths exercised (retransmission, deduplication, bad-frame skipping,
+reconnect, watchdog eviction, restart) are exactly the ones a hostile
+network or a dying peer would exercise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Sequence
+
+from repro.core.errors import FaultError
+from repro.faults.plan import IPC_FAULTS, FaultPlan, FaultSpec
+
+__all__ = [
+    "RECOVERY_ACTIONS",
+    "ipc_plan",
+    "ArmedFault",
+    "ChaosState",
+    "SCENARIO_KINDS",
+]
+
+#: For each IPC fault kind, the set of recovery actions that prove the
+#: daemon absorbed it.  The soak harness requires every injected fault to
+#: be followed by one of its listed actions for the same target.
+RECOVERY_ACTIONS: dict[str, frozenset[str]] = {
+    "msg_drop": frozenset({"retransmit_absorbed", "resend_served"}),
+    "msg_delay": frozenset({"delayed_delivery"}),
+    "msg_dup": frozenset({"duplicate_discarded"}),
+    "frame_truncate": frozenset(
+        {"bad_frame_skipped", "retransmit_absorbed", "resend_served"}
+    ),
+    "peer_hang": frozenset(
+        {"hang_recovered", "worker_evicted", "worker_restarted"}
+    ),
+    "worker_kill": frozenset({"worker_restarted", "slot_released"}),
+    # daemon_kill is verified by the soak harness's restore-digest check,
+    # not by trace matching (the killed daemon cannot write its own
+    # post-mortem); listed so the vocabulary is complete.
+    "daemon_kill": frozenset({"state_restored"}),
+}
+
+#: The fault mix each named soak scenario draws its plan from.
+SCENARIO_KINDS: dict[str, tuple[str, ...]] = {
+    "ipc-chaos": ("msg_drop", "msg_delay", "msg_dup", "frame_truncate"),
+    "peer-hang": ("peer_hang",),
+    "worker-crash": ("worker_kill",),
+    # daemon-crash schedules no in-daemon faults; the harness supplies the
+    # kill -9 and the restore check.
+    "daemon-crash": (),
+}
+
+
+def ipc_plan(
+    scenario: str,
+    seed: int,
+    duration: float,
+    targets: Sequence[str],
+    count: int | None = None,
+) -> FaultPlan:
+    """The seeded fault schedule for one soak scenario run.
+
+    ``targets`` are the worker names the faults pick victims from.  The
+    fault count scales with the run duration (one fault roughly every
+    eight seconds, at least two) unless given explicitly.  The
+    ``daemon-crash`` scenario returns an empty plan.
+    """
+    try:
+        kinds = SCENARIO_KINDS[scenario]
+    except KeyError:
+        raise FaultError(
+            f"unknown soak scenario {scenario!r}; "
+            f"known: {', '.join(sorted(SCENARIO_KINDS))}"
+        ) from None
+    if not kinds:
+        return FaultPlan()
+    if count is None:
+        count = max(2, int(duration / 8.0))
+    return FaultPlan.generate(
+        seed=seed, duration=duration, count=count, kinds=kinds, targets=targets
+    )
+
+
+class ArmedFault:
+    """One scheduled fault waiting for its moment on a worker's wire."""
+
+    __slots__ = ("kind", "target", "param", "fired")
+
+    def __init__(self, kind: str, target: str, param: float = 0.0) -> None:
+        if kind not in IPC_FAULTS:
+            raise FaultError(f"not an IPC fault kind: {kind!r}")
+        self.kind = kind
+        self.target = target
+        self.param = param
+        #: Whether the injection has taken effect (event emitted).
+        self.fired = False
+
+
+class ChaosState:
+    """Armed IPC faults, queued per worker, consumed by the wire hooks.
+
+    The daemon arms faults from its chaos plan (or a control ``inject``
+    frame) with :meth:`arm`; the connection read/write paths call
+    :meth:`take` at each injection point to consume at most one armed
+    fault of the kinds that point can realize.
+    """
+
+    __slots__ = ("_queues", "injected")
+
+    def __init__(self) -> None:
+        self._queues: dict[str, Deque[ArmedFault]] = {}
+        #: Every fault ever armed, in arming order (monitoring).
+        self.injected: list[ArmedFault] = []
+
+    def arm(self, kind: str, target: str, param: float = 0.0) -> ArmedFault:
+        """Queue one fault against ``target``'s connection."""
+        fault = ArmedFault(kind, target, param)
+        self._queues.setdefault(target, deque()).append(fault)
+        self.injected.append(fault)
+        return fault
+
+    def arm_plan(self, plan: FaultPlan) -> list[tuple[float, FaultSpec]]:
+        """Validate a plan's IPC specs; returns ``(at, spec)`` pairs.
+
+        The daemon schedules each spec at its offset and calls
+        :meth:`arm` when the timer fires (arming early would let one
+        fault absorb another's trigger frame).
+        """
+        pairs = []
+        for spec in plan:
+            if spec.kind not in IPC_FAULTS:
+                raise FaultError(
+                    f"plan contains non-IPC fault {spec.kind!r}; "
+                    "the daemon chaos engine only injects IPC faults"
+                )
+            pairs.append((spec.at, spec))
+        return pairs
+
+    def take(self, target: str, kinds: Sequence[str]) -> ArmedFault | None:
+        """Consume the oldest armed fault for ``target`` of one of ``kinds``.
+
+        Returns ``None`` when nothing matching is armed.  Faults of other
+        kinds stay queued in order.
+        """
+        queue = self._queues.get(target)
+        if not queue:
+            return None
+        for i, fault in enumerate(queue):
+            if fault.kind in kinds:
+                del queue[i]
+                return fault
+        return None
+
+    def pending(self, target: str) -> tuple[ArmedFault, ...]:
+        """The faults still queued against ``target``."""
+        return tuple(self._queues.get(target, ()))

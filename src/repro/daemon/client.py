@@ -1,0 +1,385 @@
+"""Synchronous worker-side client for the regulator daemon.
+
+:class:`DaemonClient` is what a regulated worker process embeds in place
+of an in-process :class:`~repro.realtime.adapter.RealTimeRegulator`: it
+connects to the daemon's socket, reports progress with
+:meth:`testpoint`, and blocks until the daemon says proceed — the park
+happens on the daemon side, so from the worker's perspective a
+suspension is just a slow reply punctuated by ``wait`` frames.
+
+All of the client's robustness is in :meth:`testpoint`'s receive loop,
+which is built so that *any* single IPC failure converges back to a
+correct decision:
+
+* a reply that never arrives (dropped request, dropped reply, hung
+  daemon) trips the per-message timeout and the request is
+  **retransmitted with the same sequence number** — the daemon either
+  processes it fresh or serves its cached decision, never both;
+* a damaged line (torn frame) is counted and skipped, leaving the
+  timeout to drive the retransmit;
+* a duplicated reply (or the late original overtaken by a retransmit)
+  carries a stale ``seq`` and is discarded;
+* a dead connection is rebuilt with capped exponential backoff and the
+  in-flight request retransmitted over the new connection.
+
+The client keeps cumulative counters of these absorptions
+(:attr:`stats`) and piggybacks them on every testpoint frame, which is
+how client-side recoveries become :class:`~repro.obs.events.RecoveryAction`
+events in the daemon's trace.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Sequence
+
+from repro.core.errors import MannersError
+from repro.daemon.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = ["DaemonClient", "ControlClient", "DaemonShutdown", "DaemonUnavailable"]
+
+
+class DaemonShutdown(MannersError):
+    """The daemon announced a drain; the worker should finish and exit."""
+
+
+class DaemonUnavailable(MannersError):
+    """The daemon could not be reached within the retry budget."""
+
+
+class DaemonClient:
+    """One worker's connection to the regulator daemon.
+
+    Args:
+        socket_path: The daemon's Unix socket.
+        name: This worker's unique name (its supervisor thread id).
+        app_id: Calibration identity (defaults to ``name``); workers that
+            share an ``app_id`` share persisted targets across restarts.
+        priority: Relative scheduling priority among this daemon's workers.
+        message_timeout: Seconds to wait for any frame before
+            retransmitting the in-flight request.
+        max_retransmits: Retransmissions on one connection before the
+            client assumes the connection itself is damaged and rebuilds it.
+        reconnect_attempts: Connection builds to attempt before giving up
+            with :class:`DaemonUnavailable`.
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        name: str,
+        app_id: str | None = None,
+        priority: int = 0,
+        connect_timeout: float = 5.0,
+        message_timeout: float = 2.0,
+        max_retransmits: int = 3,
+        reconnect_attempts: int = 10,
+        reconnect_backoff: float = 0.2,
+        reconnect_backoff_cap: float = 2.0,
+    ) -> None:
+        self.socket_path = socket_path
+        self.name = name
+        self.app_id = app_id if app_id is not None else name
+        self.priority = priority
+        self.connect_timeout = connect_timeout
+        self.message_timeout = message_timeout
+        self.max_retransmits = max_retransmits
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_backoff_cap = reconnect_backoff_cap
+        #: Cumulative client-side recovery counters, piggybacked on every
+        #: testpoint frame so the daemon can emit the matching events.
+        self.stats: dict[str, int] = {"resends": 0, "dups": 0, "bad_frames": 0}
+        self._sock: socket.socket | None = None
+        self._buffer = bytearray()
+        self._seq = 0
+
+    # -- connection ------------------------------------------------------------
+    @property
+    def connected(self) -> bool:
+        """Whether a handshaken connection is currently held."""
+        return self._sock is not None
+
+    def connect(self) -> None:
+        """Connect and handshake; raises :class:`DaemonUnavailable`.
+
+        Retries with capped exponential backoff, so a worker started
+        moments before its daemon still comes up cleanly.
+        """
+        backoff = self.reconnect_backoff
+        last_error: Exception | None = None
+        for _ in range(max(self.reconnect_attempts, 1)):
+            try:
+                self._connect_once()
+                return
+            except DaemonShutdown:
+                raise
+            except (OSError, ProtocolError) as exc:
+                last_error = exc
+                self._drop_connection()
+                time.sleep(backoff)
+                backoff = min(backoff * 2.0, self.reconnect_backoff_cap)
+        raise DaemonUnavailable(
+            f"cannot reach daemon at {self.socket_path}: {last_error}"
+        )
+
+    def _connect_once(self) -> None:
+        self._drop_connection()
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.connect_timeout)
+        sock.connect(self.socket_path)
+        self._sock = sock
+        self._buffer = bytearray()
+        self._send_frame(
+            {
+                "op": "hello",
+                "proto": PROTOCOL_VERSION,
+                "role": "worker",
+                "name": self.name,
+                "app_id": self.app_id,
+                "priority": self.priority,
+            }
+        )
+        reply = self._recv_frame(self.connect_timeout)
+        if reply.get("op") == "reject":
+            raise DaemonShutdown(
+                f"daemon rejected {self.name!r}: {reply.get('reason', 'unknown')}"
+            )
+        if reply.get("op") != "welcome":
+            raise ProtocolError(f"expected welcome, got {reply.get('op')!r}")
+
+    def close(self) -> None:
+        """Release cleanly (``bye``) and drop the connection."""
+        if self._sock is not None:
+            try:
+                self._send_frame({"op": "bye", "seq": self._seq})
+            except OSError:
+                pass
+        self._drop_connection()
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._buffer = bytearray()
+
+    # -- the testpoint call ----------------------------------------------------
+    def testpoint(self, metrics: Sequence[float], index: int = 0) -> dict[str, Any]:
+        """Report progress; block until the daemon's decision arrives.
+
+        Returns the decision frame (``processed``, ``delay``,
+        ``judgment``...).  The block spans the daemon-side park — the
+        mandated suspension plus the wait for the execution slot.
+
+        Raises :class:`DaemonShutdown` when the daemon announces a drain
+        and :class:`DaemonUnavailable` when it cannot be reached at all.
+        """
+        if self._sock is None:
+            self.connect()
+        self._seq += 1
+        seq = self._seq
+        frame = {
+            "op": "testpoint",
+            "seq": seq,
+            "index": index,
+            "metrics": [float(v) for v in metrics],
+            "stats": dict(self.stats),
+        }
+        self._transmit(frame)
+        retransmits = 0
+        while True:
+            try:
+                reply = self._recv_frame(self.message_timeout)
+            except socket.timeout:
+                retransmits += 1
+                if retransmits > self.max_retransmits:
+                    # The connection itself is suspect; rebuild it.
+                    self.connect()
+                    retransmits = 0
+                self.stats["resends"] += 1
+                frame["stats"] = dict(self.stats)
+                self._transmit(frame)
+                continue
+            except ProtocolError:
+                # A torn or corrupted line: skip it; the timeout-driven
+                # retransmit recovers whatever it was carrying.
+                self.stats["bad_frames"] += 1
+                continue
+            except (OSError, ConnectionError):
+                self.connect()
+                self.stats["resends"] += 1
+                frame["stats"] = dict(self.stats)
+                self._transmit(frame)
+                continue
+            op = reply.get("op")
+            if op == "decision":
+                if reply.get("seq") == seq:
+                    return reply
+                # Stale or duplicated reply; ours is still coming.
+                self.stats["dups"] += 1
+                continue
+            if op == "wait":
+                continue  # still parked; the timeout restarts from here
+            if op == "shutdown":
+                self._drop_connection()
+                raise DaemonShutdown("daemon is draining")
+            if op == "pong":
+                continue
+            # Unexpected but well-formed frame: ignore it.
+
+    def ping(self) -> bool:
+        """Probe the daemon; ``True`` when it answers within the timeout."""
+        if self._sock is None:
+            self.connect()
+        try:
+            self._send_frame({"op": "ping", "seq": self._seq})
+            while True:
+                reply = self._recv_frame(self.message_timeout)
+                if reply.get("op") == "shutdown":
+                    self._drop_connection()
+                    raise DaemonShutdown("daemon is draining")
+                if reply.get("op") == "pong":
+                    return True
+        except (OSError, ProtocolError):
+            return False
+
+    def _transmit(self, frame: dict[str, Any]) -> None:
+        try:
+            self._send_frame(frame)
+        except (OSError, ConnectionError):
+            self.connect()
+            self._send_frame(frame)
+
+    # -- framing over the stream socket ----------------------------------------
+    def _send_frame(self, frame: dict[str, Any]) -> None:
+        if self._sock is None:
+            raise OSError("not connected")
+        self._sock.sendall(encode_frame(frame))
+
+    def _recv_frame(self, timeout: float) -> dict[str, Any]:
+        """Read one line within ``timeout``; decode it as a frame.
+
+        Raises :class:`socket.timeout` when no complete line arrives,
+        :class:`ProtocolError` when the line does not decode, and
+        :class:`ConnectionError` at EOF.
+        """
+        if self._sock is None:
+            raise OSError("not connected")
+        deadline = time.monotonic() + timeout
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[: newline + 1]
+                return decode_frame(line)
+            if len(self._buffer) > MAX_FRAME_BYTES:
+                del self._buffer[:]
+                raise ProtocolError("unterminated frame exceeded the size bound")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise socket.timeout("timed out waiting for a frame")
+            self._sock.settimeout(remaining)
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self._buffer.extend(chunk)
+
+    def __enter__(self) -> "DaemonClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ControlClient:
+    """Request/response client for the daemon's control protocol.
+
+    Used by ``repro daemon status``/``stop`` and the soak harness.  One
+    frame out, one reply back; no retransmission machinery — control
+    callers handle a dead daemon themselves (that state is often exactly
+    what they are probing for).
+    """
+
+    def __init__(
+        self, socket_path: str, connect_timeout: float = 5.0, timeout: float = 5.0
+    ) -> None:
+        self.socket_path = socket_path
+        self.connect_timeout = connect_timeout
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._buffer = bytearray()
+        self._seq = 0
+
+    def connect(self) -> None:
+        """Connect and handshake in the ``control`` role."""
+        self.close()
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.connect_timeout)
+        sock.connect(self.socket_path)
+        self._sock = sock
+        self._buffer = bytearray()
+        sock.sendall(
+            encode_frame(
+                {"op": "hello", "proto": PROTOCOL_VERSION, "role": "control"}
+            )
+        )
+        reply = self._recv(self.connect_timeout)
+        if reply.get("op") != "welcome":
+            raise ProtocolError(f"expected welcome, got {reply.get('op')!r}")
+
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one control frame; return the daemon's reply frame."""
+        if self._sock is None:
+            self.connect()
+        assert self._sock is not None
+        self._seq += 1
+        self._sock.sendall(encode_frame({"op": op, "seq": self._seq, **fields}))
+        return self._recv(self.timeout)
+
+    def close(self) -> None:
+        """Drop the connection (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._buffer = bytearray()
+
+    def _recv(self, timeout: float) -> dict[str, Any]:
+        assert self._sock is not None
+        deadline = time.monotonic() + timeout
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[: newline + 1]
+                return decode_frame(line)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise socket.timeout("timed out waiting for a control reply")
+            self._sock.settimeout(remaining)
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("daemon closed the control connection")
+            self._buffer.extend(chunk)
+
+    def __enter__(self) -> "ControlClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,248 @@
+"""Crash-safe write-ahead journal for calibration state.
+
+The daemon's durability story has two tiers.  The *snapshot* tier is the
+atomic :class:`~repro.core.persistence.TargetStore` (write-to-temp, fsync,
+rename) — bulletproof, but too expensive to run on every calibration
+change.  The *journal* tier fills the gap between snapshots: an
+append-only JSONL file where every record carries the full exported
+regulator state for one application plus a CRC32 over its canonical
+serialization.  Appends are flushed (and optionally fsynced) immediately,
+so the window in which a ``kill -9`` loses calibration is one append
+interval, not one snapshot interval.
+
+Recovery after a crash replays the journal *leniently*: records are read
+in order, each checksum-verified, and replay stops at the first damaged
+record — by construction everything after a torn append is untrustworthy,
+while everything before it is exactly what was written (the classic WAL
+torn-tail rule).  The newest valid record per application wins.  A
+quarantined copy of a damaged journal survives as ``<name>.corrupt`` for
+post-mortem, mirroring the snapshot store's quarantine contract.
+
+Each record also carries a SHA-256 ``digest`` of the canonical state
+serialization.  The digest is what makes "bit-identical restore" a
+checkable claim across a process boundary: the soak harness reads the
+digest of the last journaled record, kills the daemon outright, restarts
+it, and compares the digest the restarted daemon computes from its
+restored state (see ``repro daemon soak``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.core.errors import PersistenceError
+
+__all__ = ["StateJournal", "JournalRecord", "state_digest", "JOURNAL_NAME"]
+
+#: The journal file's name inside a daemon state directory.
+JOURNAL_NAME = "targets.journal.jsonl"
+
+#: Appended to a damaged journal's name when it is quarantined.
+_QUARANTINE_SUFFIX = ".corrupt"
+
+
+def _canonical(state: Mapping[str, Any]) -> str:
+    """The canonical serialization digests and checksums are computed over."""
+    return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+
+def state_digest(state: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of a regulator state snapshot.
+
+    Two states with equal digests serialize bit-identically; this is the
+    equality the daemon's restore guarantee is stated in.
+    """
+    return hashlib.sha256(_canonical(state).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class JournalRecord:
+    """One checksum-verified journal entry."""
+
+    seq: int
+    app_id: str
+    state: dict[str, Any]
+    digest: str
+
+
+class StateJournal:
+    """Append-only, checksum-framed calibration journal in one directory.
+
+    Args:
+        directory: The daemon state directory (shared with the snapshot
+            :class:`~repro.core.persistence.TargetStore`).
+        fsync: Whether every append is fsynced.  On for the daemon (the
+            whole point is surviving ``kill -9``); tests may turn it off.
+    """
+
+    __slots__ = ("_dir", "_path", "_fsync", "_handle", "_seq", "appends", "truncated_tail")
+
+    def __init__(self, directory: str | os.PathLike[str], fsync: bool = True) -> None:
+        self._dir = Path(directory)
+        self._path = self._dir / JOURNAL_NAME
+        self._fsync = fsync
+        self._handle = None
+        self._seq = 0
+        #: Records appended by this instance (monitoring counter).
+        self.appends = 0
+        #: Whether the last :meth:`replay` stopped at a damaged record.
+        self.truncated_tail = False
+
+    @property
+    def path(self) -> Path:
+        """The journal file."""
+        return self._path
+
+    # -- writing ---------------------------------------------------------------
+    def append(self, app_id: str, state: Mapping[str, Any]) -> JournalRecord:
+        """Durably append one state record; returns what was written.
+
+        The record is flushed (and fsynced when enabled) before this
+        returns: once :meth:`append` completes, the state survives any
+        subsequent crash of the process.  Raises
+        :class:`~repro.core.errors.PersistenceError` on write failure.
+        """
+        self._seq += 1
+        record = {
+            "seq": self._seq,
+            "app_id": app_id,
+            "state": dict(state),
+            "digest": state_digest(state),
+        }
+        record["crc"] = self._crc(record)
+        try:
+            handle = self._open()
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise PersistenceError(f"cannot append to {self._path}: {exc}") from exc
+        self.appends += 1
+        return JournalRecord(
+            seq=record["seq"],
+            app_id=app_id,
+            state=record["state"],
+            digest=record["digest"],
+        )
+
+    def compact(self) -> None:
+        """Truncate the journal (call right after a successful snapshot).
+
+        Everything the journal held is now covered by the atomic snapshot
+        store, so the records are dead weight; truncation bounds both the
+        file and the replay time.
+        """
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+        try:
+            if self._path.exists():
+                self._path.unlink()
+        except OSError as exc:
+            raise PersistenceError(f"cannot compact {self._path}: {exc}") from exc
+
+    def close(self) -> None:
+        """Close the append handle (idempotent)."""
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+    def __enter__(self) -> "StateJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- reading ---------------------------------------------------------------
+    def replay(self) -> list[JournalRecord]:
+        """Read every valid record, oldest first, stopping at a torn tail.
+
+        A missing journal is an empty history.  A record that fails JSON
+        parsing or checksum verification ends the replay (everything after
+        it is untrustworthy); :attr:`truncated_tail` records that this
+        happened and the damaged file is quarantined as ``*.corrupt`` so
+        the evidence survives.  Never raises for damage — a daemon must
+        restart on whatever valid prefix exists.
+        """
+        self.truncated_tail = False
+        records = list(self._iter_valid())
+        if self.truncated_tail:
+            self._quarantine()
+        if records:
+            self._seq = max(self._seq, records[-1].seq)
+        return records
+
+    def latest_states(self) -> dict[str, JournalRecord]:
+        """The newest valid record per application id."""
+        latest: dict[str, JournalRecord] = {}
+        for record in self.replay():
+            latest[record.app_id] = record
+        return latest
+
+    # -- internals --------------------------------------------------------------
+    def _open(self):
+        if self._handle is None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self._path, "a", encoding="utf-8")
+        return self._handle
+
+    @staticmethod
+    def _crc(record: Mapping[str, Any]) -> int:
+        payload = {k: record[k] for k in ("seq", "app_id", "state", "digest")}
+        return zlib.crc32(_canonical(payload).encode("utf-8"))
+
+    def _iter_valid(self) -> Iterator[JournalRecord]:
+        try:
+            lines = self._path.read_text(encoding="utf-8").splitlines()
+        except FileNotFoundError:
+            return
+        except (OSError, UnicodeDecodeError):
+            self.truncated_tail = True
+            return
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                self.truncated_tail = True
+                return
+            if not isinstance(data, dict):
+                self.truncated_tail = True
+                return
+            try:
+                seq = int(data["seq"])
+                app_id = str(data["app_id"])
+                state = data["state"]
+                digest = str(data["digest"])
+                crc = int(data["crc"])
+            except (KeyError, TypeError, ValueError):
+                self.truncated_tail = True
+                return
+            if not isinstance(state, dict) or self._crc(data) != crc:
+                self.truncated_tail = True
+                return
+            if state_digest(state) != digest:
+                self.truncated_tail = True
+                return
+            yield JournalRecord(seq=seq, app_id=app_id, state=state, digest=digest)
+
+    def _quarantine(self) -> None:
+        target = self._path.with_name(self._path.name + _QUARANTINE_SUFFIX)
+        try:
+            os.replace(self._path, target)
+        except OSError:
+            pass

@@ -1,0 +1,136 @@
+"""Regulated worker subprocess: the daemon's low-importance client.
+
+``python -m repro.daemon.worker`` is the process the daemon spawns and
+supervises.  It runs one of the paper's two canonical low-importance
+workloads in miniature — a *groveler* (checksumming scans over a data
+block, MS Manners' original SIS groveler stand-in) or a *compressor*
+(zlib over the same block) — and calls :meth:`DaemonClient.testpoint`
+after every work unit with its cumulative progress counter, exactly the
+embedding the paper prescribes for a real application.
+
+The worker is deliberately thin: all regulation, persistence, and fault
+recovery lives daemon-side or in the client.  What the worker owns is
+its exit discipline — ``bye`` and exit 0 on a clean drain
+(:class:`~repro.daemon.client.DaemonShutdown`), exit 3 when the daemon
+is unreachable so the supervising daemon's restart backoff (or an
+operator) can tell "worker finished" from "worker abandoned".
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+import zlib
+from typing import Callable
+
+from repro.daemon.client import DaemonClient, DaemonShutdown, DaemonUnavailable
+
+__all__ = ["make_workload", "run_worker", "main"]
+
+#: Exit status when the daemon cannot be reached at all.
+EXIT_UNAVAILABLE = 3
+
+
+def make_workload(kind: str, unit_bytes: int) -> Callable[[int], int]:
+    """Build one work-unit function: ``unit(i) -> bytes processed``.
+
+    The block each unit processes is deterministic per worker kind, so a
+    restarted worker does the same work — and the bytes counter it
+    reports stays an honest progress metric.
+    """
+    block = zlib.compress(bytes(range(256)) * max(unit_bytes // 256, 1), level=1)
+    block = (block * (unit_bytes // max(len(block), 1) + 1))[:unit_bytes]
+    if kind == "groveler":
+
+        def unit(i: int) -> int:
+            digest = hashlib.sha256(block)
+            digest.update(i.to_bytes(8, "little"))
+            digest.hexdigest()
+            return len(block)
+
+        return unit
+    if kind == "compressor":
+
+        def unit(i: int) -> int:
+            zlib.compress(block + i.to_bytes(8, "little"), level=6)
+            return len(block)
+
+        return unit
+    raise ValueError(f"unknown worker kind {kind!r} (want groveler or compressor)")
+
+
+def run_worker(
+    socket_path: str,
+    name: str,
+    kind: str = "groveler",
+    app_id: str | None = None,
+    unit_bytes: int = 262144,
+    max_units: int | None = None,
+) -> int:
+    """Run the work/testpoint loop until drain or ``max_units``; exit code."""
+    unit = make_workload(kind, unit_bytes)
+    client = DaemonClient(socket_path, name=name, app_id=app_id)
+    try:
+        client.connect()
+    except DaemonUnavailable:
+        return EXIT_UNAVAILABLE
+    processed = 0
+    done = 0
+    try:
+        while max_units is None or done < max_units:
+            processed += unit(done)
+            done += 1
+            client.testpoint([float(processed)])
+    except DaemonShutdown:
+        return 0
+    except DaemonUnavailable:
+        return EXIT_UNAVAILABLE
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.daemon.worker``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.daemon.worker", description="regulated worker subprocess"
+    )
+    parser.add_argument("--socket", required=True, help="daemon socket path")
+    parser.add_argument("--name", required=True, help="unique worker name")
+    parser.add_argument(
+        "--kind",
+        default="groveler",
+        choices=("groveler", "compressor"),
+        help="workload to run (default: groveler)",
+    )
+    parser.add_argument(
+        "--app-id", default=None, help="calibration identity (default: worker name)"
+    )
+    parser.add_argument(
+        "--unit-bytes",
+        type=int,
+        default=262144,
+        help="bytes processed per work unit (default: 262144)",
+    )
+    parser.add_argument(
+        "--max-units",
+        type=int,
+        default=None,
+        help="stop after this many units (default: run until drained)",
+    )
+    args = parser.parse_args(argv)
+    return run_worker(
+        socket_path=args.socket,
+        name=args.name,
+        kind=args.kind,
+        app_id=args.app_id,
+        unit_bytes=args.unit_bytes,
+        max_units=args.max_units,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entrypoint
+    sys.exit(main())

@@ -14,10 +14,14 @@ contract each scenario enforces.
 """
 
 from repro.faults.injector import FaultInjector, SkewedTime
-from repro.faults.plan import KNOWN_FAULTS, FaultPlan, FaultSpec
+from repro.faults.plan import IPC_FAULTS, KNOWN_FAULTS, FaultPlan, FaultSpec
 from repro.faults.scenarios import (
     SCENARIOS,
     ScenarioReport,
+    fingerprint_key,
+    load_fingerprints,
+    record_fingerprints,
+    recorded_fingerprint,
     run_scenario,
 )
 from repro.faults.stores import FlakySink, FlakyTargetStore, corrupt_target_file
@@ -26,6 +30,7 @@ __all__ = [
     "FaultSpec",
     "FaultPlan",
     "KNOWN_FAULTS",
+    "IPC_FAULTS",
     "FaultInjector",
     "SkewedTime",
     "FlakyTargetStore",
@@ -34,4 +39,8 @@ __all__ = [
     "ScenarioReport",
     "SCENARIOS",
     "run_scenario",
+    "fingerprint_key",
+    "load_fingerprints",
+    "recorded_fingerprint",
+    "record_fingerprints",
 ]

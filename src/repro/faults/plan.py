@@ -16,24 +16,46 @@ from typing import Iterable, Sequence
 
 from repro.core.errors import FaultError
 
-__all__ = ["FaultSpec", "FaultPlan", "KNOWN_FAULTS"]
+__all__ = ["FaultSpec", "FaultPlan", "KNOWN_FAULTS", "IPC_FAULTS"]
+
+#: IPC-level fault kinds, realized by the regulator daemon's chaos engine
+#: (:mod:`repro.daemon.chaos`) against the JSON-line worker protocol:
+#: dropped, delayed, duplicated, or truncated frames, a peer that goes
+#: silent mid-conversation, and process-level kills of a worker or of the
+#: daemon itself (``daemon_kill`` is fired by the soak harness, which owns
+#: the daemon process).
+IPC_FAULTS = frozenset(
+    {
+        "msg_drop",
+        "msg_delay",
+        "msg_dup",
+        "frame_truncate",
+        "peer_hang",
+        "worker_kill",
+        "daemon_kill",
+    }
+)
 
 #: Every fault kind any part of the harness understands.  The kernel-level
 #: kinds are dispatched by :class:`repro.faults.injector.FaultInjector`;
 #: ``save_fail``/``torn_file``/``sink_raise`` are realized by the seams in
-#: :mod:`repro.faults.stores` and the scenario harness.
-KNOWN_FAULTS = frozenset(
-    {
-        "clock_backstep",
-        "clock_jump",
-        "stall",
-        "unstall",
-        "crash",
-        "disk_fail",
-        "save_fail",
-        "torn_file",
-        "sink_raise",
-    }
+#: :mod:`repro.faults.stores` and the scenario harness; the
+#: :data:`IPC_FAULTS` kinds by the daemon chaos engine.
+KNOWN_FAULTS = (
+    frozenset(
+        {
+            "clock_backstep",
+            "clock_jump",
+            "stall",
+            "unstall",
+            "crash",
+            "disk_fail",
+            "save_fail",
+            "torn_file",
+            "sink_raise",
+        }
+    )
+    | IPC_FAULTS
 )
 
 
@@ -123,6 +145,10 @@ class FaultPlan:
                 param = rng.uniform(60.0, 3600.0)
             elif kind in ("disk_fail", "save_fail"):
                 param = float(rng.randint(1, 3))
+            elif kind == "msg_delay":
+                param = rng.uniform(0.5, 2.0)
+            elif kind == "peer_hang":
+                param = rng.uniform(1.5, 4.0)
             else:
                 param = 0.0
             specs.append(FaultSpec(at=at, kind=kind, target=target, param=param))

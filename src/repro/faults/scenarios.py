@@ -26,9 +26,11 @@ Scenarios (the fault → mechanism pairs of ``docs/robustness.md``):
 from __future__ import annotations
 
 import hashlib
+import json
 import tempfile
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from pathlib import Path
+from typing import Any, Callable, Mapping
 
 from repro.core.config import MannersConfig
 from repro.core.errors import FaultError
@@ -44,7 +46,59 @@ from repro.simos.effects import Delay, DiskRead
 from repro.simos.kernel import Kernel
 from repro.simos.sim_manners import MannersTestpoint, SimManners
 
-__all__ = ["ScenarioReport", "SCENARIOS", "run_scenario"]
+__all__ = [
+    "ScenarioReport",
+    "SCENARIOS",
+    "run_scenario",
+    "fingerprint_key",
+    "load_fingerprints",
+    "recorded_fingerprint",
+    "record_fingerprints",
+]
+
+#: Recorded determinism fingerprints, keyed ``"<scenario>:<seed>"``.  The
+#: file ships with the package; ``repro faults run`` compares every run
+#: against it and exits non-zero on drift, so an accidental determinism
+#: regression (reordered events, a stray wall-clock read) fails CI
+#: instead of silently invalidating the scenarios' reproducibility claim.
+#: Regenerate deliberately with ``repro faults run --record-fingerprints``.
+FINGERPRINT_FILE = Path(__file__).with_name("fingerprints.json")
+
+
+def fingerprint_key(name: str, seed: int) -> str:
+    """The recorded-fingerprint key for one (scenario, seed) run."""
+    return f"{name}:{seed}"
+
+
+def load_fingerprints(path: Path | None = None) -> dict[str, str]:
+    """The recorded fingerprints; empty when none have been recorded."""
+    source = path if path is not None else FINGERPRINT_FILE
+    try:
+        data = json.loads(source.read_text(encoding="utf-8"))
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return {}
+    if not isinstance(data, dict):
+        return {}
+    return {str(k): str(v) for k, v in data.items()}
+
+
+def recorded_fingerprint(name: str, seed: int, path: Path | None = None) -> str | None:
+    """The recorded fingerprint for one run, or ``None`` if unrecorded."""
+    return load_fingerprints(path).get(fingerprint_key(name, seed))
+
+
+def record_fingerprints(
+    entries: Mapping[str, str], path: Path | None = None
+) -> Path:
+    """Merge fingerprints into the recorded file; returns its path."""
+    target = path if path is not None else FINGERPRINT_FILE
+    merged = load_fingerprints(target)
+    merged.update({str(k): str(v) for k, v in entries.items()})
+    target.write_text(
+        json.dumps(dict(sorted(merged.items())), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
 
 
 @dataclass

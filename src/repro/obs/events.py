@@ -287,8 +287,11 @@ class FaultInjected(Event):
     trace shows the injected failure right next to the regulator's reaction
     to it.  ``fault`` names the fault kind (``"clock_backstep"``,
     ``"clock_jump"``, ``"stall"``, ``"unstall"``, ``"crash"``,
-    ``"disk_fail"``, ``"torn_file"``, ``"save_fail"``, ``"sink_raise"``);
-    ``target`` identifies the victim (a thread, store, or sink label).
+    ``"disk_fail"``, ``"torn_file"``, ``"save_fail"``, ``"sink_raise"``,
+    and the daemon's IPC kinds ``"msg_drop"``, ``"msg_delay"``,
+    ``"msg_dup"``, ``"frame_truncate"``, ``"peer_hang"``,
+    ``"worker_kill"``); ``target`` identifies the victim (a thread,
+    store, sink, or worker label).
     """
 
     kind: ClassVar[str] = "fault"
@@ -310,6 +313,17 @@ class AnomalyDetected(Event):
     ``"watchdog_stall"`` (regulated thread stopped testpointing),
     ``"sink_failure"`` (a telemetry sink raised),
     ``"metric_error"`` (a counter read produced unusable values).
+    The daemon (:mod:`repro.daemon.server`) adds: ``"protocol_error"``
+    (handshake or frame violated the wire protocol),
+    ``"protocol_mismatch"`` (peer spoke an unsupported version),
+    ``"bad_frame"`` (damaged inbound line skipped),
+    ``"peer_unresponsive"`` (worker silent past the heartbeat timeout),
+    ``"worker_lost"`` (registered worker's connection dropped),
+    ``"worker_exit"`` (supervised worker subprocess died),
+    ``"worker_spawn_failed"`` (worker subprocess could not start),
+    ``"journal_torn"`` (write-ahead journal ended in a damaged record),
+    ``"restore_mismatch"`` (restored state digest differed from the
+    journaled digest).
     """
 
     kind: ClassVar[str] = "anomaly"
@@ -331,6 +345,20 @@ class RecoveryAction(Event):
     retries were exhausted), ``"watchdog_release"`` (stalled thread evicted
     so siblings run), ``"slot_released"`` (crashed thread's execution slot
     reclaimed), ``"sink_disabled"`` (failing telemetry sink isolated).
+    The daemon (:mod:`repro.daemon.server`) adds: ``"retransmit_absorbed"``
+    (dropped request recovered by the client's retransmit),
+    ``"resend_served"`` (retransmitted request answered from the decision
+    cache), ``"duplicate_discarded"`` (client dropped a duplicated reply),
+    ``"bad_frame_skipped"`` (client skipped a truncated frame),
+    ``"delayed_delivery"`` (delayed frame still served),
+    ``"hang_recovered"`` (daemon resumed after going silent),
+    ``"worker_evicted"`` (unresponsive worker disconnected, slot freed),
+    ``"worker_restarted"`` (dead worker subprocess respawned),
+    ``"reconnect_rebound"`` (reconnecting worker displaced its old
+    session), ``"state_restored"`` (calibration restored from
+    journal/snapshot at startup), ``"journal_truncated"`` (torn journal
+    tail quarantined, valid prefix kept), ``"drain_flush"`` (graceful
+    shutdown persisted all targets).
     """
 
     kind: ClassVar[str] = "recovery"

@@ -28,6 +28,7 @@ Targets persist across restarts when constructed with an ``app_id`` and a
 
 from __future__ import annotations
 
+import signal
 import threading
 import time
 from typing import TYPE_CHECKING, Sequence
@@ -78,6 +79,9 @@ class RealTimeRegulator:
         self._last_save = time.monotonic()
         self._save_interval = 300.0
         self._closed = False
+        #: Signals whose handlers :meth:`install_signal_handlers` replaced,
+        #: mapped to the handlers they displaced (for chaining/uninstall).
+        self._previous_handlers: dict[int, object] = {}
         #: Persistence failures absorbed (load fell back to bootstrap,
         #: save skipped); regulation is never interrupted by storage.
         self.persistence_errors = 0
@@ -168,10 +172,89 @@ class RealTimeRegulator:
 
     def close(self) -> None:
         """Persist targets and unblock all waiting threads."""
+        self.uninstall_signal_handlers()
         with self._cond:
             self._save_locked()
             self._closed = True
             self._cond.notify_all()
+
+    def install_signal_handlers(
+        self, signals: Sequence[int] = (signal.SIGTERM, signal.SIGINT)
+    ) -> bool:
+        """Flush pending target saves on termination signals.
+
+        A process killed by SIGTERM/SIGINT between periodic saves would
+        otherwise lose up to ``save_interval`` seconds of calibration.
+        The installed handler calls :meth:`close` (which persists and
+        unblocks every waiting thread) and then **chains** to whatever
+        handler was installed before, so embedding applications keep
+        their own shutdown behavior.
+
+        Returns ``False`` (installing nothing) when called off the main
+        thread, where CPython forbids ``signal.signal``.  Idempotent;
+        undone by :meth:`uninstall_signal_handlers` (which :meth:`close`
+        calls automatically).
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return False
+        for signum in signals:
+            if signum in self._previous_handlers:
+                continue
+
+            def _handler(received: int, frame: object) -> None:
+                # Snapshot the displaced handler first: _signal_close
+                # uninstalls, which clears the chaining table.
+                previous = self._previous_handlers.get(received)
+                self._signal_close()
+                if callable(previous):
+                    previous(received, frame)
+                elif previous == signal.SIG_DFL:
+                    # Re-deliver with the default disposition so the exit
+                    # status still says "killed by signal".
+                    signal.signal(received, signal.SIG_DFL)
+                    signal.raise_signal(received)
+
+            try:
+                self._previous_handlers[signum] = signal.signal(signum, _handler)
+            except (OSError, ValueError):
+                continue
+        return True
+
+    def _signal_close(self) -> None:
+        """:meth:`close`, hardened for a signal-handler context.
+
+        A handler runs on the main thread, possibly *interrupting* code
+        that holds this regulator's lock — blocking on it forever would
+        deadlock the process inside a termination handler.  Bounded
+        acquire: normally the save flushes exactly as :meth:`close` does;
+        if the lock cannot be taken in time, the regulator is still
+        marked closed (unblocking waiters at their next poll) and only
+        the final snapshot is sacrificed.
+        """
+        self.uninstall_signal_handlers()
+        acquired = self._lock.acquire(timeout=2.0)
+        try:
+            if acquired:
+                self._save_locked()
+            self._closed = True
+            if acquired:
+                self._cond.notify_all()
+        finally:
+            if acquired:
+                self._lock.release()
+
+    def uninstall_signal_handlers(self) -> None:
+        """Restore the handlers :meth:`install_signal_handlers` displaced."""
+        if not self._previous_handlers:
+            return
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum, previous in list(self._previous_handlers.items()):
+            try:
+                signal.signal(signum, previous)  # type: ignore[arg-type]
+            except (OSError, TypeError, ValueError):
+                pass
+            del self._previous_handlers[signum]
 
     def __enter__(self) -> "RealTimeRegulator":
         return self

@@ -1,0 +1,135 @@
+"""IPC chaos plans, armed-fault queues, and fault/recovery trace matching."""
+
+import pytest
+
+from repro.core.errors import FaultError
+from repro.daemon.chaos import (
+    RECOVERY_ACTIONS,
+    SCENARIO_KINDS,
+    ArmedFault,
+    ChaosState,
+    ipc_plan,
+)
+from repro.daemon.soak import match_faults
+from repro.faults.plan import IPC_FAULTS, FaultPlan, FaultSpec
+from repro.obs.events import FaultInjected, RecoveryAction
+
+
+class TestPlans:
+    def test_same_seed_same_plan(self):
+        one = ipc_plan("ipc-chaos", seed=7, duration=60.0, targets=["g1", "c1"])
+        two = ipc_plan("ipc-chaos", seed=7, duration=60.0, targets=["g1", "c1"])
+        assert one.specs == two.specs
+
+    def test_different_seeds_differ(self):
+        one = ipc_plan("ipc-chaos", seed=1, duration=60.0, targets=["g1", "c1"])
+        two = ipc_plan("ipc-chaos", seed=2, duration=60.0, targets=["g1", "c1"])
+        assert one.specs != two.specs
+
+    def test_kinds_and_targets_drawn_from_scenario(self):
+        plan = ipc_plan("peer-hang", seed=3, duration=40.0, targets=["g1"])
+        assert plan.specs
+        assert {s.kind for s in plan} <= set(SCENARIO_KINDS["peer-hang"])
+        assert {s.target for s in plan} == {"g1"}
+
+    def test_count_scales_with_duration(self):
+        assert len(ipc_plan("ipc-chaos", 1, 64.0, ["g1"])) == 8
+        assert len(ipc_plan("ipc-chaos", 1, 1.0, ["g1"])) == 2  # floor
+
+    def test_daemon_crash_plans_nothing(self):
+        assert len(ipc_plan("daemon-crash", seed=1, duration=60.0, targets=["g1"])) == 0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(FaultError, match="gremlins"):
+            ipc_plan("gremlins", seed=1, duration=60.0, targets=["g1"])
+
+
+class TestVocabulary:
+    def test_every_ipc_fault_has_recovery_actions(self):
+        assert set(RECOVERY_ACTIONS) == set(IPC_FAULTS)
+        assert all(RECOVERY_ACTIONS.values())
+
+    def test_every_scenario_kind_is_an_ipc_fault(self):
+        for kinds in SCENARIO_KINDS.values():
+            assert set(kinds) <= IPC_FAULTS
+
+
+class TestChaosState:
+    def test_non_ipc_kind_rejected(self):
+        with pytest.raises(FaultError):
+            ArmedFault("clock_jump", "g1")
+
+    def test_take_is_fifo_within_kind(self):
+        chaos = ChaosState()
+        first = chaos.arm("msg_drop", "g1")
+        second = chaos.arm("msg_drop", "g1")
+        assert chaos.take("g1", ("msg_drop",)) is first
+        assert chaos.take("g1", ("msg_drop",)) is second
+        assert chaos.take("g1", ("msg_drop",)) is None
+
+    def test_take_skips_other_kinds_preserving_order(self):
+        chaos = ChaosState()
+        hang = chaos.arm("peer_hang", "g1", param=2.0)
+        drop = chaos.arm("msg_drop", "g1")
+        assert chaos.take("g1", ("msg_drop", "msg_dup")) is drop
+        assert chaos.pending("g1") == (hang,)
+
+    def test_targets_are_isolated(self):
+        chaos = ChaosState()
+        chaos.arm("msg_dup", "g1")
+        assert chaos.take("c1", ("msg_dup",)) is None
+        assert chaos.take("g1", ("msg_dup",)) is not None
+
+    def test_arm_plan_schedules_in_time_order(self):
+        plan = ipc_plan("ipc-chaos", seed=5, duration=32.0, targets=["g1"])
+        pairs = ChaosState().arm_plan(plan)
+        assert [at for at, _ in pairs] == sorted(at for at, _ in pairs)
+        assert len(pairs) == len(plan)
+
+    def test_arm_plan_rejects_non_ipc_plans(self):
+        plan = FaultPlan([FaultSpec(at=1.0, kind="clock_jump", target="w1", param=5.0)])
+        with pytest.raises(FaultError, match="non-IPC"):
+            ChaosState().arm_plan(plan)
+
+
+def fault(t, kind, target):
+    return FaultInjected(t=t, src="daemon", fault=kind, target=target, param=0.0)
+
+
+def recovery(t, action, detail):
+    return RecoveryAction(t=t, src="daemon", action=action, detail=detail)
+
+
+class TestMatchFaults:
+    def test_fault_matched_by_later_allowed_recovery(self):
+        events = [fault(1.0, "msg_drop", "g1"), recovery(1.5, "retransmit_absorbed", "g1")]
+        injected, unmatched = match_faults(events)
+        assert len(injected) == 1 and not unmatched
+
+    def test_recovery_before_fault_does_not_count(self):
+        events = [recovery(0.5, "retransmit_absorbed", "g1"), fault(1.0, "msg_drop", "g1")]
+        _, unmatched = match_faults(events)
+        assert len(unmatched) == 1
+
+    def test_each_recovery_satisfies_one_fault(self):
+        events = [
+            fault(1.0, "msg_drop", "g1"),
+            fault(2.0, "msg_drop", "g1"),
+            recovery(3.0, "resend_served", "g1"),
+        ]
+        _, unmatched = match_faults(events)
+        assert len(unmatched) == 1
+
+    def test_wrong_target_does_not_match(self):
+        events = [fault(1.0, "msg_dup", "g1"), recovery(2.0, "duplicate_discarded", "c1")]
+        _, unmatched = match_faults(events)
+        assert len(unmatched) == 1
+
+    def test_disallowed_action_does_not_match(self):
+        events = [fault(1.0, "msg_delay", "g1"), recovery(2.0, "resend_served", "g1")]
+        _, unmatched = match_faults(events)
+        assert len(unmatched) == 1
+
+    def test_daemon_kill_is_excluded_from_trace_matching(self):
+        injected, unmatched = match_faults([fault(1.0, "daemon_kill", "")])
+        assert injected == [] and unmatched == []

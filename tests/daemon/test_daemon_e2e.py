@@ -1,0 +1,219 @@
+"""End-to-end daemon tests: live Unix socket, real client, injected faults.
+
+The daemon runs on an event loop in a background thread; the tests speak
+to it exactly the way workers and operators do — through
+:class:`DaemonClient` and :class:`ControlClient` over the socket.  Chaos
+is armed through the control protocol's ``inject`` op so the tests cross
+no thread boundary into the daemon's internals.
+"""
+
+import asyncio
+import shutil
+import socket
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.daemon.client import ControlClient, DaemonClient
+from repro.daemon.journal import StateJournal, state_digest
+from repro.daemon.protocol import decode_frame, encode_frame
+from repro.daemon.server import RegulatorDaemon
+from repro.daemon.soak import match_faults, soak_config
+from repro.obs.events import FaultInjected, RecoveryAction
+from repro.obs.sinks import MemorySink
+from repro.obs.telemetry import Telemetry
+
+
+@pytest.fixture
+def rundir():
+    # Unix socket paths are capped near 108 bytes; pytest's tmp_path can
+    # blow that, so bind under /tmp.
+    path = Path(tempfile.mkdtemp(prefix="reprod-"))
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+class LiveDaemon:
+    """One daemon serving on a background event-loop thread."""
+
+    def __init__(self, rundir: Path, **kwargs) -> None:
+        self.socket_path = str(rundir / "daemon.sock")
+        self.sink = MemorySink()
+        kwargs.setdefault("config", soak_config())
+        kwargs.setdefault("heartbeat_interval", 0.2)
+        kwargs.setdefault("telemetry", Telemetry(sink=self.sink, label="daemon"))
+        self.daemon = RegulatorDaemon(self.socket_path, **kwargs)
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> "LiveDaemon":
+        ready = threading.Event()  # duck-types asyncio.Event for run()
+        self._thread = threading.Thread(
+            target=asyncio.run, args=(self.daemon.run(ready=ready),), daemon=True
+        )
+        self._thread.start()
+        assert ready.wait(10.0), "daemon never opened its socket"
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        try:
+            with ControlClient(self.socket_path, connect_timeout=2.0) as control:
+                control.request("stop")
+        except OSError:
+            pass  # already drained
+        assert self._thread is not None
+        self._thread.join(10.0)
+        assert not self._thread.is_alive(), "daemon did not drain"
+
+    def inject(self, kind: str, target: str, param: float = 0.0) -> None:
+        with ControlClient(self.socket_path) as control:
+            reply = control.request("inject", kind=kind, target=target, param=param)
+        assert reply["op"] == "ok", reply
+
+    def events(self):
+        return list(self.sink.events)
+
+
+class TestRoundTrip:
+    def test_testpoints_status_and_drain(self, rundir):
+        with LiveDaemon(rundir) as live:
+            with DaemonClient(live.socket_path, "w1") as client:
+                done = 0
+                for _ in range(3):
+                    done += 1
+                    reply = client.testpoint([float(done)])
+                    assert reply["op"] == "decision"
+                    assert reply["processed"] in (True, False)
+                with ControlClient(live.socket_path) as control:
+                    status = control.request("status")
+                assert status["counters"]["testpoints"] >= 3
+                assert "w1" in status["workers"]
+
+    def test_protocol_mismatch_is_rejected(self, rundir):
+        with LiveDaemon(rundir) as live:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as raw:
+                raw.settimeout(5.0)
+                raw.connect(live.socket_path)
+                raw.sendall(encode_frame({"op": "hello", "proto": 99, "role": "worker"}))
+                reply = decode_frame(raw.makefile("rb").readline().rstrip(b"\n"))
+            assert reply["op"] == "reject"
+            assert "version" in reply["reason"]
+
+    def test_vanished_worker_releases_its_slot(self, rundir):
+        with LiveDaemon(rundir) as live:
+            client = DaemonClient(live.socket_path, "w1")
+            client.connect()
+            client.testpoint([1.0])
+            client._sock.close()  # crash, not a polite bye
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                with ControlClient(live.socket_path) as control:
+                    if "w1" not in control.request("status")["workers"]:
+                        break
+                time.sleep(0.05)
+            else:
+                pytest.fail("dead worker never cleaned up")
+        actions = [e.action for e in live.events() if isinstance(e, RecoveryAction)]
+        assert "slot_released" in actions
+
+
+class TestChaosAbsorption:
+    def test_dropped_request_recovered_by_retransmit(self, rundir):
+        with LiveDaemon(rundir) as live:
+            with DaemonClient(
+                live.socket_path, "w1", message_timeout=0.3
+            ) as client:
+                client.testpoint([1.0])
+                live.inject("msg_drop", "w1")
+                reply = client.testpoint([2.0])
+                assert reply["op"] == "decision"
+                assert client.stats["resends"] >= 1
+                client.testpoint([3.0])
+        events = live.events()
+        injected, unmatched = match_faults(events)
+        assert [f.fault for f in injected] == ["msg_drop"]
+        assert not unmatched
+
+    def test_duplicate_and_torn_replies_absorbed(self, rundir):
+        with LiveDaemon(rundir) as live:
+            with DaemonClient(
+                live.socket_path, "w1", message_timeout=0.3
+            ) as client:
+                client.testpoint([1.0])
+                live.inject("msg_dup", "w1")
+                live.inject("frame_truncate", "w1")
+                for done in range(2, 8):
+                    client.testpoint([float(done)])
+                assert client.stats["dups"] >= 1
+                assert client.stats["bad_frames"] >= 1
+        events = live.events()
+        injected, unmatched = match_faults(events)
+        assert {f.fault for f in injected} == {"msg_dup", "frame_truncate"}
+        assert not unmatched
+
+    def test_peer_hang_recovered(self, rundir):
+        with LiveDaemon(rundir) as live:
+            with DaemonClient(
+                live.socket_path, "w1", message_timeout=0.3
+            ) as client:
+                client.testpoint([1.0])
+                live.inject("peer_hang", "w1", param=0.8)
+                client.testpoint([2.0])
+                client.testpoint([3.0])
+        events = live.events()
+        faults = [e for e in events if isinstance(e, FaultInjected)]
+        assert [f.fault for f in faults] == ["peer_hang"]
+        _, unmatched = match_faults(events)
+        assert not unmatched
+
+
+class TestPersistence:
+    def test_drain_snapshots_and_restart_restores_bit_identically(self, rundir):
+        state_dir = rundir / "state"
+        first = LiveDaemon(
+            rundir,
+            state_dir=str(state_dir),
+            journal_interval=0.05,
+            save_interval=3600.0,
+            fsync_journal=False,
+        )
+        with first as live:
+            with DaemonClient(live.socket_path, "w1", app_id="app") as client:
+                for done in range(1, 9):
+                    client.testpoint([float(done) * 3])
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    with ControlClient(live.socket_path) as control:
+                        if control.request("status")["counters"]["journal_appends"]:
+                            break
+                    time.sleep(0.05)
+        # The drain compacted the journal into an atomic snapshot.
+        from repro.core.persistence import TargetStore
+
+        snapshot = TargetStore(state_dir, strict=False).load("app")
+        assert snapshot is not None
+        second = LiveDaemon(rundir, state_dir=str(state_dir))
+        with second as live:
+            with DaemonClient(live.socket_path, "w1", app_id="app") as client:
+                client.ping()
+                with ControlClient(live.socket_path) as control:
+                    digests = control.request("digest")
+        assert digests["restored"]["app"] == state_digest(snapshot)
+        assert digests["current"]["app"] == digests["restored"]["app"]
+        actions = [e.action for e in second.events() if isinstance(e, RecoveryAction)]
+        assert "state_restored" in actions
+
+    def test_journal_tier_outranks_snapshot_on_restore(self, rundir):
+        state_dir = rundir / "state"
+        journaled = {"schema": 1, "sets": {}}
+        with StateJournal(state_dir) as journal:
+            record = journal.append("app", journaled)
+        daemon = LiveDaemon(rundir, state_dir=str(state_dir))
+        with daemon as live:
+            with DaemonClient(live.socket_path, "w1", app_id="app") as client:
+                client.ping()
+                with ControlClient(live.socket_path) as control:
+                    digests = control.request("digest")
+        assert digests["journal"]["app"] == record.digest

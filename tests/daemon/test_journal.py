@@ -1,0 +1,113 @@
+"""Crash-safety contract of the calibration write-ahead journal."""
+
+import json
+
+from repro.daemon.journal import JOURNAL_NAME, StateJournal, state_digest
+
+STATE_A = {"sets": {"0": {"arity": 1, "calibration": {"rate": 100.0}}}}
+STATE_B = {"sets": {"0": {"arity": 1, "calibration": {"rate": 250.0}}}}
+
+
+class TestDigest:
+    def test_key_order_invariant(self):
+        assert state_digest({"a": 1, "b": [1, 2]}) == state_digest({"b": [1, 2], "a": 1})
+
+    def test_distinct_states_distinct_digests(self):
+        assert state_digest(STATE_A) != state_digest(STATE_B)
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        with StateJournal(tmp_path) as journal:
+            record = journal.append("app", STATE_A)
+        replayed = StateJournal(tmp_path).replay()
+        assert [r.state for r in replayed] == [STATE_A]
+        assert replayed[0].digest == record.digest == state_digest(STATE_A)
+
+    def test_latest_state_per_app_wins(self, tmp_path):
+        with StateJournal(tmp_path) as journal:
+            journal.append("app", STATE_A)
+            journal.append("other", STATE_A)
+            journal.append("app", STATE_B)
+        latest = StateJournal(tmp_path).latest_states()
+        assert latest["app"].state == STATE_B
+        assert latest["other"].state == STATE_A
+
+    def test_missing_journal_is_empty_history(self, tmp_path):
+        journal = StateJournal(tmp_path)
+        assert journal.replay() == []
+        assert journal.truncated_tail is False
+
+    def test_seq_continues_across_restart(self, tmp_path):
+        with StateJournal(tmp_path) as journal:
+            first = journal.append("app", STATE_A)
+        reopened = StateJournal(tmp_path)
+        reopened.replay()
+        second = reopened.append("app", STATE_B)
+        reopened.close()
+        assert second.seq > first.seq
+
+
+class TestTornTail:
+    def test_torn_append_keeps_valid_prefix(self, tmp_path):
+        with StateJournal(tmp_path) as journal:
+            journal.append("app", STATE_A)
+        path = tmp_path / JOURNAL_NAME
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "app_id": "app", "sta')  # torn mid-write
+        journal = StateJournal(tmp_path)
+        replayed = journal.replay()
+        assert [r.state for r in replayed] == [STATE_A]
+        assert journal.truncated_tail is True
+
+    def test_damaged_journal_is_quarantined(self, tmp_path):
+        with StateJournal(tmp_path) as journal:
+            journal.append("app", STATE_A)
+        path = tmp_path / JOURNAL_NAME
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+        StateJournal(tmp_path).replay()
+        assert not path.exists()
+        assert (tmp_path / (JOURNAL_NAME + ".corrupt")).exists()
+
+    def test_tampered_state_fails_checksum(self, tmp_path):
+        with StateJournal(tmp_path) as journal:
+            journal.append("app", STATE_A)
+            journal.append("app", STATE_B)
+        path = tmp_path / JOURNAL_NAME
+        lines = path.read_text(encoding="utf-8").splitlines()
+        record = json.loads(lines[1])
+        record["state"]["sets"]["0"]["calibration"]["rate"] = 1e9
+        lines[1] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        journal = StateJournal(tmp_path)
+        replayed = journal.replay()
+        # Replay stops at the tampered record; the honest prefix survives.
+        assert [r.state for r in replayed] == [STATE_A]
+        assert journal.truncated_tail is True
+
+    def test_everything_after_damage_is_distrusted(self, tmp_path):
+        with StateJournal(tmp_path) as journal:
+            journal.append("app", STATE_A)
+        path = tmp_path / JOURNAL_NAME
+        good_line = path.read_text(encoding="utf-8")
+        path.write_text("not json\n" + good_line, encoding="utf-8")
+        assert StateJournal(tmp_path).replay() == []
+
+
+class TestCompact:
+    def test_compact_empties_history(self, tmp_path):
+        journal = StateJournal(tmp_path)
+        journal.append("app", STATE_A)
+        journal.compact()
+        assert not (tmp_path / JOURNAL_NAME).exists()
+        assert StateJournal(tmp_path).replay() == []
+
+    def test_append_after_compact_works(self, tmp_path):
+        journal = StateJournal(tmp_path)
+        journal.append("app", STATE_A)
+        journal.compact()
+        journal.append("app", STATE_B)
+        journal.close()
+        latest = StateJournal(tmp_path).latest_states()
+        assert latest["app"].state == STATE_B

@@ -1,0 +1,75 @@
+"""Wire-format contract of the daemon's JSON-line IPC protocol."""
+
+import json
+
+import pytest
+
+from repro.daemon.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    require_fields,
+)
+
+
+class TestEncode:
+    def test_round_trip(self):
+        frame = {"op": "testpoint", "seq": 7, "metrics": [1.0, 2.5]}
+        assert decode_frame(encode_frame(frame).rstrip(b"\n")) == frame
+
+    def test_newline_terminated_compact_json(self):
+        data = encode_frame({"op": "ping", "seq": 1})
+        assert data.endswith(b"\n")
+        assert b" " not in data  # compact separators
+        assert json.loads(data) == {"op": "ping", "seq": 1}
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"seq": 1})
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"op": "ping", "bad": object()})
+
+    def test_oversize_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"op": "ping", "pad": "x" * MAX_FRAME_BYTES})
+
+
+class TestDecode:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"\xff\xfe not utf8",
+            b"{truncated",
+            b"[1, 2, 3]",
+            b'"just a string"',
+            b'{"seq": 1}',
+            b'{"op": "gremlin"}',
+            b'{"op": 42}',
+        ],
+    )
+    def test_damaged_lines_raise(self, line):
+        with pytest.raises(ProtocolError):
+            decode_frame(line)
+
+    def test_oversize_rejected(self):
+        line = b'{"op": "ping", "pad": "' + b"x" * MAX_FRAME_BYTES + b'"}'
+        with pytest.raises(ProtocolError):
+            decode_frame(line)
+
+    def test_unknown_keys_survive(self):
+        # Additive protocol evolution: unknown fields are preserved, not fatal.
+        frame = decode_frame(b'{"op": "decision", "seq": 1, "future_field": true}')
+        assert frame["future_field"] is True
+
+
+class TestRequireFields:
+    def test_present_fields_pass(self):
+        require_fields({"op": "hello", "proto": PROTOCOL_VERSION}, "proto")
+
+    def test_missing_field_names_itself(self):
+        with pytest.raises(ProtocolError, match="'seq'"):
+            require_fields({"op": "testpoint"}, "seq", "metrics")

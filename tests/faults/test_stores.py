@@ -147,3 +147,74 @@ class TestFlakySink:
     def test_negative_threshold_rejected(self):
         with pytest.raises(FaultError):
             FlakySink(fail_after=-1)
+
+
+class TestInterleavedFaults:
+    """Interleaved save/load under injected disk faults and corruption.
+
+    The invariant under audit: a lenient load always returns either the
+    last successfully saved state or ``None`` right after a corruption
+    was quarantined — never a stale resurrection, never an exception —
+    and neither a failed save nor a quarantine ever destroys the last
+    good snapshot that preceded it.
+    """
+
+    def test_interleaving_preserves_last_good_snapshot(self, tmp_path):
+        import random
+
+        rng = random.Random(20260808)
+        store = FlakyTargetStore(
+            tmp_path,
+            strict=False,
+            save_retries=1,
+            save_backoff=0.0,
+            sleep=lambda s: None,
+        )
+        expected = None  # what a lenient load must return right now
+        last_good = None  # newest state a save fully committed
+        for step in range(160):
+            op = rng.choice(("save", "flaky_save", "failed_save", "corrupt", "load"))
+            state = {"step": step}
+            if op == "save":
+                store.save("app", state)
+                expected = last_good = state
+            elif op == "flaky_save":
+                store.fail_next(1)  # within the retry budget: save still lands
+                store.save("app", state)
+                expected = last_good = state
+            elif op == "failed_save":
+                store.fail_next(2)  # first attempt + the one retry: exhausted
+                with pytest.raises(PersistenceError):
+                    store.save("app", state)
+                # The atomic temp-and-rename discipline must leave the
+                # previous snapshot untouched.
+                assert store.load("app") == expected
+            elif op == "corrupt":
+                if store.path_for("app").exists():
+                    corrupt_target_file(
+                        store, "app", mode=rng.choice(("torn", "garbage"))
+                    )
+                    expected = None  # quarantined at the next load
+            else:
+                loaded = store.load("app")
+                assert loaded == expected
+                if expected is None and last_good is not None:
+                    # The damaged file was quarantined, not deleted: the
+                    # evidence survives for post-mortem.
+                    assert store.quarantine_path_for("app").exists()
+
+    def test_rebuild_after_quarantine_never_resurrects_corruption(self, tmp_path):
+        store = FlakyTargetStore(
+            tmp_path, strict=False, save_retries=0, sleep=lambda s: None
+        )
+        store.save("app", {"v": 1})
+        corrupt_target_file(store, "app", mode="garbage")
+        assert store.load("app") is None
+        store.fail_next(1)
+        with pytest.raises(PersistenceError):
+            store.save("app", {"v": 2})
+        # The failed rebuild must not have un-quarantined anything.
+        assert store.load("app") is None
+        store.save("app", {"v": 3})
+        assert store.load("app") == {"v": 3}
+        assert store.quarantine_path_for("app").exists()

@@ -331,3 +331,81 @@ class TestBeNiceCommand:
         finally:
             worker.kill()
             worker.wait()
+
+
+class TestFingerprintGate:
+    """`faults run` fails when a run drifts from its recorded fingerprint."""
+
+    @pytest.fixture
+    def fp_file(self, tmp_path, monkeypatch):
+        from repro.faults import scenarios
+
+        path = tmp_path / "fingerprints.json"
+        monkeypatch.setattr(scenarios, "FINGERPRINT_FILE", path)
+        return path
+
+    ARGS = ["--quiet", "faults", "run", "--scenario", "crash-mid-suspension", "--seed", "3"]
+
+    def test_record_then_verify_round_trips(self, fp_file):
+        assert main(self.ARGS + ["--record-fingerprints"]) == 0
+        recorded = json.loads(fp_file.read_text())
+        assert "crash-mid-suspension:3" in recorded
+        assert main(self.ARGS) == 0  # reproduces bit-for-bit
+
+    def test_unrecorded_run_still_passes(self, fp_file):
+        assert main(self.ARGS) == 0
+
+    def test_drift_from_recorded_fingerprint_fails(self, fp_file, capsys):
+        fp_file.write_text(json.dumps({"crash-mid-suspension:3": "deadbeefdeadbeef"}))
+        assert main(self.ARGS) == 1
+        assert "fingerprint mismatch" in capsys.readouterr().err
+
+    def test_json_output_carries_the_verdict(self, fp_file, capsys):
+        fp_file.write_text(json.dumps({"crash-mid-suspension:3": "deadbeefdeadbeef"}))
+        assert main(self.ARGS + ["--json"]) == 1
+        body = json.loads(capsys.readouterr().out)
+        assert body["fingerprint_ok"] is False
+        assert body["recorded_fingerprint"] == "deadbeefdeadbeef"
+
+
+class TestDaemonCli:
+    def test_serve_drains_on_duration(self, capsys):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory(prefix="reprod-") as rundir:
+            sock = str(Path(rundir) / "d.sock")
+            code = main(
+                ["daemon", "serve", "--socket", sock, "--duration", "0.5", "--fast"]
+            )
+            assert code == 0
+            assert "daemon drained" in capsys.readouterr().out
+
+    def test_status_against_dead_socket_fails(self, tmp_path, capsys):
+        code = main(["daemon", "status", "--socket", str(tmp_path / "nope.sock")])
+        assert code == 1
+        assert "cannot reach daemon" in capsys.readouterr().err
+
+    def test_soak_unknown_scenario_is_usage_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "--quiet", "daemon", "soak",
+                "--scenarios", "gremlins",
+                "--seeds", "1",
+                "--duration", "1",
+                "--workdir", str(tmp_path),
+            ]
+        )
+        assert code == 2
+        assert "unknown soak scenario" in capsys.readouterr().err
+
+    def test_bad_worker_spec_is_usage_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "daemon", "serve",
+                "--socket", str(tmp_path / "d.sock"),
+                "--workers", "nocolon",
+            ]
+        )
+        assert code == 2
+        assert "not KIND:NAME" in capsys.readouterr().err

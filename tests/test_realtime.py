@@ -133,3 +133,76 @@ class TestPersistence:
     def test_app_id_requires_store(self):
         with pytest.raises(ValueError):
             RealTimeRegulator(FAST_RT, app_id="x")
+
+
+class TestSignalHandlers:
+    """SIGTERM/SIGINT flush: close() always persists pending targets."""
+
+    @pytest.fixture
+    def probe_signal(self):
+        # A harmless signal the test can actually raise at itself.
+        import signal
+
+        original = signal.getsignal(signal.SIGUSR1)
+        yield signal.SIGUSR1
+        signal.signal(signal.SIGUSR1, original)
+
+    def test_signal_flushes_pending_save(self, tmp_path, probe_signal):
+        import signal
+
+        signal.signal(probe_signal, lambda *_: None)
+        store = TargetStore(tmp_path)
+        regulator = RealTimeRegulator(FAST_RT, app_id="sig-app", store=store)
+        regulator.testpoint([1.0])
+        assert store.load("sig-app") is None  # periodic save not due yet
+        assert regulator.install_signal_handlers(signals=(probe_signal,))
+        signal.raise_signal(probe_signal)
+        assert store.load("sig-app") is not None
+        with pytest.raises(RegulationStateError):
+            regulator.testpoint([2.0])
+
+    def test_previous_handler_is_chained(self, probe_signal):
+        import signal
+
+        seen = []
+        signal.signal(probe_signal, lambda signum, frame: seen.append(signum))
+        regulator = RealTimeRegulator(FAST_RT)
+        regulator.install_signal_handlers(signals=(probe_signal,))
+        signal.raise_signal(probe_signal)
+        assert seen == [probe_signal]
+
+    def test_install_is_idempotent_and_uninstall_restores(self, probe_signal):
+        import signal
+
+        def sentinel(signum, frame):  # pragma: no cover - never raised
+            pass
+
+        signal.signal(probe_signal, sentinel)
+        regulator = RealTimeRegulator(FAST_RT)
+        assert regulator.install_signal_handlers(signals=(probe_signal,))
+        assert regulator.install_signal_handlers(signals=(probe_signal,))
+        assert signal.getsignal(probe_signal) is not sentinel
+        regulator.uninstall_signal_handlers()
+        assert signal.getsignal(probe_signal) is sentinel
+
+    def test_close_uninstalls(self, probe_signal):
+        import signal
+
+        def sentinel(signum, frame):  # pragma: no cover - never raised
+            pass
+
+        signal.signal(probe_signal, sentinel)
+        regulator = RealTimeRegulator(FAST_RT)
+        regulator.install_signal_handlers(signals=(probe_signal,))
+        regulator.close()
+        assert signal.getsignal(probe_signal) is sentinel
+
+    def test_install_off_main_thread_refuses(self):
+        results = []
+        regulator = RealTimeRegulator(FAST_RT)
+        thread = threading.Thread(
+            target=lambda: results.append(regulator.install_signal_handlers())
+        )
+        thread.start()
+        thread.join()
+        assert results == [False]
