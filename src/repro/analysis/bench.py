@@ -88,9 +88,20 @@ BENCHMARKS: dict[str, BenchSpec] = {
 }
 
 #: In-process microbenchmarks (no trial fan-out; one line each for --list).
-MICROBENCHMARKS: dict[str, str] = {
+#: Values are ``(report factory path, summary)``; the factory is resolved
+#: lazily from :mod:`repro.analysis.hotpath` so ``--list`` stays cheap.
+MICROBENCHMARKS: dict[str, tuple[str, str]] = {
     "engine_hotpath": (
-        "event-core microbench: post/call chains + cancel churn (single core)"
+        "engine_hotpath_report",
+        "event-core microbench: post/call chains + cancel churn, heap vs wheel",
+    ),
+    "engine_wheel": (
+        "engine_wheel_report",
+        "dense-fleet microbench: 4096 concurrent timer chains, wheel vs heap",
+    ),
+    "engine_sharded": (
+        "engine_sharded_report",
+        "sharded-fleet bench: ChainMachine barrier rounds + digest parity",
     ),
 }
 
@@ -108,6 +119,7 @@ def run_benchmark(
     scale: float | None = None,
     use_cache: bool = True,
     cache_root: str | Path | None = None,
+    micro_args: dict | None = None,
 ) -> dict:
     """Run the named benchmark; return the ``BENCH_<name>.json`` payload.
 
@@ -115,13 +127,19 @@ def run_benchmark(
     as explicit > ``REPRO_TRIALS`` > 15.  With ``jobs > 1`` a serial
     reference pass also runs, yielding ``speedup_vs_serial`` and
     ``parity_ok`` (parallel results exactly equal to serial).
+
+    ``micro_args`` are keyword overrides for a microbenchmark's report
+    factory (e.g. ``{"rounds": 8000, "burst": 80}`` for the hotpath churn
+    knob, or ``{"shards": 4}`` for the sharded fleet); ignored for
+    scenario benchmarks.
     """
     from repro.experiments.scenarios import measured_trial
 
     if name in MICROBENCHMARKS:
-        from repro.analysis.hotpath import engine_hotpath_report
+        from repro.analysis import hotpath
 
-        return engine_hotpath_report()
+        factory = getattr(hotpath, MICROBENCHMARKS[name][0])
+        return factory(**(micro_args or {}))
     try:
         spec = BENCHMARKS[name]
     except KeyError:
@@ -248,7 +266,17 @@ def compare_reports(
 
     same_work = all(
         baseline.get(key) == fresh.get(key)
-        for key in ("trials", "jobs", "events", "rounds", "burst")
+        for key in (
+            "trials",
+            "jobs",
+            "events",
+            "rounds",
+            "burst",
+            "chains",
+            "hops",
+            "machines",
+            "shards",
+        )
     )
     base_wall = baseline.get("wall_time_s")
     fresh_wall = fresh.get("wall_time_s")

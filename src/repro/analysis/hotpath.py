@@ -1,21 +1,35 @@
-"""Event-core hot-path microbenchmark (shared by pytest and ``repro bench``).
+"""Event-core hot-path microbenchmarks (shared by pytest and ``repro bench``).
 
-The simulator's inner loop is ``Engine.post_after`` → heap → dispatch
+The simulator's inner loop is ``post_after`` → event store → dispatch
 (docs/performance.md).  This module drives that loop directly — no kernel,
-no devices — so its throughput numbers isolate the event core itself:
+no devices — so its throughput numbers isolate the event core itself.
+Every workload runs against a named core from
+:data:`repro.simos.kernel.ENGINE_CORES` (binary heap or hierarchical
+timing wheel), and each report compares the two side by side:
 
-* **post chain** — the allocation-free steady-state path: each fired
-  event posts the next with :meth:`Engine.post_after`.  This is the
-  headline ``events_per_sec`` the CI perf gate tracks.
-* **call chain** — the same chain through :meth:`Engine.call_after`,
-  measuring the cancellable-handle overhead (the rare path).
+* **post chain** (``engine_hotpath``) — the allocation-free steady-state
+  path: each fired event posts the next with ``post_after``.  A single
+  sparse chain keeps the store tiny, which is the heap's best case.
+* **call chain** — the same chain through ``call_after``, measuring the
+  cancellable-handle overhead (the rare path).
 * **cancel churn** — schedule-and-cancel bursts shaped like a long
-  regulator suspension, exercising handle cancellation and heap
-  compaction.
+  regulator suspension, exercising handle cancellation and threshold
+  compaction.  ``rounds``/``burst`` are the churn knobs ``repro bench
+  engine_hotpath --churn`` exposes.
+* **dense fleet** (``engine_wheel``) — thousands of concurrent timer
+  chains, the fleet-simulation regime where the store holds thousands of
+  live timers at once.  Here the heap pays ``O(log n)`` per op while the
+  wheel's slot insert/drain stays ``O(1)``; this report's headline is the
+  wheel's throughput, with the heap on the identical workload alongside.
+* **sharded fleet** (``engine_sharded``) — :class:`ChainMachine` fleets
+  through :class:`~repro.simos.shard.ShardedFleet` barrier rounds,
+  measuring aggregate events/s across worker processes and re-checking
+  the ``shards=1`` vs ``shards=N`` digest-parity contract every run.
 
 Every run re-checks the optimization's correctness guards: the O(1)
-``pending`` counter must equal a full heap scan, and compaction must have
-bounded the churn heap.  A fast-but-wrong engine fails here, not in CI.
+``pending`` counter must equal a full store scan, and compaction must
+have bounded the churn store.  A fast-but-wrong engine fails here, not
+in CI.
 """
 
 from __future__ import annotations
@@ -25,22 +39,49 @@ import time
 from repro.simos.engine import Engine
 
 __all__ = [
+    "live_entries",
     "live_heap_entries",
+    "stored_entries",
     "run_engine_hotpath",
+    "run_dense_fleet",
     "engine_hotpath_report",
+    "engine_wheel_report",
+    "engine_sharded_report",
 ]
 
 
-def live_heap_entries(engine: Engine) -> int:
-    """Count live heap entries the slow way (plain posts + uncancelled handles)."""
-    return sum(
-        1 for h in engine._heap if h.__class__ is tuple or not h.cancelled
-    )
+def live_entries(engine) -> int:
+    """Count live stored events the slow way, for either core.
+
+    Heap cores scan ``_heap``; wheel cores walk every band via
+    ``_entries()``.  Either way: plain posts plus uncancelled handles.
+    """
+    heap = getattr(engine, "_heap", None)
+    entries = heap if heap is not None else engine._entries()
+    return sum(1 for h in entries if h.__class__ is tuple or not h.cancelled)
 
 
-def _run_post_chain(events: int) -> Engine:
+#: Historical name from when the heap was the only core.
+live_heap_entries = live_entries
+
+
+def stored_entries(engine) -> int:
+    """Total stored entries (live + stale), for either core."""
+    heap = getattr(engine, "_heap", None)
+    if heap is not None:
+        return len(heap)
+    return sum(1 for _ in engine._entries())
+
+
+def _make(engine_core: str):
+    from repro.simos.kernel import make_engine
+
+    return make_engine(engine_core)
+
+
+def _run_post_chain(events: int, engine_core: str = "heap"):
     """Fire a chain of handle-free posts: the steady-state dispatch path."""
-    engine = Engine()
+    engine = _make(engine_core)
     post_after = engine.post_after
 
     def tick(n):
@@ -52,9 +93,9 @@ def _run_post_chain(events: int) -> Engine:
     return engine
 
 
-def _run_call_chain(events: int) -> Engine:
+def _run_call_chain(events: int, engine_core: str = "heap"):
     """The same chain through cancellable handles (the rare path)."""
-    engine = Engine()
+    engine = _make(engine_core)
 
     def tick(n):
         if n > 0:
@@ -65,14 +106,14 @@ def _run_call_chain(events: int) -> Engine:
     return engine
 
 
-def _run_cancel_churn(rounds: int, burst: int) -> Engine:
+def _run_cancel_churn(rounds: int, burst: int, engine_core: str = "heap"):
     """Schedule-and-cancel churn shaped like regulator suspensions.
 
     Each round schedules ``burst`` timers, cancels all but one, and lets
     the survivor fire — cancelled entries continuously dominate fresh
-    pushes, so the engine's compaction path runs many times.
+    pushes, so the engine's threshold compaction path runs many times.
     """
-    engine = Engine()
+    engine = _make(engine_core)
     for _ in range(rounds):
         handles = [engine.call_after(float(i + 1), lambda: None) for i in range(burst)]
         for handle in handles[1:]:
@@ -81,24 +122,55 @@ def _run_cancel_churn(rounds: int, burst: int) -> Engine:
     return engine
 
 
+def run_dense_fleet(
+    chains: int = 4096, hops: int = 96, engine_core: str = "heap", delay: float = 1.0
+) -> float:
+    """Run ``chains`` concurrent timer chains; return events/s.
+
+    All chains start together and re-arm with the same ``delay``, so the
+    store holds ``chains`` live timers for the whole run — the regime a
+    fleet of simulated machines produces, and the one the timing wheel
+    is built for.
+    """
+    engine = _make(engine_core)
+    post_after = engine.post_after
+
+    def tick(n):
+        if n:
+            post_after(delay, tick, n - 1)
+
+    for _ in range(chains):
+        post_after(0.001, tick, hops)
+    events = chains * (hops + 1)
+    start = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - start
+    assert engine.events_fired == events
+    assert engine.pending == 0
+    return events / wall
+
+
 def run_engine_hotpath(
-    events: int = 30_000, rounds: int = 2_000, burst: int = 40
+    events: int = 30_000,
+    rounds: int = 2_000,
+    burst: int = 40,
+    engine_core: str = "heap",
 ) -> dict[str, float]:
-    """Run the three workloads; return throughput stats.
+    """Run the three chain/churn workloads; return throughput stats.
 
     Raises ``AssertionError`` if any correctness guard fails — the
     counters and compaction must be invisible except for speed.
     """
     start = time.perf_counter()
-    posted = _run_post_chain(events)
+    posted = _run_post_chain(events, engine_core)
     post_wall = time.perf_counter() - start
 
     start = time.perf_counter()
-    called = _run_call_chain(events)
+    called = _run_call_chain(events, engine_core)
     call_wall = time.perf_counter() - start
 
     start = time.perf_counter()
-    churn = _run_cancel_churn(rounds, burst)
+    churn = _run_cancel_churn(rounds, burst, engine_core)
     churn_wall = time.perf_counter() - start
     ops = rounds * burst  # schedules; most are then cancelled
 
@@ -107,15 +179,15 @@ def run_engine_hotpath(
     assert churn.events_fired == rounds
     # The O(1) counter must agree with a full scan after all that churn.
     for engine in (posted, called, churn):
-        assert engine.pending == live_heap_entries(engine)
-    # Compaction must have kept the heap from retaining the churn.
-    assert len(churn._heap) < ops / 4
+        assert engine.pending == live_entries(engine)
+    # Compaction must have kept the store from retaining the churn.
+    assert stored_entries(churn) < ops / 4
 
     return {
         "post_events_per_sec": events / post_wall,
         "call_events_per_sec": events / call_wall,
         "churn_ops_per_sec": ops / churn_wall,
-        "churn_heap_len": float(len(churn._heap)),
+        "stored_churn_entries": float(stored_entries(churn)),
         "wall_time_s": post_wall + call_wall + churn_wall,
     }
 
@@ -125,19 +197,28 @@ def engine_hotpath_report(
 ) -> dict:
     """Best-of-``repeats`` stats as a ``BENCH_engine_hotpath.json`` payload.
 
-    ``events_per_sec`` (the key the CI perf gate compares) is the post
-    chain — the allocation-free path steady-state simulation dispatches
-    through.
+    ``events_per_sec`` (the key the CI perf gate compares) is the heap
+    core's post chain — the allocation-free path steady-state simulation
+    dispatches through.  The wheel core runs the identical workloads and
+    its numbers ride along (``wheel_*``) so both cores stay visible in
+    one report; the wheel's own gated headline is ``engine_wheel``.
     """
     from repro.analysis.parallel import code_fingerprint
 
     best: dict[str, float] = {}
+    wall = 0.0
     for _ in range(max(1, repeats)):
-        stats = run_engine_hotpath(events=events, rounds=rounds, burst=burst)
-        for key, value in stats.items():
-            if key in ("churn_heap_len", "wall_time_s"):
-                continue
-            best[key] = max(best.get(key, 0.0), value)
+        for core in ("heap", "wheel"):
+            stats = run_engine_hotpath(
+                events=events, rounds=rounds, burst=burst, engine_core=core
+            )
+            wall += stats["wall_time_s"]
+            prefix = "" if core == "heap" else "wheel_"
+            for key, value in stats.items():
+                if key in ("stored_churn_entries", "wall_time_s"):
+                    continue
+                name = prefix + key
+                best[name] = max(best.get(name, 0.0), value)
     return {
         "name": "engine_hotpath",
         "kind": "micro",
@@ -149,6 +230,113 @@ def engine_hotpath_report(
         "post_events_per_sec": round(best["post_events_per_sec"]),
         "call_events_per_sec": round(best["call_events_per_sec"]),
         "churn_ops_per_sec": round(best["churn_ops_per_sec"]),
-        "wall_time_s": round(stats["wall_time_s"], 4),
+        "wheel_post_events_per_sec": round(best["wheel_post_events_per_sec"]),
+        "wheel_call_events_per_sec": round(best["wheel_call_events_per_sec"]),
+        "wheel_churn_ops_per_sec": round(best["wheel_churn_ops_per_sec"]),
+        "wall_time_s": round(wall, 4),
+        "code_fingerprint": code_fingerprint(),
+    }
+
+
+def engine_wheel_report(
+    chains: int = 4096, hops: int = 96, repeats: int = 5
+) -> dict:
+    """Dense-fleet throughput, wheel vs heap, as ``BENCH_engine_wheel.json``.
+
+    ``events_per_sec`` is the wheel core on the dense workload — the
+    number the CI perf gate holds against the committed baseline.  The
+    heap runs the identical workload for the side-by-side
+    ``speedup_vs_heap`` (the heap gets fewer repeats; it is the slow
+    reference, not the gated subject).
+    """
+    from repro.analysis.parallel import code_fingerprint
+
+    start = time.perf_counter()
+    wheel = max(
+        run_dense_fleet(chains, hops, "wheel") for _ in range(max(1, repeats))
+    )
+    heap = max(
+        run_dense_fleet(chains, hops, "heap")
+        for _ in range(max(1, min(repeats, 3)))
+    )
+    wall = time.perf_counter() - start
+    return {
+        "name": "engine_wheel",
+        "kind": "micro",
+        "chains": chains,
+        "hops": hops,
+        "repeats": repeats,
+        "events_per_sec": round(wheel),
+        "heap_events_per_sec": round(heap),
+        "speedup_vs_heap": round(wheel / heap, 2),
+        "wall_time_s": round(wall, 4),
+        "code_fingerprint": code_fingerprint(),
+    }
+
+
+def engine_sharded_report(
+    machines: int = 8,
+    shards: int | None = None,
+    rounds: int = 8,
+    chains: int = 512,
+    seed: int = 0,
+    repeats: int = 2,
+) -> dict:
+    """Sharded-fleet aggregate throughput as ``BENCH_engine_sharded.json``.
+
+    Runs the :class:`ChainMachine` fleet twice per repeat — inline
+    (``shards=1``) and sharded — and asserts the two digests match, so
+    the determinism contract is re-proven on every benchmark run, not
+    just in the test suite.  ``events_per_sec`` is the sharded layout's
+    aggregate dispatch rate (barrier exchange included, machine
+    construction excluded).
+    """
+    from functools import partial
+
+    from repro.analysis.parallel import code_fingerprint, resolve_shards
+    from repro.simos.shard import ChainMachine, ShardedFleet
+
+    shards = resolve_shards(shards, machines=machines, default=2)
+    make_machine = partial(ChainMachine, chains=chains)
+    serial_best = sharded_best = 0.0
+    digests: tuple[str, str] = ("", "")
+    events_fired = messages_routed = 0
+    start = time.perf_counter()
+    for _ in range(max(1, repeats)):
+        inline = ShardedFleet(machines, make_machine, shards=1, seed=seed)
+        t0 = time.perf_counter()
+        serial = inline.run(rounds)
+        serial_best = max(serial_best, serial.events_fired / (time.perf_counter() - t0))
+        with ShardedFleet(machines, make_machine, shards=shards, seed=seed) as fleet:
+            t0 = time.perf_counter()
+            result = fleet.run(rounds)
+            sharded_best = max(
+                sharded_best, result.events_fired / (time.perf_counter() - t0)
+            )
+        digests = (serial.digest, result.digest)
+        assert digests[0] == digests[1], (
+            f"shard digest parity broken: shards=1 {digests[0]} "
+            f"!= shards={shards} {digests[1]}"
+        )
+        events_fired = result.events_fired
+        messages_routed = result.messages_routed
+    wall = time.perf_counter() - start
+    return {
+        "name": "engine_sharded",
+        "kind": "micro",
+        "machines": machines,
+        "shards": shards,
+        "rounds": rounds,
+        "chains": chains,
+        "seed": seed,
+        "repeats": repeats,
+        "events_per_sec": round(sharded_best),
+        "serial_events_per_sec": round(serial_best),
+        "parallel_speedup": round(sharded_best / serial_best, 2),
+        "events_fired": events_fired,
+        "messages_routed": messages_routed,
+        "parity_ok": digests[0] == digests[1],
+        "digest": digests[0],
+        "wall_time_s": round(wall, 4),
         "code_fingerprint": code_fingerprint(),
     }

@@ -52,6 +52,7 @@ __all__ = [
     "TrialCache",
     "TrialEnvelope",
     "resolve_jobs",
+    "resolve_shards",
     "code_fingerprint",
     "config_fingerprint",
     "DEFAULT_CACHE_DIR",
@@ -82,6 +83,33 @@ def resolve_jobs(jobs: int | None = None, default: int | None = None) -> int:
         resolved = int(raw)
     if resolved < 1:
         raise ValueError(f"jobs must be >= 1, got {raw}")
+    return resolved
+
+
+def resolve_shards(
+    shards: int | None = None,
+    machines: int | None = None,
+    default: int | None = None,
+) -> int:
+    """Shard count for a :class:`repro.simos.shard.ShardedFleet` run.
+
+    Same precedence as :func:`resolve_jobs` — explicit ``shards``, else
+    ``REPRO_SHARDS``, else ``default`` (``None`` meaning all cores) — and
+    the same >= 1 strictness.  The count is additionally clamped to
+    ``machines`` when given: a shard with no machines would idle through
+    every barrier round.
+    """
+    raw: int | str | None = shards
+    if raw is None:
+        raw = os.environ.get("REPRO_SHARDS")
+    if raw is None:
+        resolved = default if default is not None else (os.cpu_count() or 1)
+    else:
+        resolved = int(raw)
+    if resolved < 1:
+        raise ValueError(f"shards must be >= 1, got {raw}")
+    if machines is not None:
+        resolved = min(resolved, machines)
     return resolved
 
 

@@ -516,12 +516,17 @@ def _cmd_bench(args: argparse.Namespace, out: Output) -> int:
     if args.list or args.name is None:
         for name, spec in sorted(BENCHMARKS.items()):
             out.result(f"  {name:<18} {spec.summary}")
-        for name, summary in sorted(MICROBENCHMARKS.items()):
+        for name, (_factory, summary) in sorted(MICROBENCHMARKS.items()):
             out.result(f"  {name:<18} {summary}")
         if args.name is None and not args.list:
             out.error("name a benchmark to run it (see the list above)")
             return 2
         return 0
+    micro_args: dict = {}
+    if args.churn is not None:
+        micro_args["rounds"], micro_args["burst"] = args.churn
+    if args.shards is not None:
+        micro_args["shards"] = args.shards
     try:
         report = run_benchmark(
             args.name,
@@ -529,19 +534,36 @@ def _cmd_bench(args: argparse.Namespace, out: Output) -> int:
             trials=args.trials,
             scale=args.scale,
             use_cache=not args.no_cache,
+            micro_args=micro_args or None,
         )
-    except ValueError as exc:
+    except (TypeError, ValueError) as exc:
         out.error(str(exc))
         return 2
     path = write_report(report, args.out)
     if report.get("kind") == "micro":
-        out.result(
-            f"{report['name']}: {report['events_per_sec']:,} events/s (post chain), "
-            f"{report['call_events_per_sec']:,} events/s (call chain), "
-            f"{report['churn_ops_per_sec']:,} schedules/s (cancel churn)"
-        )
+        if report["name"] == "engine_wheel":
+            out.result(
+                f"{report['name']}: {report['events_per_sec']:,} events/s (wheel), "
+                f"{report['heap_events_per_sec']:,} events/s (heap), "
+                f"{report['speedup_vs_heap']:.2f}x on "
+                f"{report['chains']}x{report['hops']} dense chains"
+            )
+        elif report["name"] == "engine_sharded":
+            out.result(
+                f"{report['name']}: {report['events_per_sec']:,} events/s aggregate "
+                f"@ shards={report['shards']}, "
+                f"{report['serial_events_per_sec']:,} events/s serial, "
+                f"digest parity {'ok' if report['parity_ok'] else 'FAILED'}"
+            )
+        else:
+            out.result(
+                f"{report['name']}: {report['events_per_sec']:,} events/s "
+                f"(heap post chain) vs {report['wheel_post_events_per_sec']:,} "
+                f"(wheel), {report['churn_ops_per_sec']:,} schedules/s "
+                f"(cancel churn) vs {report['wheel_churn_ops_per_sec']:,} (wheel)"
+            )
         out.say(f"  report -> {path}")
-        return 0
+        return 0 if report.get("parity_ok", True) is not False else 1
     out.result(
         f"{report['name']}: {report['trials']} trials @ jobs={report['jobs']} "
         f"in {report['wall_time_s']:.2f}s "
@@ -901,6 +923,14 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument(
         "--no-cache", action="store_true",
         help="do not store results into the trial cache",
+    )
+    bench.add_argument(
+        "--churn", type=int, nargs=2, metavar=("ROUNDS", "BURST"), default=None,
+        help="engine_hotpath only: cancel-churn rounds and burst size",
+    )
+    bench.add_argument(
+        "--shards", type=int, default=None,
+        help="engine_sharded only: worker shards (default: REPRO_SHARDS or 2)",
     )
     bench.add_argument(
         "--out", default="benchmarks/results",

@@ -27,12 +27,14 @@ from repro.simos.effects import (
 )
 from repro.simos.engine import Engine, EventHandle, SimulationError
 from repro.simos.filesystem import ChangeRecord, Extent, SimFile, Volume, populate_volume
-from repro.simos.kernel import Kernel, SimThread, ThreadState
+from repro.simos.kernel import Kernel, SimThread, ThreadState, make_engine
 from repro.simos.memory import MemoryManager, TouchMemory
 from repro.simos.network import NetSend, NetworkLink, NetworkStats
 from repro.simos.perfcounters import PerfCounter, PerfCounterRegistry
+from repro.simos.shard import ChainMachine, ShardedFleet, ShardResult
 from repro.simos.sim_manners import MannersTestpoint, SetThreadPriority, SimManners
 from repro.simos.trace import DutyTrace, TestpointRecord, TestpointTrace
+from repro.simos.wheel import EventCore, WheelEngine
 from repro.simos.workload import Burst, bursty_schedule, busy_fraction, is_busy
 
 __all__ = [
@@ -44,6 +46,7 @@ __all__ = [
     "ChangeRecord",
     "Condition",
     "CpuPriority",
+    "ChainMachine",
     "CpuStats",
     "Delay",
     "Disk",
@@ -54,6 +57,7 @@ __all__ = [
     "DutyTrace",
     "Effect",
     "Engine",
+    "EventCore",
     "EventHandle",
     "Extent",
     "Kernel",
@@ -65,6 +69,8 @@ __all__ = [
     "PerfCounter",
     "PerfCounterRegistry",
     "SetThreadPriority",
+    "ShardResult",
+    "ShardedFleet",
     "SignalCondition",
     "SimFile",
     "SimManners",
@@ -77,9 +83,11 @@ __all__ = [
     "UseCPU",
     "Volume",
     "WaitCondition",
+    "WheelEngine",
     "Yield",
     "bursty_schedule",
     "busy_fraction",
     "is_busy",
+    "make_engine",
     "populate_volume",
 ]

@@ -31,7 +31,8 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.simos.bus import Bus
-from repro.simos.engine import Engine, SimulationError
+from repro.simos.engine import SimulationError
+from repro.simos.wheel import EventCore
 
 __all__ = ["DiskParams", "DiskStats", "DiskRequest", "Disk"]
 
@@ -149,7 +150,7 @@ class Disk:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EventCore,
         name: str = "disk0",
         params: DiskParams | None = None,
         bus: Bus | None = None,

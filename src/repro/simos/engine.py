@@ -193,10 +193,19 @@ class Engine:
         return handle
 
     def _note_cancel(self) -> None:
-        """A live heap entry was cancelled; compact if inert entries dominate."""
+        """A live heap entry was cancelled; compact if inert entries dominate.
+
+        Threshold rule, evaluated on live counters in O(1): rebuild only
+        when cancelled entries are numerous (``> _COMPACT_MIN_STALE``) and
+        form the majority of the heap (``2 * stale > len(heap)``, i.e.
+        stale entries outnumber live ones).  Each rebuild then removes
+        more than half the heap, so compaction stays amortized O(1) per
+        cancellation — no rescan happens on every trigger check.
+        """
         self._cancelled += 1
-        self._stale += 1
-        if self._stale > _COMPACT_MIN_STALE and self._stale > self.pending:
+        stale = self._stale + 1
+        self._stale = stale
+        if stale > _COMPACT_MIN_STALE and (stale << 1) > len(self._heap):
             self._compact()
 
     def _compact(self) -> None:

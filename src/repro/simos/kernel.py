@@ -27,6 +27,7 @@ with :class:`DiskFault` delivered into the issuing thread.
 from __future__ import annotations
 
 import enum
+import os
 from typing import Any, Callable, Generator, Iterable
 
 from repro.simos.bus import Bus
@@ -44,8 +45,33 @@ from repro.simos.effects import (
     Yield,
 )
 from repro.simos.engine import Engine, SimulationError
+from repro.simos.wheel import WheelEngine
 
-__all__ = ["ThreadState", "SimThread", "Kernel", "DiskFault"]
+__all__ = ["ThreadState", "SimThread", "Kernel", "DiskFault", "make_engine"]
+
+#: Event-core registry for :func:`make_engine`.  ``heap`` is the default:
+#: it wins on sparse machines (a handful of pending timers, where the C
+#: heap's small constants dominate); ``wheel`` wins on dense fleet-scale
+#: machines (thousands of concurrent timers, where heap reordering costs
+#: O(log n) per event).  Both fire identical event sequences — the verify
+#: wheel oracle holds them to bit-identical logs.
+ENGINE_CORES = {"heap": Engine, "wheel": WheelEngine}
+
+
+def make_engine(core: str | None = None):
+    """Build an event core by name: ``heap`` (default) or ``wheel``.
+
+    ``core=None`` falls back to the ``REPRO_ENGINE`` environment variable,
+    then to ``heap`` — so a whole experiment sweep can be flipped onto the
+    wheel core without touching call sites.
+    """
+    name = core or os.environ.get("REPRO_ENGINE") or "heap"
+    try:
+        return ENGINE_CORES[name]()
+    except KeyError:
+        raise SimulationError(
+            f"unknown engine core {name!r}; choose from {sorted(ENGINE_CORES)}"
+        ) from None
 
 
 class DiskFault(SimulationError):
@@ -160,8 +186,9 @@ class Kernel:
         seed: int = 0,
         cpu_quantum: float = 0.02,
         bus_bandwidth: float | None = DEFAULT_BUS_BANDWIDTH,
+        engine_core: str | None = None,
     ) -> None:
-        self.engine = Engine()
+        self.engine = make_engine(engine_core)
         #: Bound hot-path scheduler, cached so effect dispatch skips the
         #: ``self.engine.post_after`` attribute chain on every effect.
         self._post_after = self.engine.post_after

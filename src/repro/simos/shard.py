@@ -1,0 +1,364 @@
+"""Engine sharding: independent simulated machines across worker processes.
+
+The fleet-scale workloads (ROADMAP item 2) simulate many *independent*
+machines — each with its own event core, clock, and seeded workload —
+that exchange a comparatively small number of cross-machine messages.
+That structure shards cleanly: machines partition across worker
+processes, every process advances its machines through the same sequence
+of **tick barriers**, and messages cross shard boundaries only at a
+barrier.
+
+Determinism is the whole design (the same discipline
+:class:`~repro.analysis.parallel.ParallelRunner` enforces for trials):
+
+* a machine's evolution within a round depends only on its own seed and
+  the messages delivered to it at the round's start — never on which
+  shard hosts it or which machines share its process;
+* outbound messages carry ``(send_time, src, seq)`` where ``seq`` is the
+  source machine's append order; the coordinator sorts the union of all
+  shards' outboxes by that key before routing, so delivery order is a
+  pure function of the messages themselves;
+* delivery happens at the barrier (a message sent during round *k* is
+  posted into the destination engine when round *k+1* begins), so no
+  machine can observe a mid-round event on another machine.
+
+``shards=1`` runs the exact same barrier loop inline — no worker
+processes — and therefore produces byte-identical machine snapshots, a
+property the CI perf-smoke job asserts via the result digest.
+
+The built-in :class:`ChainMachine` is the reference fleet workload used
+by ``repro bench engine_sharded`` and the shard tests: per-machine timer
+chains on the wheel core with deterministic cross-machine pings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+from typing import Any, Callable, Sequence
+
+from repro.simos.engine import SimulationError
+
+__all__ = ["Message", "ChainMachine", "ShardResult", "ShardedFleet"]
+
+#: One cross-machine message: ``(send_time, src, seq, dst, payload)``.
+#: ``seq`` is the source machine's outbox append index for the round;
+#: the routing sort key ``(send_time, src, seq)`` is therefore total and
+#: shard-layout independent.  Payloads must be picklable and JSON-able.
+Message = tuple
+
+
+class ChainMachine:
+    """One simulated machine: wheel-core timer chains + cross-machine pings.
+
+    Deterministic from ``(machine_id, machines, seed)`` alone: the seeded
+    RNG is used only at construction time (to lay out chain periods), so
+    the event stream itself is replay-exact.  Every ``ping_every``-th
+    chain hop sends a ping to a neighbour machine; delivered pings spawn
+    a short local completion burst — enough cross-shard traffic to make
+    ordering bugs visible, few enough messages that the barrier exchange
+    stays cheap.
+    """
+
+    __slots__ = (
+        "machine_id",
+        "machines",
+        "engine",
+        "_ping_every",
+        "_hops",
+        "_pings_out",
+        "_pings_in",
+        "_outbox",
+    )
+
+    def __init__(
+        self,
+        machine_id: int,
+        machines: int,
+        seed: int,
+        chains: int = 64,
+        ping_every: int = 32,
+        engine_core: str = "wheel",
+    ) -> None:
+        from repro.simos.kernel import make_engine
+
+        if machines < 1 or not 0 <= machine_id < machines:
+            raise SimulationError(
+                f"machine_id {machine_id} outside fleet of {machines}"
+            )
+        self.machine_id = machine_id
+        self.machines = machines
+        self.engine = make_engine(engine_core)
+        self._ping_every = ping_every
+        self._hops = 0
+        self._pings_out = 0
+        self._pings_in = 0
+        self._outbox: list[Message] = []
+        # Chain layout: deterministic per (seed, machine_id), seeded-RNG
+        # generated once here and never consulted again.
+        import random
+
+        rng = random.Random((seed * 1_000_003 + 17) ^ (machine_id * 0x9E3779B9))
+        post_after = self.engine.post_after
+        for chain in range(chains):
+            period = 0.25 + rng.randrange(28) * 0.0625  # 0.25s .. ~1.94s
+            start = 0.001 + rng.randrange(64) * 0.015625
+            post_after(start, self._tick, chain, period)
+
+    # -- workload ------------------------------------------------------------
+    def _tick(self, chain: int, period: float) -> None:
+        self._hops += 1
+        if self._hops % self._ping_every == 0:
+            dst = (self.machine_id + 1 + chain % max(1, self.machines - 1)) % self.machines
+            if dst != self.machine_id:
+                self._outbox.append(
+                    (
+                        self.engine.now,
+                        self.machine_id,
+                        len(self._outbox),
+                        dst,
+                        chain,
+                    )
+                )
+                self._pings_out += 1
+        self.engine.post_after(period, self._tick, chain, period)
+
+    def _on_ping(self, src: int, payload: Any) -> None:
+        self._pings_in += 1
+        # A short completion burst models the work a remote request causes.
+        self.engine.post_after(0.0078125, self._burst, 2)
+
+    def _burst(self, left: int) -> None:
+        if left:
+            self.engine.post_after(0.0078125, self._burst, left - 1)
+
+    # -- shard protocol ------------------------------------------------------
+    def deliver(self, messages: Sequence[Message]) -> None:
+        """Post barrier-delivered messages into the local engine.
+
+        Called at a round boundary (``engine.now`` equals the barrier
+        time); messages arrive pre-sorted by the coordinator, so the
+        posting order — and therefore the engine sequence numbers — is
+        shard-layout independent.
+        """
+        now = self.engine.now
+        post_at = self.engine.post_at
+        for _send_time, src, _seq, _dst, payload in messages:
+            post_at(now, self._on_ping, src, payload)
+
+    def run_until(self, t: float) -> list[Message]:
+        """Advance the local engine to the barrier; return the outbox."""
+        self.engine.run(until=t)
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-able end-of-run state (digest material)."""
+        return {
+            "machine": self.machine_id,
+            "now": self.engine.now,
+            "events_fired": self.engine.events_fired,
+            "pending": self.engine.pending,
+            "hops": self._hops,
+            "pings_in": self._pings_in,
+            "pings_out": self._pings_out,
+        }
+
+
+class ShardResult:
+    """Outcome of one fleet run: per-machine snapshots + derived digest."""
+
+    __slots__ = ("snapshots", "events_fired", "messages_routed", "shards")
+
+    def __init__(
+        self, snapshots: list[dict], messages_routed: int, shards: int
+    ) -> None:
+        self.snapshots = snapshots
+        self.events_fired = sum(int(s.get("events_fired", 0)) for s in snapshots)
+        self.messages_routed = messages_routed
+        self.shards = shards
+
+    @property
+    def digest(self) -> str:
+        """Order-insensitive-by-construction digest: snapshots sort by id."""
+        text = json.dumps(
+            sorted(self.snapshots, key=lambda s: s["machine"]), sort_keys=True
+        )
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _shard_worker(conn, make_machine, machine_ids, machines, seed) -> None:
+    """Worker loop: build the shard's machines, then serve barrier rounds."""
+    fleet = {
+        mid: make_machine(mid, machines, seed) for mid in machine_ids
+    }
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "round":
+                _, t, inbox = msg
+                outbox: list[Message] = []
+                for mid in machine_ids:  # fixed id order within the shard
+                    machine = fleet[mid]
+                    delivery = inbox.get(mid)
+                    if delivery:
+                        machine.deliver(delivery)
+                    outbox.extend(machine.run_until(t))
+                conn.send(outbox)
+            elif op == "finish":
+                conn.send([fleet[mid].snapshot() for mid in machine_ids])
+                return
+            else:  # pragma: no cover - protocol misuse guard
+                raise SimulationError(f"unknown shard op {op!r}")
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown races
+        return
+
+
+class ShardedFleet:
+    """Coordinator: N machines across S worker processes, barrier-stepped.
+
+    ``make_machine(machine_id, machines, seed)`` must build a machine
+    implementing the shard protocol (``deliver`` / ``run_until`` /
+    ``snapshot``) and — with its arguments — be picklable, since workers
+    construct their own machines (simulated kernels hold generator frames
+    and cannot cross a process boundary themselves).
+
+    With ``shards=1`` the barrier loop runs inline in this process; with
+    ``shards=N`` machines round-robin across N persistent workers.  Both
+    layouts route messages through the same globally-sorted exchange, so
+    the run is bit-identical either way — ``ShardResult.digest`` is the
+    proof the CI gate checks.
+    """
+
+    __slots__ = (
+        "machines",
+        "shards",
+        "seed",
+        "_make_machine",
+        "_inline",
+        "_workers",
+        "_pipes",
+        "_shard_ids",
+    )
+
+    def __init__(
+        self,
+        machines: int,
+        make_machine: Callable[[int, int, int], Any] = ChainMachine,
+        shards: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if machines < 1:
+            raise SimulationError(f"need at least one machine, got {machines}")
+        if shards < 1:
+            raise SimulationError(f"need at least one shard, got {shards}")
+        self.machines = machines
+        self.shards = min(shards, machines)
+        self.seed = seed
+        self._make_machine = make_machine
+        self._inline: dict[int, Any] | None = None
+        self._workers: list = []
+        self._pipes: list = []
+        self._shard_ids: list[list[int]] = [
+            list(range(s, machines, self.shards)) for s in range(self.shards)
+        ]
+        if self.shards == 1:
+            self._inline = {
+                mid: make_machine(mid, machines, seed) for mid in range(machines)
+            }
+        else:
+            # fork keeps startup cheap and closure-friendly where available
+            # (Linux/CI); spawn elsewhere requires make_machine to be an
+            # importable callable, which the default ChainMachine is.
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            for ids in self._shard_ids:
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker,
+                    args=(child, make_machine, ids, machines, seed),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._workers.append(proc)
+                self._pipes.append(parent)
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Terminate workers (idempotent; finished workers exit on their own)."""
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for proc in self._workers:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._workers = []
+        self._pipes = []
+
+    def __enter__(self) -> "ShardedFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------------
+    def run(self, rounds: int, tick: float = 1.0) -> ShardResult:
+        """Advance the whole fleet through ``rounds`` barrier rounds.
+
+        Each round: deliver the previous round's messages, run every
+        machine to the barrier, collect outboxes, sort the union by
+        ``(send_time, src, seq)``, and bucket by destination for the next
+        round.  Messages still in flight when the last round ends are
+        dropped on the floor identically in both layouts (they were never
+        delivered, so they cannot affect the digest).
+        """
+        if rounds < 1:
+            raise SimulationError(f"need at least one round, got {rounds}")
+        if tick <= 0:
+            raise SimulationError(f"tick must be positive, got {tick}")
+        routed = 0
+        inbox: dict[int, list[Message]] = {}
+        for r in range(1, rounds + 1):
+            t = r * tick
+            gathered: list[Message] = []
+            if self._inline is not None:
+                for mid in range(self.machines):
+                    machine = self._inline[mid]
+                    delivery = inbox.get(mid)
+                    if delivery:
+                        machine.deliver(delivery)
+                    gathered.extend(machine.run_until(t))
+            else:
+                for pipe, ids in zip(self._pipes, self._shard_ids):
+                    pipe.send(
+                        ("round", t, {mid: inbox[mid] for mid in ids if mid in inbox})
+                    )
+                for pipe in self._pipes:
+                    gathered.extend(pipe.recv())
+            # The exchange: a single global sort makes delivery order a
+            # pure function of the message set, not of the shard layout.
+            gathered.sort(key=lambda m: (m[0], m[1], m[2]))
+            inbox = {}
+            for message in gathered:
+                inbox.setdefault(message[3], []).append(message)
+            routed += len(gathered)
+        if self._inline is not None:
+            snapshots = [self._inline[mid].snapshot() for mid in range(self.machines)]
+        else:
+            snapshots = []
+            for pipe in self._pipes:
+                pipe.send(("finish",))
+            for pipe in self._pipes:
+                snapshots.extend(pipe.recv())
+        result = ShardResult(snapshots, routed, self.shards)
+        return result

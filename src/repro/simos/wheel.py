@@ -1,0 +1,727 @@
+"""Hierarchical timing-wheel event core (the calendar-queue engine).
+
+:class:`WheelEngine` is a drop-in alternative to the binary-heap
+:class:`~repro.simos.engine.Engine` with the same scheduling API
+(``post_at``/``post_after``/``call_at``/``call_after``), the same
+``run``/``step``/``drain`` contract, the same derived-counter accounting,
+and the same ``_monitored`` stepped path for the verify monitors — but
+with O(1) post and O(1) amortized fire for the dominant short-horizon
+timers, independent of how many events are pending.  The heap's
+O(log n) element-wise tuple comparisons are what plateau the fleet-scale
+workloads (thousands of concurrent timer chains); the wheel replaces them
+with an array index.
+
+Structure (see docs/performance.md for the full design discussion):
+
+* **Three wheel levels** of 256 slots each.  Simulated time maps to an
+  integer tick index ``idx = int(when * 2**resolution_bits)``; level 0
+  spans 256 ticks, level 1 spans 256 level-0 blocks, level 2 spans 256
+  level-1 blocks — about 194 simulated days at the default 1/128 s
+  resolution.  A post lands in the coarsest level where its index shares
+  the wheel cursor's aligned block prefix (one XOR and two compares).
+* **Occupancy bitmaps** (one 256-bit int per level) make "next nonempty
+  slot" a shift and a count-trailing-zeros, so idle stretches cost O(1)
+  rather than a slot-by-slot scan.
+* **Cascade on rollover**: when level 0 drains, the next level-1 slot is
+  exploded into level-0 slots (and level 2 into level 1); each entry
+  cascades at most twice in its life.
+* **Overflow band**: timers beyond the level-2 horizon go to a small
+  binary heap, pulled back into the wheel one level-2 block at a time —
+  the far-future band is where cancelled-entry compaction pays off, so
+  it gets the same threshold-based compaction as the heap engine.
+* **Ready heap**: zero-delay posts, same-tick posts, and entries that
+  land at or behind the cursor (possible after a bounded ``run(until=)``
+  advanced the clock without draining the wheel) keep exact
+  ``(when, seq)`` order through a tiny heap that interleaves with the
+  current slot during dispatch.
+
+Determinism: entries are the same plain ``(when, seq, fn, args)`` tuples
+(or :class:`~repro.simos.engine.EventHandle` subclasses) the heap engine
+uses, and every dispatch path compares them tuple-wise, so a seeded
+simulation fires the exact same event sequence on either core — the
+wheel oracle in :mod:`repro.verify` holds the two to bit-identical logs.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Iterator
+
+from repro.simos.engine import (
+    _COMPACT_MIN_STALE,
+    Engine,
+    EventHandle,
+    SimulationError,
+)
+
+__all__ = ["WheelEngine", "EventCore"]
+
+_INF = float("inf")
+
+#: Slots per wheel level (fixed: the bitmap tricks assume 256).
+_SLOTS = 256
+
+#: Single-bit masks and their complements, precomputed so the hot path
+#: never allocates a fresh ``1 << s`` on every post.
+_BIT = tuple(1 << i for i in range(_SLOTS))
+_NBIT = tuple(~(1 << i) for i in range(_SLOTS))
+
+
+class WheelEngine:
+    """Timing-wheel event core with the heap engine's exact contract."""
+
+    # verify: allow-slots (the verify invariant monitor shadows step and
+    # the scheduling methods through the instance dict, exactly as it does
+    # for Engine; one engine per simulation, so slots buy nothing)
+
+    def __init__(self, resolution_bits: int = 7) -> None:
+        if not 0 <= resolution_bits <= 20:
+            raise SimulationError(
+                f"resolution_bits must be in [0, 20], got {resolution_bits}"
+            )
+        #: Ticks per second (a power of two, so ``when * _inv`` is an exact
+        #: float scaling and the tick index is monotone in ``when``).
+        self._inv = float(1 << resolution_bits)
+        self._resolution_bits = resolution_bits
+        self._now = 0.0
+        self._seq = 0  # total events ever scheduled (posts + handles)
+        self._events_fired = 0
+        self._cancelled = 0  # handles cancelled before firing
+        self._drained = 0  # live entries discarded by drain()
+        self._stale = 0  # cancelled handles still stored in some band
+        self._monitored = False  # routes run() through step() for audit hooks
+        #: True until the first cancellable handle is created.  A pure-post
+        #: engine can run the drain loop without per-event class checks;
+        #: the flag only ever flips True -> False, and entries reach the
+        #: dispatch buffer only through _refill, so a buffer chosen under
+        #: purity stays handle-free for its whole drain.
+        self._pure = True
+        #: Wheel cursor: the tick index dispatch has advanced to.  Only
+        #: ever moves forward, and only to slots that are about to drain.
+        self._cur = 0
+        self._l0: list[list] = [[] for _ in range(_SLOTS)]
+        self._l1: list[list] = [[] for _ in range(_SLOTS)]
+        self._l2: list[list] = [[] for _ in range(_SLOTS)]
+        self._bm0 = 0
+        self._bm1 = 0
+        self._bm2 = 0
+        #: Far-future band: a plain heap, compacted when cancels dominate.
+        self._overflow: list = []
+        #: Due-now band: zero-delay and behind-cursor entries, heap-ordered.
+        self._ready: list = []
+        #: The slot being dispatched, sorted descending so ``pop()`` yields
+        #: events in ``(when, seq)`` order without shifting the list.
+        self._buf: list = []
+        self._tick_observe: Callable[[float], None] | None = None
+        self._tick_sample_every = 1024
+
+    # -- time ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time, in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed (for instrumentation and sanity checks)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Scheduled events not yet fired or cancelled (O(1), derived)."""
+        return self._seq - self._events_fired - self._cancelled - self._drained
+
+    # -- scheduling ----------------------------------------------------------
+    def _reject_time(self, when: float) -> None:
+        """Cold path: raise the precise error for an out-of-range time."""
+        if not math.isfinite(when):
+            raise SimulationError(f"event time must be finite, got {when}")
+        raise SimulationError(
+            f"cannot schedule event at {when} before current time {self._now}"
+        )
+
+    def _insert(self, when: float, entry: tuple) -> None:
+        """Place one entry in the band its tick index calls for.
+
+        Level selection is one XOR against the cursor: because the cursor
+        only ever advances to the *start* of the block it is draining,
+        ``idx ^ cur < 256`` exactly when the two indexes share a level-0
+        block, ``< 256**2`` a level-1 block, and so on — so an entry's
+        level-1/level-2 slot is never at or behind the cursor's position
+        in that level, which is what makes the bitmap scans in
+        :meth:`_refill` exact.
+        """
+        try:
+            idx = int(when * self._inv)
+        except OverflowError:
+            # when is finite but when * ticks-per-second is not: park the
+            # entry in the far-future band (it orders by (when, seq)).
+            heappush(self._overflow, entry)
+            return
+        cur = self._cur
+        x = idx ^ cur
+        if x < 256:
+            if idx > cur:
+                s = idx & 255
+                slot = self._l0[s]
+                if slot:
+                    slot.append(entry)
+                else:
+                    slot.append(entry)
+                    self._bm0 |= _BIT[s]
+            else:
+                heappush(self._ready, entry)
+        elif idx < cur:
+            # Behind the cursor: a bounded run() advanced time past this
+            # slot without draining it (the cursor only jumps to occupied
+            # slots).  Exact order is preserved through the ready heap.
+            heappush(self._ready, entry)
+        elif x < 65536:
+            s = (idx >> 8) & 255
+            slot = self._l1[s]
+            if slot:
+                slot.append(entry)
+            else:
+                slot.append(entry)
+                self._bm1 |= _BIT[s]
+        elif x < 16777216:
+            s = (idx >> 16) & 255
+            slot = self._l2[s]
+            if slot:
+                slot.append(entry)
+            else:
+                slot.append(entry)
+                self._bm2 |= _BIT[s]
+        else:
+            heappush(self._overflow, entry)
+
+    def post_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute time ``when``; no handle."""
+        if not (self._now <= when < _INF):
+            self._reject_time(when)
+        seq = self._seq
+        self._seq = seq + 1
+        self._insert(when, (when, seq, fn, args))
+
+    def post_after(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` after ``delay`` seconds; no handle.
+
+        The steady-state hot path: the placement logic is inlined here
+        (rather than calling :meth:`_insert`) because one Python call
+        frame per post is the difference between beating the heap core
+        and matching it.
+        """
+        when = self._now + delay
+        if not (self._now <= when < _INF):
+            if delay < 0:
+                raise SimulationError(f"delay must be non-negative, got {delay}")
+            self._reject_time(when)
+        try:
+            idx = int(when * self._inv)
+        except OverflowError:
+            seq = self._seq
+            self._seq = seq + 1
+            heappush(self._overflow, (when, seq, fn, args))
+            return
+        cur = self._cur
+        seq = self._seq
+        self._seq = seq + 1
+        x = idx ^ cur
+        if x < 256:
+            if idx > cur:
+                s = idx & 255
+                slot = self._l0[s]
+                if slot:
+                    slot.append((when, seq, fn, args))
+                else:
+                    slot.append((when, seq, fn, args))
+                    self._bm0 |= _BIT[s]
+            else:
+                heappush(self._ready, (when, seq, fn, args))
+        elif idx < cur:
+            heappush(self._ready, (when, seq, fn, args))
+        elif x < 65536:
+            s = (idx >> 8) & 255
+            slot = self._l1[s]
+            if slot:
+                slot.append((when, seq, fn, args))
+            else:
+                slot.append((when, seq, fn, args))
+                self._bm1 |= _BIT[s]
+        elif x < 16777216:
+            s = (idx >> 16) & 255
+            slot = self._l2[s]
+            if slot:
+                slot.append((when, seq, fn, args))
+            else:
+                slot.append((when, seq, fn, args))
+                self._bm2 |= _BIT[s]
+        else:
+            heappush(self._overflow, (when, seq, fn, args))
+
+    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute time ``when``; cancellable."""
+        if not (self._now <= when < _INF):
+            self._reject_time(when)
+        seq = self._seq
+        self._seq = seq + 1
+        self._pure = False
+        handle = tuple.__new__(EventHandle, (when, seq, fn, args))
+        handle._engine = self
+        self._insert(when, handle)
+        return handle
+
+    def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` seconds; cancellable."""
+        when = self._now + delay
+        if not (self._now <= when < _INF):
+            if delay < 0:
+                raise SimulationError(f"delay must be non-negative, got {delay}")
+            self._reject_time(when)
+        seq = self._seq
+        self._seq = seq + 1
+        self._pure = False
+        handle = tuple.__new__(EventHandle, (when, seq, fn, args))
+        handle._engine = self
+        self._insert(when, handle)
+        return handle
+
+    def _note_cancel(self) -> None:
+        """A stored handle was cancelled; compact if inert entries dominate.
+
+        Same threshold rule as the heap engine: a live O(1) counter
+        comparison, with the rebuild only when cancelled entries are both
+        numerous and the majority of what is stored.
+        """
+        self._cancelled += 1
+        stale = self._stale + 1
+        self._stale = stale
+        if stale > _COMPACT_MIN_STALE and stale > self.pending:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from the slots, overflow, and ready bands.
+
+        All filtering is in place (slice assignment, in-place heapify), so
+        a dispatch loop holding a band reference mid-callback stays
+        consistent; the active slot buffer is deliberately left alone —
+        its cancelled entries are skipped (and accounted) as dispatch
+        reaches them.  Slot order is append order and the heaps
+        re-heapify, so the exact ``(when, seq)`` firing order survives and
+        compaction is invisible except for speed.
+        """
+        removed = 0
+        for slots, bm_name in (
+            (self._l0, "_bm0"),
+            (self._l1, "_bm1"),
+            (self._l2, "_bm2"),
+        ):
+            bm = getattr(self, bm_name)
+            probe = bm
+            while probe:
+                s = (probe & -probe).bit_length() - 1
+                probe &= probe - 1
+                slot = slots[s]
+                live = [e for e in slot if e.__class__ is tuple or not e.cancelled]
+                if len(live) != len(slot):
+                    removed += len(slot) - len(live)
+                    slot[:] = live
+                    if not live:
+                        bm &= _NBIT[s]
+            setattr(self, bm_name, bm)
+        for band in (self._overflow, self._ready):
+            live = [e for e in band if e.__class__ is tuple or not e.cancelled]
+            if len(live) != len(band):
+                removed += len(band) - len(live)
+                band[:] = live
+                heapify(band)
+        self._stale -= removed
+
+    # -- introspection --------------------------------------------------------
+    def _entries(self) -> Iterator[tuple]:
+        """Yield every stored entry across all bands (audit/debug path)."""
+        for slots in (self._l0, self._l1, self._l2):
+            for slot in slots:
+                yield from slot
+        yield from self._overflow
+        yield from self._ready
+        yield from self._buf
+
+    def _audit_slots(self) -> list[str]:
+        """Check bitmap/slot consistency; return human-readable problems.
+
+        Invariant: a level's bitmap bit is set exactly when its slot list
+        is nonempty (cancelled entries count — their bits clear only when
+        compaction or a refill empties the slot).
+        """
+        problems: list[str] = []
+        for level, (slots, bm) in enumerate(
+            ((self._l0, self._bm0), (self._l1, self._bm1), (self._l2, self._bm2))
+        ):
+            for s in range(_SLOTS):
+                occupied = bool(slots[s])
+                flagged = bool(bm & _BIT[s])
+                if occupied != flagged:
+                    problems.append(
+                        f"level {level} slot {s}: "
+                        f"{len(slots[s])} entries but bitmap bit is {int(flagged)}"
+                    )
+        return problems
+
+    # -- instrumentation -------------------------------------------------------
+    def attach_tick_observer(
+        self,
+        observe: Callable[[float], None] | None,
+        sample_every: int = 1024,
+    ) -> None:
+        """Feed mean per-event wall latency to ``observe`` while running.
+
+        Same contract as :meth:`Engine.attach_tick_observer`: wall time is
+        measurement-only and never reaches simulated time or digests.
+        """
+        if sample_every < 1:
+            raise SimulationError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self._tick_observe = observe
+        self._tick_sample_every = sample_every
+
+    # -- dispatch internals ----------------------------------------------------
+    def _refill(self) -> bool:
+        """Advance the cursor to the next occupied slot and load ``_buf``.
+
+        Returns ``False`` when every band is empty.  May push entries into
+        the ready heap (a cascade can land an entry at the new cursor), so
+        callers must re-check ``_ready`` after a ``False`` return.
+        """
+        while True:
+            cur = self._cur
+            pos = cur & 255
+            m = self._bm0 >> pos
+            if m:
+                s = pos + ((m & -m).bit_length() - 1)
+                self._cur = (cur & -256) | s
+                buf = self._l0[s]
+                self._l0[s] = []
+                self._bm0 &= _NBIT[s]
+                buf.sort(reverse=True)
+                self._buf = buf
+                return True
+            pos1 = (cur >> 8) & 255
+            m1 = self._bm1 >> (pos1 + 1)
+            if m1:
+                s1 = pos1 + 1 + ((m1 & -m1).bit_length() - 1)
+                self._cur = ((cur >> 16) << 16) | (s1 << 8)
+                self._bm1 &= _NBIT[s1]
+                entries = self._l1[s1]
+                self._l1[s1] = []
+                # Cascade: explode the level-1 slot into level-0 slots.
+                # Every entry lands strictly inside the new cursor block,
+                # so the placement is a masked index, not a full _insert.
+                inv = self._inv
+                l0 = self._l0
+                bm0 = self._bm0
+                for e in entries:
+                    s = int(e[0] * inv) & 255
+                    l0[s].append(e)
+                    bm0 |= _BIT[s]
+                self._bm0 = bm0
+                continue
+            pos2 = (cur >> 16) & 255
+            m2 = self._bm2 >> (pos2 + 1)
+            if m2:
+                s2 = pos2 + 1 + ((m2 & -m2).bit_length() - 1)
+                self._cur = ((cur >> 24) << 24) | (s2 << 16)
+                self._bm2 &= _NBIT[s2]
+                entries = self._l2[s2]
+                self._l2[s2] = []
+                for e in entries:
+                    self._insert(e[0], e)
+                continue
+            if self._overflow:
+                ov = self._overflow
+                inv = self._inv
+                if ov[0][0] * inv >= _INF:
+                    # Tick index would overflow: dispatch these one at a
+                    # time in exact heap order through the ready band.
+                    heappush(self._ready, heappop(ov))
+                    return False
+                idx = int(ov[0][0] * inv)
+                self._cur = (idx >> 16) << 16
+                top = self._cur >> 24
+                # Pull the whole level-2 block back into the wheel; the
+                # rest of the far-future band stays in the heap.
+                while ov and ov[0][0] * inv < _INF and int(ov[0][0] * inv) >> 24 == top:
+                    e = heappop(ov)
+                    self._insert(e[0], e)
+                continue
+            return False
+
+    def _next_entry(self):
+        """Pop the globally next live entry, or ``None`` when empty."""
+        while True:
+            buf = self._buf
+            ready = self._ready
+            while buf:
+                e = buf[-1]
+                if e.__class__ is not tuple and e.cancelled:
+                    buf.pop()
+                    self._stale -= 1
+                    continue
+                break
+            while ready:
+                e = ready[0]
+                if e.__class__ is not tuple and e.cancelled:
+                    heappop(ready)
+                    self._stale -= 1
+                    continue
+                break
+            if buf:
+                if ready and ready[0] < buf[-1]:
+                    return heappop(ready)
+                return buf.pop()
+            if ready:
+                return heappop(ready)
+            if not self._refill() and not self._ready:
+                return None
+
+    def _peek_entry(self):
+        """The globally next live entry without removing it, or ``None``.
+
+        Skips (and accounts) cancelled entries at the band heads, exactly
+        like :meth:`_next_entry`, so peek-then-pop sees the same entry.
+        """
+        while True:
+            buf = self._buf
+            ready = self._ready
+            while buf:
+                e = buf[-1]
+                if e.__class__ is not tuple and e.cancelled:
+                    buf.pop()
+                    self._stale -= 1
+                    continue
+                break
+            while ready:
+                e = ready[0]
+                if e.__class__ is not tuple and e.cancelled:
+                    heappop(ready)
+                    self._stale -= 1
+                    continue
+                break
+            if buf:
+                if ready and ready[0] < buf[-1]:
+                    return ready[0]
+                return buf[-1]
+            if ready:
+                return ready[0]
+            if not self._refill() and not self._ready:
+                return None
+
+    # -- execution ------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next event; return ``False`` if nothing is pending."""
+        e = self._next_entry()
+        if e is None:
+            return False
+        if e.__class__ is not tuple:
+            e.cancelled = True  # Consumed: a late cancel() is a no-op.
+        self._now = e[0]
+        self._events_fired += 1
+        e[2](*e[3])
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run events until drained, ``until`` passes, or the budget ends.
+
+        Same contract as :meth:`Engine.run`: returns the stop time, and
+        with ``until`` the clock advances to exactly ``until`` even when
+        the last event fired earlier.
+        """
+        if self._monitored:
+            return self._run_stepped(until, max_events)
+        if self._tick_observe is not None:
+            return self._run_instrumented(until, max_events)
+        if until is None and max_events is None:
+            return self._run_drain()
+        fired = 0
+        while True:
+            head = self._peek_entry()
+            if head is None:
+                break
+            if until is not None and head[0] > until:
+                break
+            if max_events is not None and fired >= max_events:
+                return self._now
+            e = self._next_entry()
+            if e.__class__ is not tuple:
+                e.cancelled = True
+            self._now = e[0]
+            self._events_fired += 1
+            e[2](*e[3])
+            fired += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def _run_drain(self) -> float:
+        """Drain-all fast loop: dispatch straight off the slot buffer.
+
+        The inner ``while buf`` loop touches no band bookkeeping at all —
+        pop, clock, call — and only breaks out when a callback pushed
+        into the ready heap (a clamped or zero-delay post) that must be
+        interleaved in exact ``(when, seq)`` order.  Fired-count updates
+        are batched per buffer; the ``finally`` keeps the count exact
+        even when a callback raises.
+        """
+        ready = self._ready
+        while True:
+            buf = self._buf
+            if not buf:
+                if ready:
+                    e = heappop(ready)
+                    if e.__class__ is not tuple:
+                        if e.cancelled:
+                            self._stale -= 1
+                            continue
+                        e.cancelled = True
+                    self._now = e[0]
+                    self._events_fired += 1
+                    e[2](*e[3])
+                    continue
+                if not self._refill():
+                    if ready:
+                        continue  # A cascade clamped entries into ready.
+                    return self._now
+                buf = self._buf
+            if ready:
+                # Interleave path: the ready heap holds due-now entries
+                # that may order before the slot buffer's next event.
+                if ready[0] < buf[-1]:
+                    e = heappop(ready)
+                else:
+                    e = buf.pop()
+                if e.__class__ is not tuple:
+                    if e.cancelled:
+                        self._stale -= 1
+                        continue
+                    e.cancelled = True
+                self._now = e[0]
+                self._events_fired += 1
+                e[2](*e[3])
+                continue
+            n0 = len(buf)
+            pop = buf.pop
+            if self._pure:
+                # Handle-free engine: no cancellation checks needed, and
+                # fired-count updates batch per buffer.
+                try:
+                    while buf:
+                        e = pop()
+                        self._now = e[0]
+                        e[2](*e[3])
+                        if ready:
+                            break
+                finally:
+                    self._events_fired += n0 - len(buf)
+                continue
+            skipped = 0
+            try:
+                while buf:
+                    e = pop()
+                    if e.__class__ is not tuple:
+                        if e.cancelled:
+                            skipped += 1
+                            continue
+                        e.cancelled = True
+                    self._now = e[0]
+                    e[2](*e[3])
+                    if ready:
+                        break
+            finally:
+                consumed = n0 - len(buf)
+                self._events_fired += consumed - skipped
+                self._stale -= skipped
+
+    def _run_instrumented(
+        self, until: float | None, max_events: int | None
+    ) -> float:
+        """run() with tick-latency sampling (see attach_tick_observer)."""
+        observe = self._tick_observe
+        every = self._tick_sample_every
+        stamp = time.perf_counter()  # verify: allow-wall-clock (latency metric only)
+        batch = 0
+        fired = 0
+        budget_hit = False
+        while True:
+            head = self._peek_entry()
+            if head is None:
+                break
+            if until is not None and head[0] > until:
+                break
+            if max_events is not None and fired >= max_events:
+                budget_hit = True
+                break
+            e = self._next_entry()
+            if e.__class__ is not tuple:
+                e.cancelled = True
+            self._now = e[0]
+            self._events_fired += 1
+            e[2](*e[3])
+            fired += 1
+            batch += 1
+            if batch >= every:
+                now_wall = time.perf_counter()  # verify: allow-wall-clock (latency metric only)
+                observe((now_wall - stamp) / batch)
+                stamp = now_wall
+                batch = 0
+        if batch:
+            now_wall = time.perf_counter()  # verify: allow-wall-clock (latency metric only)
+            observe((now_wall - stamp) / batch)
+        if budget_hit:
+            return self._now
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def _run_stepped(self, until: float | None, max_events: int | None) -> float:
+        """run() routed through ``self.step()`` so monitors see every fire."""
+        fired = 0
+        while True:
+            head = self._peek_entry()
+            if head is None:
+                break
+            if until is not None and head[0] > until:
+                break
+            if max_events is not None and fired >= max_events:
+                return self._now
+            self.step()
+            fired += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def drain(self) -> None:
+        """Discard all pending events (used when tearing a simulation down)."""
+        self._drained += self.pending
+        for e in self._entries():
+            if e.__class__ is not tuple:
+                e.cancelled = True  # Late cancel() calls stay no-ops.
+        for slots in (self._l0, self._l1, self._l2):
+            for slot in slots:
+                if slot:
+                    slot.clear()
+        self._bm0 = 0
+        self._bm1 = 0
+        self._bm2 = 0
+        self._overflow.clear()
+        self._ready.clear()
+        self._buf.clear()
+        self._stale = 0
+
+
+#: Either event core.  The heap engine and the wheel engine share one
+#: scheduling/execution contract (verified bit-identical by the wheel
+#: oracle), so device models and the kernel accept both interchangeably.
+EventCore = Engine | WheelEngine

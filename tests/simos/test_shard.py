@@ -1,0 +1,125 @@
+"""Sharded fleet execution: bit-identical digests regardless of layout."""
+
+from __future__ import annotations
+
+from functools import partial
+
+import pytest
+
+from repro.simos.engine import SimulationError
+from repro.simos.shard import ChainMachine, ShardedFleet
+from repro.simos.wheel import WheelEngine
+
+#: Small fleet shape shared by the parity tests: big enough that every
+#: shard owns several machines and messages cross every boundary, small
+#: enough to keep the suite fast.
+MACHINES = 12
+ROUNDS = 6
+
+
+def _digest(shards: int, seed: int) -> tuple[str, int, int]:
+    with ShardedFleet(MACHINES, shards=shards, seed=seed) as fleet:
+        result = fleet.run(ROUNDS)
+    return result.digest, result.events_fired, result.messages_routed
+
+
+class TestDigestParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_shards_1_vs_4_bit_identical(self, seed):
+        assert _digest(1, seed) == _digest(4, seed)
+
+    def test_shards_2_and_3_agree_too(self):
+        # Parity must hold for any layout, including shard counts that
+        # do not divide the machine count evenly.
+        assert _digest(2, 7) == _digest(3, 7)
+
+    def test_different_seeds_differ(self):
+        assert _digest(1, 0)[0] != _digest(1, 1)[0]
+
+    def test_repeat_run_is_reproducible(self):
+        assert _digest(4, 5) == _digest(4, 5)
+
+
+class TestChainMachine:
+    def test_deterministic_construction(self):
+        a = ChainMachine(3, 8, seed=42)
+        b = ChainMachine(3, 8, seed=42)
+        a.engine.run(until=2.0)
+        b.engine.run(until=2.0)
+        assert a.snapshot() == b.snapshot()
+
+    def test_runs_on_wheel_core_by_default(self):
+        machine = ChainMachine(0, 4, seed=0)
+        assert isinstance(machine.engine, WheelEngine)
+
+    def test_pings_are_emitted_and_delivered(self):
+        with ShardedFleet(4, shards=1, seed=0) as fleet:
+            result = fleet.run(8)
+        assert result.messages_routed > 0
+        assert sum(s["pings_in"] for s in result.snapshots) > 0
+        assert result.events_fired == sum(
+            s["events_fired"] for s in result.snapshots
+        )
+
+    def test_machine_id_validated(self):
+        with pytest.raises(SimulationError):
+            ChainMachine(4, 4, seed=0)
+        with pytest.raises(SimulationError):
+            ChainMachine(-1, 4, seed=0)
+
+
+class TestFleetLifecycle:
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(SimulationError):
+            ShardedFleet(0)
+        with pytest.raises(SimulationError):
+            ShardedFleet(4, shards=0)
+        fleet = ShardedFleet(2, shards=1)
+        with pytest.raises(SimulationError):
+            fleet.run(0)
+        with pytest.raises(SimulationError):
+            fleet.run(1, tick=0.0)
+
+    def test_shards_clamped_to_machines(self):
+        with ShardedFleet(2, shards=8, seed=0) as fleet:
+            assert fleet.shards == 2
+            result = fleet.run(2)
+        assert result.shards == 2
+
+    def test_close_is_idempotent(self):
+        fleet = ShardedFleet(4, shards=2, seed=0)
+        fleet.run(2)
+        fleet.close()
+        fleet.close()
+
+    def test_custom_machine_parameters_thread_through(self):
+        make = partial(ChainMachine, chains=8, ping_every=4)
+        with ShardedFleet(6, make, shards=3, seed=1) as sharded:
+            a = sharded.run(4)
+        b = ShardedFleet(6, make, shards=1, seed=1).run(4)
+        assert a.digest == b.digest
+        assert a.messages_routed == b.messages_routed
+
+
+class TestBenchReport:
+    def test_engine_sharded_report_parity(self):
+        from repro.analysis.hotpath import engine_sharded_report
+
+        report = engine_sharded_report(
+            machines=4, shards=2, rounds=3, chains=32, repeats=1
+        )
+        assert report["parity_ok"] is True
+        assert report["events_per_sec"] > 0
+        assert report["shards"] == 2
+
+    def test_resolve_shards_precedence(self, monkeypatch):
+        from repro.analysis.parallel import resolve_shards
+
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert resolve_shards(3) == 3
+        assert resolve_shards(8, machines=5) == 5
+        assert resolve_shards(None, default=2) == 2
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        assert resolve_shards(None, default=2) == 4
+        with pytest.raises(ValueError):
+            resolve_shards(0)

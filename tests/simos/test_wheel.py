@@ -1,0 +1,403 @@
+"""Hierarchical timing-wheel event core: contract parity with the heap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simos.engine import Engine, SimulationError
+from repro.simos.wheel import WheelEngine
+
+#: One tick at the default resolution (1/128 s).
+TICK = 1.0 / 128.0
+#: Level horizons at the default resolution: L0 spans 256 ticks (2 s),
+#: L1 spans 65536 ticks (512 s), L2 spans 2^24 ticks (131072 s).
+L0_SPAN = 2.0
+L1_SPAN = 512.0
+L2_SPAN = 131072.0
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = WheelEngine()
+        fired = []
+        engine.call_at(3.0, fired.append, "c")
+        engine.call_at(1.0, fired.append, "a")
+        engine.call_at(2.0, fired.append, "b")
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        engine = WheelEngine()
+        fired = []
+        for name in "abcde":
+            engine.call_at(1.0, fired.append, name)
+        engine.run()
+        assert fired == list("abcde")
+
+    def test_same_tick_different_times_fire_in_time_order(self):
+        # Two distinct times inside one wheel tick must still fire in
+        # time order, not slot-arrival order.
+        engine = WheelEngine()
+        fired = []
+        engine.post_at(1.0 + TICK * 0.75, fired.append, "late")
+        engine.post_at(1.0 + TICK * 0.25, fired.append, "early")
+        engine.run()
+        assert fired == ["early", "late"]
+
+    def test_zero_delay_posts_fire_immediately_in_order(self):
+        engine = WheelEngine()
+        fired = []
+        engine.post_after(0.0, fired.append, "a")
+        engine.post_after(0.0, fired.append, "b")
+        engine.call_after(0.0, fired.append, "c")
+        engine.run()
+        assert fired == ["a", "b", "c"]
+        assert engine.now == 0.0
+
+    def test_zero_delay_from_callback(self):
+        engine = WheelEngine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.post_after(0.0, fired.append, "second")
+
+        engine.post_at(1.0, first)
+        engine.run()
+        assert fired == ["first", "second"]
+        assert engine.now == 1.0
+
+    def test_no_past_scheduling(self):
+        engine = WheelEngine()
+        engine.call_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.call_at(4.0, lambda: None)
+
+    def test_no_negative_delay(self):
+        engine = WheelEngine()
+        with pytest.raises(SimulationError):
+            engine.post_after(-0.1, lambda: None)
+
+    def test_non_finite_time_rejected(self):
+        engine = WheelEngine()
+        for bad in (float("inf"), float("-inf"), float("nan")):
+            with pytest.raises(SimulationError):
+                engine.post_at(bad, lambda: None)
+
+    def test_resolution_bits_validated(self):
+        with pytest.raises(SimulationError):
+            WheelEngine(resolution_bits=-1)
+        with pytest.raises(SimulationError):
+            WheelEngine(resolution_bits=21)
+
+    def test_huge_but_finite_time_accepted(self):
+        # Products like when * 128 overflow to inf near float max; the
+        # engine must route these to the overflow band, not crash.
+        engine = WheelEngine()
+        engine.post_at(1.5e306, lambda: None)
+        engine.post_at(1.0, lambda: None)
+        assert engine.pending == 2
+        engine.run(until=2.0)
+        assert engine.events_fired == 1
+        assert engine.pending == 1
+
+
+class TestHorizons:
+    @pytest.mark.parametrize(
+        "when",
+        [
+            TICK,
+            L0_SPAN - TICK,
+            L0_SPAN,
+            L0_SPAN + TICK,
+            L1_SPAN - TICK,
+            L1_SPAN,
+            L1_SPAN + TICK,
+            L2_SPAN - TICK,
+            L2_SPAN,
+            L2_SPAN + TICK,
+        ],
+    )
+    def test_horizon_exact_posts_fire_at_exact_time(self, when):
+        engine = WheelEngine()
+        times = []
+        engine.post_at(when, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [when]
+        assert engine.now == when
+
+    def test_cascade_rollover_preserves_order(self):
+        # Events across every level, including pairs one tick apart that
+        # straddle the L0 and L1 horizons, must fire in exact time order
+        # after the cascades rehome them.
+        engine = WheelEngine()
+        times = [
+            0.5,
+            L0_SPAN - TICK,
+            L0_SPAN + TICK,
+            7.3,
+            L1_SPAN - TICK,
+            L1_SPAN + TICK,
+            900.0,
+            L2_SPAN + 1.0,
+        ]
+        fired = []
+        for when in reversed(times):
+            engine.post_at(when, fired.append, when)
+        engine.run()
+        assert fired == sorted(times)
+        assert engine.events_fired == len(times)
+
+    def test_chain_through_rollovers(self):
+        # A self-rescheduling chain whose period doesn't divide the tick
+        # walks the cursor through many L0 rotations and L1 cascades.
+        engine = WheelEngine()
+        times = []
+
+        def tick(n):
+            times.append(engine.now)
+            if n:
+                engine.post_after(0.9999, tick, n - 1)
+
+        engine.post_at(0.0, tick, 4000)
+        engine.run()
+        assert len(times) == 4001
+        assert times == sorted(times)
+        assert engine.now == pytest.approx(0.9999 * 4000)
+
+    def test_post_behind_cursor_after_bounded_run(self):
+        # run(until=...) can leave the internal cursor past `until` (it
+        # advances to the next occupied slot).  A later post between
+        # `until` and the cursor must still fire, in order.
+        engine = WheelEngine()
+        fired = []
+        engine.post_at(0.5, fired.append, "early")
+        engine.post_at(300.0, fired.append, "far")
+        engine.run(until=1.0)
+        assert fired == ["early"]
+        engine.post_at(5.0, fired.append, "behind-cursor")
+        engine.post_at(200.0, fired.append, "mid")
+        engine.run()
+        assert fired == ["early", "behind-cursor", "mid", "far"]
+
+
+class TestCancellation:
+    def test_cancel_prevents_firing(self):
+        engine = WheelEngine()
+        fired = []
+        handle = engine.call_at(1.0, fired.append, "x")
+        engine.call_at(2.0, fired.append, "y")
+        handle.cancel()
+        engine.run()
+        assert fired == ["y"]
+        assert engine.events_fired == 1
+
+    def test_cancel_then_fire_race_same_tick(self):
+        # A callback cancels a handle scheduled for the same time that
+        # is already due; the cancelled event must not fire.
+        engine = WheelEngine()
+        fired = []
+        victim = engine.call_at(1.0, fired.append, "victim")
+
+        def killer():
+            fired.append("killer")
+            victim.cancel()
+
+        # killer was scheduled second but cancels ahead of the victim's
+        # own slot position only if cancellation works mid-dispatch.
+        engine.call_at(0.5, killer)
+        engine.run()
+        assert fired == ["killer"]
+
+    def test_cancel_during_same_time_burst(self):
+        engine = WheelEngine()
+        fired = []
+        handles = {}
+
+        def cancel_next(name, target):
+            fired.append(name)
+            handles[target].cancel()
+
+        handles["b"] = engine.call_at(1.0, cancel_next, "b", "c")
+        handles["c"] = engine.call_at(1.0, cancel_next, "c", "b")
+        engine.call_at(1.0, fired.append, "d")
+        # b fires first (FIFO), cancels c; d still fires.
+        engine.run()
+        assert fired == ["b", "d"]
+
+    def test_cancel_is_idempotent_and_counted_once(self):
+        engine = WheelEngine()
+        handle = engine.call_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending == 0
+        engine.run()
+        assert engine.events_fired == 0
+
+    def test_compaction_bounds_stale_entries(self):
+        # Cancel-heavy churn must not accumulate dead entries: the
+        # threshold compaction rule keeps stale below the live count
+        # (plus the trigger threshold) at every point.
+        engine = WheelEngine()
+        for round_ in range(200):
+            handles = [
+                engine.call_after(float(i % 7) + 1.0, lambda: None)
+                for i in range(40)
+            ]
+            for handle in handles[1:]:
+                handle.cancel()
+            engine.step()
+            assert engine._stale <= max(64, engine.pending) + 40
+        total = sum(1 for _ in engine._entries())
+        assert total < 500  # 8000 schedules, ~7800 cancelled: mostly gone
+
+    def test_cancel_in_overflow_band(self):
+        engine = WheelEngine()
+        fired = []
+        handle = engine.call_at(L2_SPAN + 50.0, fired.append, "far")
+        engine.post_at(L2_SPAN + 60.0, fired.append, "farther")
+        handle.cancel()
+        engine.run()
+        assert fired == ["farther"]
+
+
+class TestRunAndDrain:
+    def test_run_until_advances_clock_exactly(self):
+        engine = WheelEngine()
+        engine.post_at(1.0, lambda: None)
+        engine.post_at(5.0, lambda: None)
+        assert engine.run(until=3.0) == 3.0
+        assert engine.now == 3.0
+        assert engine.events_fired == 1
+        assert engine.pending == 1
+
+    def test_run_max_events_budget(self):
+        engine = WheelEngine()
+        fired = []
+        for i in range(10):
+            engine.post_at(float(i + 1), fired.append, i)
+        engine.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+        assert engine.pending == 6
+        engine.run()
+        assert fired == list(range(10))
+
+    def test_step_returns_false_when_empty(self):
+        engine = WheelEngine()
+        assert engine.step() is False
+        engine.post_at(1.0, lambda: None)
+        assert engine.step() is True
+        assert engine.step() is False
+
+    def test_drain_discards_everything(self):
+        engine = WheelEngine()
+        fired = []
+        engine.post_at(1.0, fired.append, "a")
+        handle = engine.call_at(L1_SPAN + 1.0, fired.append, "b")
+        engine.post_at(L2_SPAN + 1.0, fired.append, "c")
+        engine.drain()
+        assert engine.pending == 0
+        assert handle.cancelled
+        engine.run()
+        assert fired == []
+        assert engine.events_fired == 0
+
+    def test_pending_counter_matches_scan(self):
+        engine = WheelEngine()
+        handles = [engine.call_after(float(i + 1), lambda: None) for i in range(20)]
+        engine.post_after(600.0, lambda: None)
+        for handle in handles[::2]:
+            handle.cancel()
+        live = sum(
+            1
+            for e in engine._entries()
+            if e.__class__ is tuple or not e.cancelled
+        )
+        assert engine.pending == live == 11
+
+
+class TestParityWithHeapEngine:
+    def _drive(self, engine):
+        log = []
+
+        def fire(tag, repeats, interval):
+            log.append((tag, engine.now))
+            if repeats:
+                engine.post_after(interval, fire, tag + 1, repeats - 1, interval)
+
+        engine.post_after(0.0, fire, 0, 3, 0.9999)
+        engine.post_after(2.0, fire, 100, 2, TICK)
+        h = engine.call_after(1.5, fire, 200, 0, 1.0)
+        engine.call_after(1.5, fire, 300, 1, L0_SPAN)
+        h.cancel()
+        engine.run(until=2.5)
+        engine.post_after(510.0, fire, 400, 1, 3.0)
+        engine.run(max_events=3)
+        engine.run()
+        return log, engine.now, engine.events_fired
+
+    def test_identical_logs_and_counters(self):
+        assert self._drive(WheelEngine()) == self._drive(Engine())
+
+    def test_instrumented_run_matches(self):
+        samples = []
+        wheel = WheelEngine()
+        wheel.attach_tick_observer(lambda *a: samples.append(a), sample_every=4)
+        wheel_log = self._drive(wheel)
+        heap = Engine()
+        heap.attach_tick_observer(lambda *a: None, sample_every=4)
+        assert wheel_log == self._drive(heap)
+        assert samples  # the observer actually sampled
+
+    def test_monitored_wheel_passes_invariant_audit(self):
+        from repro.verify.invariants import EngineInvariantMonitor, ViolationRecorder
+
+        recorder = ViolationRecorder(mode="raise")
+        engine = WheelEngine()
+        monitor = EngineInvariantMonitor(engine, recorder)
+        self._drive(engine)
+        monitor.detach()
+        assert recorder.checks > 20
+        assert recorder.ok
+
+    def test_audit_slots_clean_after_workload(self):
+        engine = WheelEngine()
+        self._drive(engine)
+        assert engine._audit_slots() == []
+
+
+class TestKernelIntegration:
+    def test_make_engine_selects_core(self):
+        from repro.simos.kernel import make_engine
+
+        assert isinstance(make_engine("wheel"), WheelEngine)
+        assert isinstance(make_engine("heap"), Engine)
+        assert isinstance(make_engine(), Engine)
+        with pytest.raises(SimulationError):
+            make_engine("calendar")
+
+    def test_make_engine_env_override(self, monkeypatch):
+        from repro.simos.kernel import make_engine
+
+        monkeypatch.setenv("REPRO_ENGINE", "wheel")
+        assert isinstance(make_engine(), WheelEngine)
+
+    def test_kernel_runs_on_wheel_core(self):
+        from repro.simos.kernel import Kernel
+
+        kernel = Kernel(engine_core="wheel")
+        assert isinstance(kernel.engine, WheelEngine)
+        done = []
+
+        def worker():
+            from repro.simos.effects import Delay, UseCPU
+
+            yield UseCPU(0.01)
+            yield Delay(0.5)
+            yield UseCPU(0.02)
+            done.append(kernel.engine.now)
+
+        kernel.spawn("worker", worker())
+        kernel.run(until=5.0)
+        assert done and done[0] > 0.5
