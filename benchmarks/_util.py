@@ -1,25 +1,30 @@
 """Helpers shared by the benchmark modules (env-driven sizing + fan-out).
 
 Every ``bench_*`` module sizes itself from the environment and drives its
-repeated trials through :func:`run_bench_trials`, which routes them into
-the parallel trial engine (:mod:`repro.analysis.parallel`):
+repeated trials through :func:`run_bench_trials` or :func:`run_spec`,
+which route them into the parallel trial engine
+(:mod:`repro.analysis.parallel`):
 
 * ``REPRO_TRIALS`` — trials per configuration (paper uses 50);
 * ``REPRO_SCALE`` — workload scale (1.0 = paper-magnitude run times);
 * ``REPRO_JOBS`` — worker processes for trial fan-out (default 1 here, so
   a plain pytest run stays single-process and exactly reproduces the
   serial results; set ``REPRO_JOBS=4`` to use four cores);
-* ``REPRO_CACHE`` — set to ``0`` to disable the content-keyed trial cache
-  under ``benchmarks/results/cache/`` (enabled by default: re-running an
-  unchanged sweep skips completed trials).
+* ``REPRO_CACHE`` — set to ``0``/``false``/``no``/``off`` to disable the
+  content-keyed trial cache under ``benchmarks/results/cache/`` (enabled
+  by default: re-running an unchanged sweep skips completed trials).
+
+All env parsing goes through :mod:`repro.analysis.env`, so malformed
+values fail loudly with the variable name and the offending value instead
+of being silently mis-read.
 """
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.analysis.env import env_flag, env_scale
 from repro.analysis.parallel import TrialCache, resolve_jobs
 from repro.analysis.runner import run_trials, trial_count
 
@@ -37,8 +42,13 @@ def bench_trials(default: int = 5) -> int:
 
 
 def bench_scale(default: float = 1.0) -> float:
-    """Workload scale (``REPRO_SCALE``; 1.0 = paper-magnitude run times)."""
-    return float(os.environ.get("REPRO_SCALE", default))
+    """Workload scale (``REPRO_SCALE``; 1.0 = paper-magnitude run times).
+
+    Validated finite-and-positive: ``REPRO_SCALE=0`` used to silently
+    collapse every workload to its minimum size; now it raises the same
+    style of :class:`ValueError` as :func:`bench_trials`.
+    """
+    return env_scale(default=default)
 
 
 def bench_jobs(default: int = 1) -> int:
@@ -47,15 +57,20 @@ def bench_jobs(default: int = 1) -> int:
 
 
 def bench_cache() -> TrialCache | None:
-    """The benchmark trial cache, or ``None`` when ``REPRO_CACHE=0``."""
-    if os.environ.get("REPRO_CACHE", "1") in ("0", "", "false"):
+    """The benchmark trial cache, or ``None`` when ``REPRO_CACHE`` is falsy.
+
+    ``REPRO_CACHE`` accepts ``0/false/no/off`` and ``1/true/yes/on``, any
+    capitalization; anything else raises (``REPRO_CACHE=False`` used to
+    silently *enable* the cache).
+    """
+    if not env_flag("REPRO_CACHE", default=True):
         return None
     return TrialCache(CACHE_DIR)
 
 
 def full_run() -> bool:
     """Whether to run the long-form experiments (``REPRO_FULL=1``)."""
-    return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+    return env_flag("REPRO_FULL", default=False)
 
 
 def run_bench_trials(
@@ -84,27 +99,31 @@ def run_bench_trials(
     )
 
 
-def sweep(
-    scenario: str,
-    modes,
-    metric: str,
-    seed_base: int,
-    trials: int | None = None,
-) -> dict[str, list[float]]:
-    """Per-mode ``metric`` samples for a measured scenario (cached, parallel).
+def run_spec(name: str, trials: int | None = None) -> dict:
+    """Run one registered :class:`~repro.experiments.spec.ExperimentSpec`
+    wired to the benchmark environment (trials, scale, jobs, cache).
 
-    Thin wrapper over :func:`repro.experiments.scenarios.mode_sweep` wired
-    to the benchmark environment (trials, scale, jobs, cache).
+    The spec-driven path every figure bench now uses: same seeds, same
+    trial functions, same cache namespaces as the hand-rolled sweeps they
+    replaced, so samples are bit-identical to the pre-platform outputs.
     """
-    from repro.experiments.scenarios import mode_sweep
+    from repro.experiments.spec import get_experiment, run_experiment
 
-    return mode_sweep(
-        scenario,
-        modes,
-        metric,
-        trials=trials if trials is not None else bench_trials(),
-        seed_base=seed_base,
-        scale=bench_scale(),
+    # Scale resolves inside the spec (pinned value, else REPRO_SCALE, else
+    # 1.0) so a spec-pinned scale is not clobbered by the env default.
+    return run_experiment(
+        get_experiment(name),
+        trials=trials,
         jobs=bench_jobs(),
         cache=bench_cache(),
     )
+
+
+def spec_samples(name: str, metric: str, trials: int | None = None) -> dict[str, list]:
+    """``{cell: samples}`` of one metric from a spec run — the
+    :func:`repro.analysis.runner.aggregate`-ready shape the figure benches
+    consume (mode-keyed for the single-variable contention sweeps).
+    """
+    from repro.experiments.spec import samples_by_cell
+
+    return samples_by_cell(run_spec(name, trials=trials), metric)

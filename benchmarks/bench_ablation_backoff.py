@@ -8,82 +8,26 @@ the cap equal to the initial suspension), the LI process probes the
 contended resource over and over, interfering more with the
 high-importance workload; the price of exponential backoff is suspension
 overshoot after the activity ends (Figure 7).
+
+The trial bodies live in :mod:`repro.experiments.ablations`; this module
+is a thin reference to the registered ``ablation_backoff``
+:class:`~repro.experiments.spec.ExperimentSpec` (one trial per backoff
+arm at the historical kernel seed, so outputs are bit-identical to the
+pre-platform runs).
 """
 
 from __future__ import annotations
 
-from repro.core.config import MannersConfig
-from repro.core.signtest import Judgment
-from repro.simos.effects import Delay, DiskRead, UseCPU
-from repro.simos.kernel import Kernel
-from repro.simos.sim_manners import MannersTestpoint, SimManners
-
-BASE = MannersConfig(
-    bootstrap_testpoints=20,
-    probation_period=0.0,
-    averaging_n=400,
-    min_testpoint_interval=0.1,
-    initial_suspension=1.0,
-    max_suspension=256.0,
-)
-
-HI_START = 30.0
-HI_ITEMS = 3000  # ~100 s of exclusive disk use
+from _util import run_spec
 
 
-def _li_reader(kernel, results):
-    done = 0.0
-    for i in range(200_000):
-        yield DiskRead("C", (i * 37) % 500_000, 65536)
-        done += 1.0
-        yield MannersTestpoint((done,))
-        if done >= 6000:
-            break
-    results["li_done"] = kernel.now
-
-
-def _hi_burst(kernel, results):
-    yield Delay(HI_START)
-    for i in range(HI_ITEMS):
-        yield DiskRead("C", (i * 53 + 7) % 500_000, 65536)
-        yield UseCPU(0.001)
-    results["hi_done"] = kernel.now
-
-
-def run_one(constant_backoff: bool):
-    config = BASE if not constant_backoff else BASE.with_overrides(
-        max_suspension=BASE.initial_suspension
-    )
-    kernel = Kernel(seed=9)
-    kernel.add_disk("C")
-    manners = SimManners(kernel, config)
-    results: dict[str, float] = {}
-    thread = kernel.spawn("li", _li_reader(kernel, results), process="li")
-    manners.regulate(thread)
-    kernel.spawn("hi", _hi_burst(kernel, results), process="hi")
-    kernel.run(until=4000.0)
-    trace = manners.traces[thread]
-    hi_end = results.get("hi_done", float("nan"))
-    # Probes during the HI window: processed testpoints between start+10
-    # and the HI completion.
-    probes = sum(1 for r in trace.records if HI_START + 10.0 <= r.when <= hi_end)
-    overshoot = 0.0
-    for r in trace.records:
-        if r.when > hi_end:
-            overshoot = r.when - hi_end
-            break
+def run_ablation() -> dict[str, dict]:
+    report = run_spec("ablation_backoff")
     return {
-        "hi_time": hi_end - HI_START,
-        "li_done": results.get("li_done"),
-        "probes_during_hi": probes,
-        "overshoot": overshoot,
-    }
-
-
-def run_ablation():
-    return {
-        "exponential": run_one(constant_backoff=False),
-        "constant": run_one(constant_backoff=True),
+        cell["params"]["backoff"]: {
+            metric: values[0] for metric, values in cell["samples"].items()
+        }
+        for cell in report["cells"]
     }
 
 

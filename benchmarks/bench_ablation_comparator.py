@@ -6,57 +6,27 @@ causing inappropriate suspension or execution of the process", and Figure 8
 shows the noise that makes this so.  This bench runs the same regulated
 low-importance workload on an *idle* machine under both comparators and
 measures the inappropriate-suspension rate.
+
+The trial body lives in :mod:`repro.experiments.ablations`; this module
+is a thin reference to the registered ``ablation_comparator``
+:class:`~repro.experiments.spec.ExperimentSpec` (one trial per comparator
+arm at the historical kernel seed, so outputs are bit-identical to the
+pre-platform runs).
 """
 
 from __future__ import annotations
 
-from repro.core.comparator import DirectComparator
-from repro.core.config import MannersConfig
-from repro.core.signtest import Judgment
-from repro.simos.effects import DiskRead
-from repro.simos.kernel import Kernel
-from repro.simos.sim_manners import MannersTestpoint, SimManners
-
-CONFIG = MannersConfig(
-    bootstrap_testpoints=20,
-    probation_period=0.0,
-    averaging_n=400,
-    min_testpoint_interval=0.1,
-    initial_suspension=1.0,
-    max_suspension=256.0,
-)
+from _util import run_spec
 
 
-def _reader(kernel, n):
-    done = 0.0
-    for i in range(n):
-        yield DiskRead("C", (i * 37) % 500_000, 65536)
-        done += 1.0
-        yield MannersTestpoint((done,))
-
-
-def run_one(direct: bool):
-    kernel = Kernel(seed=5)
-    kernel.add_disk("C")
-    manners = SimManners(kernel, CONFIG)
-    thread = kernel.spawn("li", _reader(kernel, 4000), process="li")
-    comparator = DirectComparator() if direct else None
-    regulator = manners.regulate(thread, comparator=comparator)
-    kernel.run(until=3600.0)
-    trace = manners.traces[thread]
-    poors = sum(1 for r in trace.records if r.judgment is Judgment.POOR)
-    processed = sum(1 for r in trace.records if r.judgment is not None)
+def run_ablation() -> dict[str, dict]:
+    report = run_spec("ablation_comparator")
     return {
-        "finish_time": kernel.now if thread.alive else trace.records[-1].when,
-        "poor_judgments": poors,
-        "judged": processed,
-        "total_suspension": regulator.stats.total_suspension,
-        "finished": not thread.alive,
+        cell["params"]["comparator"]: {
+            metric: values[0] for metric, values in cell["samples"].items()
+        }
+        for cell in report["cells"]
     }
-
-
-def run_ablation():
-    return {"statistical": run_one(direct=False), "direct": run_one(direct=True)}
 
 
 def test_ablation_comparator(benchmark, report):

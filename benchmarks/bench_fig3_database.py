@@ -13,7 +13,7 @@ from repro.analysis.runner import aggregate
 from repro.analysis.tables import format_box_table
 from repro.apps.base import RegulationMode
 
-from _util import sweep
+from _util import spec_samples
 
 MODES = (
     RegulationMode.NOT_RUNNING,
@@ -35,10 +35,13 @@ PAPER_RELATIVE = {
 def run_figure3() -> dict[str, list[float]]:
     """All trials for every configuration; returns hi-times per mode.
 
-    Trials fan out over ``REPRO_JOBS`` worker processes and completed
-    (mode, seed, scale) trials are served from the trial cache.
+    A thin reference to the registered ``fig3_database``
+    :class:`~repro.experiments.spec.ExperimentSpec`: trials fan out over
+    ``REPRO_JOBS`` worker processes and completed (mode, seed, scale)
+    trials are served from the trial cache, exactly as the hand-rolled
+    sweep did (same seeds, same cache namespaces, same samples).
     """
-    samples = sweep("defrag_database", MODES, "hi_time", seed_base=1000)
+    samples = spec_samples("fig3_database", "hi_time")
     assert all(t is not None for times in samples.values() for t in times)
     return samples
 

@@ -12,7 +12,7 @@ from repro.analysis.runner import aggregate
 from repro.analysis.tables import format_box_table
 from repro.apps.base import RegulationMode
 
-from _util import sweep
+from _util import spec_samples
 
 MODES = (
     RegulationMode.UNREGULATED,
@@ -23,7 +23,8 @@ MODES = (
 
 
 def run_figure5() -> dict[str, list[float]]:
-    samples = sweep("defrag_idle", MODES, "li_time", seed_base=3000)
+    """Thin reference to the registered ``fig5_idle`` experiment spec."""
+    samples = spec_samples("fig5_idle", "li_time")
     assert all(t is not None for times in samples.values() for t in times)
     return samples
 

@@ -44,6 +44,8 @@ from functools import lru_cache
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.analysis.env import env_int, parse_count
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.telemetry import Telemetry
 
@@ -71,18 +73,16 @@ def resolve_jobs(jobs: int | None = None, default: int | None = None) -> int:
     """Worker count: explicit ``jobs``, else ``REPRO_JOBS``, else ``default``.
 
     ``default=None`` means "all cores" (``os.cpu_count()``).  The resolved
-    count must be >= 1; a zero/negative request raises :class:`ValueError`
-    (matching :func:`repro.analysis.runner.trial_count`'s strictness).
+    count must be >= 1; a zero/negative/non-integer request raises
+    :class:`ValueError` naming the source (``jobs`` for the explicit
+    argument, ``REPRO_JOBS`` for the environment) and the offending value.
+    An empty/whitespace ``REPRO_JOBS`` counts as unset.
     """
-    raw: int | str | None = jobs
-    if raw is None:
-        raw = os.environ.get("REPRO_JOBS")
-    if raw is None:
+    if jobs is not None:
+        return parse_count(jobs, "jobs")
+    resolved = env_int("REPRO_JOBS", default=None)
+    if resolved is None:
         resolved = default if default is not None else (os.cpu_count() or 1)
-    else:
-        resolved = int(raw)
-    if resolved < 1:
-        raise ValueError(f"jobs must be >= 1, got {raw}")
     return resolved
 
 
@@ -93,21 +93,19 @@ def resolve_shards(
 ) -> int:
     """Shard count for a :class:`repro.simos.shard.ShardedFleet` run.
 
-    Same precedence as :func:`resolve_jobs` — explicit ``shards``, else
-    ``REPRO_SHARDS``, else ``default`` (``None`` meaning all cores) — and
-    the same >= 1 strictness.  The count is additionally clamped to
+    Same precedence and strictness as :func:`resolve_jobs` — explicit
+    ``shards``, else ``REPRO_SHARDS`` (empty counts as unset), else
+    ``default`` (``None`` meaning all cores); errors name the source and
+    the offending value.  The count is additionally clamped to
     ``machines`` when given: a shard with no machines would idle through
     every barrier round.
     """
-    raw: int | str | None = shards
-    if raw is None:
-        raw = os.environ.get("REPRO_SHARDS")
-    if raw is None:
-        resolved = default if default is not None else (os.cpu_count() or 1)
+    if shards is not None:
+        resolved = parse_count(shards, "shards")
     else:
-        resolved = int(raw)
-    if resolved < 1:
-        raise ValueError(f"shards must be >= 1, got {raw}")
+        resolved = env_int("REPRO_SHARDS", default=None)
+        if resolved is None:
+            resolved = default if default is not None else (os.cpu_count() or 1)
     if machines is not None:
         resolved = min(resolved, machines)
     return resolved

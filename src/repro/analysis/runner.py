@@ -14,9 +14,9 @@ runs of a deterministic trial return identical lists.
 
 from __future__ import annotations
 
-import os
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence, TypeVar
 
+from repro.analysis.env import env_int
 from repro.analysis.stats import BoxStats, box_stats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -34,14 +34,13 @@ DEFAULT_TRIALS = 15
 
 
 def trial_count(default: int = DEFAULT_TRIALS) -> int:
-    """Trials per configuration, from ``REPRO_TRIALS`` or the default."""
-    raw = os.environ.get("REPRO_TRIALS")
-    if raw is None:
-        return default
-    count = int(raw)
-    if count < 1:
-        raise ValueError(f"REPRO_TRIALS must be >= 1, got {raw}")
-    return count
+    """Trials per configuration, from ``REPRO_TRIALS`` or the default.
+
+    Empty/whitespace values count as unset; anything else must parse as an
+    integer >= 1 or :class:`ValueError` names the variable and the value.
+    """
+    count = env_int("REPRO_TRIALS", default=None)
+    return default if count is None else count
 
 
 def run_trials(

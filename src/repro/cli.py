@@ -40,6 +40,14 @@ Four commands:
   serial parity, and writes a machine-readable ``BENCH_<name>.json``
   (wall time, trials/sec, speedup vs serial, events/sec); see
   docs/performance.md.
+* ``exp`` — the declarative experiment platform: ``exp list`` names the
+  registered :class:`~repro.experiments.spec.ExperimentSpec` entries
+  (figures 3/5/6, the ablations, the CI smoke spec); ``exp run NAME...``
+  fans each spec's workload x strategy cross product through the
+  parallel trial engine and writes one ``EXP_<name>.json`` artifact with
+  per-cell samples, summary stats, and regression deltas against the
+  committed ``BENCH_*.json`` baselines (``--gate`` exits 1 on a
+  regression); ``exp report PATH`` renders a saved artifact.
 * ``profile`` — find the hot spots: ``profile SCENARIO --seed N`` runs
   one seeded trial under cProfile (``--memory`` adds tracemalloc) and
   prints top-N tables keyed to the exact scenario/mode/seed/scale so a
@@ -580,6 +588,134 @@ def _cmd_bench(args: argparse.Namespace, out: Output) -> int:
     return 0 if report["parity_ok"] is not False else 1
 
 
+def _render_experiment(report: dict, out: Output) -> None:
+    """Human-readable summary of one experiment report."""
+    out.result(
+        f"{report['name']}: {report['cell_count']} cells x "
+        f"{report['trials']} trials @ jobs={report['jobs']} "
+        f"scale={report['scale']:g} in {report['wall_time_s']:.2f}s "
+        f"(executed {report['trials_executed']}, "
+        f"cached {report['trials_cached']})"
+    )
+    out.result(f"  scenario {report['scenario']}, seeds {report['seeds']} "
+               f"from {report['seed_base']}, digest {report['results_digest']}")
+    for cell in report["cells"]:
+        parts = []
+        for metric in report["metrics"]:
+            stats = cell["stats"].get(metric)
+            if stats is not None:
+                parts.append(f"{metric} median {stats['median']:.4g}")
+        out.result(f"    {cell['label'] or '-':<28} {'  '.join(parts)}")
+    gate = report.get("baseline_gate")
+    if gate is not None:
+        if gate.get("missing"):
+            out.result(
+                f"  baseline {gate['name']}: missing (no committed "
+                f"BENCH_{gate['name']}.json) — deltas unavailable"
+            )
+        else:
+            deltas = gate["deltas"]
+            bits = [
+                f"{key} {deltas[key]:+.1%}"
+                for key in ("events_per_sec", "wall_time_s")
+                if key in deltas
+            ]
+            verdict = "ok" if not gate["failures"] else "REGRESSED"
+            out.result(
+                f"  baseline {gate['name']}: {', '.join(bits) or 'no comparable keys'}"
+                f" — {verdict}"
+            )
+            for failure in gate["failures"]:
+                out.result(f"    {failure}")
+
+
+def _cmd_exp(args: argparse.Namespace, out: Output) -> int:
+    from repro.experiments.spec import (
+        EXPERIMENTS,
+        baseline_deltas,
+        get_experiment,
+        load_experiment_report,
+        run_experiments,
+        write_experiment_report,
+    )
+
+    if args.exp_command == "list":
+        for name, spec in sorted(EXPERIMENTS.items()):
+            grid = " x ".join(
+                f"{var}[{len(levels)}]" for var, levels in spec.variables
+            )
+            out.result(f"  {name:<22} {spec.summary}")
+            out.result(
+                f"  {'':<22} scenario={spec.scenario} cells={spec.cell_count} "
+                f"({grid}) seeds={spec.seeds}"
+                + (f" baseline={spec.baseline}" if spec.baseline else "")
+            )
+        return 0
+
+    if args.exp_command == "report":
+        try:
+            payload = load_experiment_report(args.path)
+        except FileNotFoundError:
+            out.error(f"no such report file: {args.path}")
+            return 2
+        except json.JSONDecodeError as exc:
+            out.error(f"{args.path}: not a valid experiment report: {exc}")
+            return 2
+        reports = (
+            [payload]
+            if payload.get("kind") == "experiment"
+            else payload.get("experiments", [])
+        )
+        for report in reports:
+            _render_experiment(report, out)
+        return 0
+
+    if args.exp_command == "run":
+        from repro.analysis.parallel import DEFAULT_CACHE_DIR, TrialCache
+
+        try:
+            specs = [get_experiment(name) for name in args.names]
+        except ValueError as exc:
+            out.error(str(exc))
+            return 2
+        cache = None if args.no_cache else TrialCache(DEFAULT_CACHE_DIR)
+        try:
+            reports = run_experiments(
+                specs,
+                trials=args.trials,
+                jobs=args.jobs,
+                scale=args.scale,
+                cache=cache,
+            )
+        except ValueError as exc:
+            out.error(str(exc))
+            return 2
+        regressed = False
+        for report in reports:
+            gate = baseline_deltas(report, baseline_dir=args.baseline_dir)
+            if gate is not None:
+                report["baseline_gate"] = gate
+                if gate["failures"]:
+                    regressed = True
+        payload: dict = (
+            reports[0]
+            if len(reports) == 1
+            else {"kind": "experiment-report", "experiments": reports}
+        )
+        path = write_experiment_report(payload, args.out)
+        if args.json:
+            out.result(json.dumps(payload, indent=2))
+        else:
+            for report in reports:
+                _render_experiment(report, out)
+        out.say(f"  report -> {path}")
+        if regressed and args.gate:
+            out.error("baseline regression gate failed (see failures above)")
+            return 1
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def _cmd_profile(args: argparse.Namespace, out: Output) -> int:
     from repro.analysis.profiling import profile_scenario
 
@@ -937,6 +1073,55 @@ def main(argv: list[str] | None = None) -> int:
         help="directory for BENCH_<name>.json (default benchmarks/results)",
     )
 
+    exp = sub.add_parser(
+        "exp", help="list/run/report declarative experiment specs"
+    )
+    exp_sub = exp.add_subparsers(dest="exp_command", required=True)
+    exp_sub.add_parser("list", help="list the registered experiment specs")
+    exp_run = exp_sub.add_parser(
+        "run", help="run one or more specs and write one report artifact"
+    )
+    exp_run.add_argument(
+        "names", nargs="+", help="experiment spec names (see 'exp list')"
+    )
+    exp_run.add_argument(
+        "--trials", type=int, default=None,
+        help="trials per cell (default: the spec's pin, REPRO_TRIALS, or "
+        "its own default)",
+    )
+    exp_run.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or 1 — serial runs "
+        "are bit-identical to parallel ones)",
+    )
+    exp_run.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale (default: the spec's pin, REPRO_SCALE, or 1.0)",
+    )
+    exp_run.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read from or store into the trial cache",
+    )
+    exp_run.add_argument(
+        "--out", default="benchmarks/results",
+        help="directory for EXP_<name>.json (default benchmarks/results)",
+    )
+    exp_run.add_argument(
+        "--baseline-dir", dest="baseline_dir", default="benchmarks/results",
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    exp_run.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 when a baseline comparison reports a regression",
+    )
+    exp_run.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    exp_report = exp_sub.add_parser(
+        "report", help="render a saved EXP_*.json report artifact"
+    )
+    exp_report.add_argument("path", help="path to an EXP_*.json artifact")
+
     profile = sub.add_parser(
         "profile", help="profile one seeded scenario trial (cProfile top-N)"
     )
@@ -1039,6 +1224,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_daemon(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
+    if args.command == "exp":
+        return _cmd_exp(args, out)
     if args.command == "profile":
         return _cmd_profile(args, out)
     if args.command == "verify":

@@ -409,3 +409,84 @@ class TestDaemonCli:
         )
         assert code == 2
         assert "not KIND:NAME" in capsys.readouterr().err
+
+
+class TestExp:
+    def test_list_names_specs(self, capsys):
+        assert main(["exp", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3_database" in out
+        assert "fig5_idle" in out
+        assert "ablation_backoff" in out
+        assert "smoke" in out
+        assert "baseline=defrag_idle" in out
+
+    def test_unknown_name_rejected(self, capsys):
+        assert main(["exp", "run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_writes_artifact_with_deltas(self, tmp_path, capsys):
+        code = main(
+            [
+                "exp", "run", "smoke",
+                "--trials", "2",
+                "--scale", "0.01",
+                "--jobs", "2",
+                "--no-cache",
+                "--out", str(tmp_path),
+                "--baseline-dir", str(tmp_path),  # no baselines here
+            ]
+        )
+        assert code == 0
+        report = json.loads((tmp_path / "EXP_smoke.json").read_text())
+        assert report["kind"] == "experiment"
+        assert report["name"] == "smoke"
+        assert report["jobs"] == 2
+        assert report["trials"] == 2
+        assert report["cell_count"] == 2
+        assert len(report["results_digest"]) == 16
+        assert report["baseline_gate"]["missing"] is True
+        out = capsys.readouterr().out
+        assert "digest" in out
+        assert "missing" in out
+
+    def test_run_multiple_specs_combined_artifact(self, tmp_path):
+        code = main(
+            [
+                "exp", "run", "ablation_backoff", "ablation_comparator",
+                "--no-cache",
+                "--out", str(tmp_path),
+                "--baseline-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "EXP_report.json").read_text())
+        assert payload["kind"] == "experiment-report"
+        assert [r["name"] for r in payload["experiments"]] == [
+            "ablation_backoff", "ablation_comparator",
+        ]
+
+    def test_report_renders_saved_artifact(self, tmp_path, capsys):
+        assert main(
+            [
+                "--quiet", "exp", "run", "smoke",
+                "--trials", "1", "--scale", "0.01", "--no-cache",
+                "--out", str(tmp_path), "--baseline-dir", str(tmp_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["exp", "report", str(tmp_path / "EXP_smoke.json")]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out
+        assert "li_time median" in out
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        assert main(["exp", "report", str(tmp_path / "nope.json")]) == 2
+        assert "no such report" in capsys.readouterr().err
+
+    def test_invalid_jobs_is_usage_error(self, tmp_path, capsys):
+        code = main(
+            ["exp", "run", "smoke", "--jobs", "0", "--out", str(tmp_path)]
+        )
+        assert code == 2
+        assert "jobs" in capsys.readouterr().err
