@@ -103,6 +103,14 @@ MICROBENCHMARKS: dict[str, tuple[str, str]] = {
         "engine_sharded_report",
         "sharded-fleet bench: ChainMachine barrier rounds + digest parity",
     ),
+    "engine_sparse": (
+        "engine_sparse_report",
+        "sparse-chain microbench: near-idle timer chains, wheel vs heap",
+    ),
+    "shard_imbalanced": (
+        "shard_imbalanced_report",
+        "skewed-fleet bench: work-stealing balance gain + digest parity",
+    ),
 }
 
 
@@ -276,6 +284,8 @@ def compare_reports(
             "hops",
             "machines",
             "shards",
+            "seed",
+            "repeats",
         )
     )
     base_wall = baseline.get("wall_time_s")

@@ -25,6 +25,18 @@ timing wheel), and each report compares the two side by side:
   through :class:`~repro.simos.shard.ShardedFleet` barrier rounds,
   measuring aggregate events/s across worker processes and re-checking
   the ``shards=1`` vs ``shards=N`` digest-parity contract every run.
+* **sparse chains** (``engine_sparse``) — a handful of live timer
+  chains, the near-idle regime that used to be the wheel's worst case
+  (per-event slot bookkeeping on a near-empty wheel).  The report is the
+  wheel-by-default safety gate: the wheel's sparse throughput must stay
+  within the CI band of its committed baseline, with the heap on the
+  identical workload alongside.
+* **imbalanced shards** (``shard_imbalanced``) — the
+  :func:`~repro.simos.shard.skewed_machine` fleet, where round-robin
+  placement lands every heavy machine on shard 0.  Runs the fleet with
+  and without work-stealing rebalancing and reports the critical-path
+  balance gain (deterministic, unlike wall time on a loaded CI box)
+  plus the digest-parity proof with migrations in play.
 
 Every run re-checks the optimization's correctness guards: the O(1)
 ``pending`` counter must equal a full store scan, and compaction must
@@ -44,9 +56,12 @@ __all__ = [
     "stored_entries",
     "run_engine_hotpath",
     "run_dense_fleet",
+    "run_sparse_chains",
     "engine_hotpath_report",
     "engine_wheel_report",
     "engine_sharded_report",
+    "engine_sparse_report",
+    "shard_imbalanced_report",
 ]
 
 
@@ -141,6 +156,38 @@ def run_dense_fleet(
 
     for _ in range(chains):
         post_after(0.001, tick, hops)
+    events = chains * (hops + 1)
+    start = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - start
+    assert engine.events_fired == events
+    assert engine.pending == 0
+    return events / wall
+
+
+def run_sparse_chains(
+    chains: int = 2,
+    hops: int = 50_000,
+    engine_core: str = "wheel",
+    delay: float = 0.05,
+) -> float:
+    """Run a near-idle workload of ``chains`` timer chains; return events/s.
+
+    With only a couple of live timers the store never grows, so all the
+    cost is per-event machinery: heap push/pop for the heap core, the
+    ready-band sparse bypass for the wheel.  This is the workload that
+    regressed before the bypass existed and the one the wheel-by-default
+    flip is gated on.
+    """
+    engine = _make(engine_core)
+    post_after = engine.post_after
+
+    def tick(n):
+        if n:
+            post_after(delay, tick, n - 1)
+
+    for _ in range(chains):
+        post_after(delay, tick, hops)
     events = chains * (hops + 1)
     start = time.perf_counter()
     engine.run()
@@ -336,6 +383,146 @@ def engine_sharded_report(
         "events_fired": events_fired,
         "messages_routed": messages_routed,
         "parity_ok": digests[0] == digests[1],
+        "digest": digests[0],
+        "wall_time_s": round(wall, 4),
+        "code_fingerprint": code_fingerprint(),
+    }
+
+
+def engine_sparse_report(
+    chains: int = 2, hops: int = 100_000, repeats: int = 3
+) -> dict:
+    """Sparse-chain throughput, wheel vs heap, as ``BENCH_engine_sparse.json``.
+
+    ``events_per_sec`` is the wheel core (the default engine) on the
+    near-idle workload — the number the CI perf gate holds against the
+    committed baseline so the wheel-by-default flip can never silently
+    regress the sparse regime.  The heap runs the identical workload and
+    rides along as ``heap_events_per_sec`` with the ``vs_heap`` ratio.
+    """
+    from repro.analysis.parallel import code_fingerprint
+
+    start = time.perf_counter()
+    wheel = max(
+        run_sparse_chains(chains, hops, "wheel") for _ in range(max(1, repeats))
+    )
+    heap = max(
+        run_sparse_chains(chains, hops, "heap") for _ in range(max(1, repeats))
+    )
+    wall = time.perf_counter() - start
+    return {
+        "name": "engine_sparse",
+        "kind": "micro",
+        "chains": chains,
+        "hops": hops,
+        "repeats": repeats,
+        "events_per_sec": round(wheel),
+        "heap_events_per_sec": round(heap),
+        "vs_heap": round(wheel / heap, 2),
+        "wall_time_s": round(wall, 4),
+        "code_fingerprint": code_fingerprint(),
+    }
+
+
+def _placement_imbalance(snapshots: list[dict], shard_ids: list[list[int]]) -> float:
+    """Critical-path ratio of a placement: max shard load over mean.
+
+    Computed from the (placement-independent) per-machine fired-event
+    counts, so the metric is deterministic even when the placement came
+    from wall-clock stealing.  1.0 is perfect balance; with barrier
+    stepping the fleet's wall time tracks the slowest shard, so aggregate
+    throughput scales with roughly the inverse of this ratio.
+    """
+    events = {s["machine"]: int(s.get("events_fired", 0)) for s in snapshots}
+    loads = [sum(events[mid] for mid in ids) for ids in shard_ids]
+    mean = sum(loads) / len(loads)
+    return max(loads) / mean if mean > 0 else 1.0
+
+
+def shard_imbalanced_report(
+    machines: int = 16,
+    shards: int | None = None,
+    rounds: int = 10,
+    seed: int = 0,
+    repeats: int = 2,
+) -> dict:
+    """Work-stealing gain on a skewed fleet as ``BENCH_shard_imbalanced.json``.
+
+    Runs the :func:`~repro.simos.shard.skewed_machine` fleet three ways —
+    inline (``shards=1``), sharded without rebalancing, and sharded with
+    work-stealing — and asserts all three digests match, proving the
+    parity contract *with migrations in play*.  ``events_per_sec`` is the
+    rebalanced layout's measured aggregate rate (the CI-gated number);
+    ``balance_gain`` is the deterministic headline: the critical-path
+    imbalance of the static placement over the stolen-to placement, i.e.
+    how much shorter the slowest shard's queue got.  Wall-clock speedup
+    follows the balance gain only on a multi-core box, so the gate rides
+    on the deterministic metric's inputs, not the host's core count.
+    """
+    from repro.analysis.parallel import code_fingerprint, resolve_shards
+    from repro.simos.shard import ShardedFleet, skewed_machine
+
+    shards = resolve_shards(shards, machines=machines, default=4)
+    static_best = stolen_best = 0.0
+    migrations = 0
+    imbalance_static = imbalance_stolen = 1.0
+    digests = ("", "", "")
+    events_fired = 0
+    start = time.perf_counter()
+    for _ in range(max(1, repeats)):
+        inline = ShardedFleet(machines, skewed_machine, shards=1, seed=seed)
+        serial = inline.run(rounds)
+        with ShardedFleet(
+            machines, skewed_machine, shards=shards, seed=seed
+        ) as fleet:
+            t0 = time.perf_counter()
+            static = fleet.run(rounds)
+            static_best = max(
+                static_best, static.events_fired / (time.perf_counter() - t0)
+            )
+            imbalance_static = _placement_imbalance(
+                static.snapshots, fleet._shard_ids
+            )
+        with ShardedFleet(
+            machines,
+            skewed_machine,
+            shards=shards,
+            seed=seed,
+            rebalance=True,
+            balance_on="events",
+        ) as fleet:
+            t0 = time.perf_counter()
+            stolen = fleet.run(rounds)
+            stolen_best = max(
+                stolen_best, stolen.events_fired / (time.perf_counter() - t0)
+            )
+            imbalance_stolen = _placement_imbalance(
+                stolen.snapshots, fleet._shard_ids
+            )
+            migrations = stolen.migrations
+        digests = (serial.digest, static.digest, stolen.digest)
+        assert digests[0] == digests[1] == digests[2], (
+            f"shard digest parity broken: shards=1 {digests[0]} vs "
+            f"static {digests[1]} vs rebalanced {digests[2]}"
+        )
+        events_fired = stolen.events_fired
+    wall = time.perf_counter() - start
+    return {
+        "name": "shard_imbalanced",
+        "kind": "micro",
+        "machines": machines,
+        "shards": shards,
+        "rounds": rounds,
+        "seed": seed,
+        "repeats": repeats,
+        "events_per_sec": round(stolen_best),
+        "static_events_per_sec": round(static_best),
+        "migrations": migrations,
+        "imbalance_static": round(imbalance_static, 3),
+        "imbalance_rebalanced": round(imbalance_stolen, 3),
+        "balance_gain": round(imbalance_static / imbalance_stolen, 2),
+        "events_fired": events_fired,
+        "parity_ok": digests[0] == digests[1] == digests[2],
         "digest": digests[0],
         "wall_time_s": round(wall, 4),
         "code_fingerprint": code_fingerprint(),

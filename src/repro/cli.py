@@ -563,6 +563,23 @@ def _cmd_bench(args: argparse.Namespace, out: Output) -> int:
                 f"{report['serial_events_per_sec']:,} events/s serial, "
                 f"digest parity {'ok' if report['parity_ok'] else 'FAILED'}"
             )
+        elif report["name"] == "engine_sparse":
+            out.result(
+                f"{report['name']}: {report['events_per_sec']:,} events/s (wheel), "
+                f"{report['heap_events_per_sec']:,} events/s (heap), "
+                f"{report['vs_heap']:.2f}x on {report['chains']} sparse "
+                f"chain(s) of {report['hops']} hops"
+            )
+        elif report["name"] == "shard_imbalanced":
+            out.result(
+                f"{report['name']}: {report['events_per_sec']:,} events/s rebalanced "
+                f"@ shards={report['shards']}, imbalance "
+                f"{report['imbalance_static']:.2f} -> "
+                f"{report['imbalance_rebalanced']:.2f} "
+                f"(balance gain {report['balance_gain']:.2f}x, "
+                f"{report['migrations']} migration(s)), "
+                f"digest parity {'ok' if report['parity_ok'] else 'FAILED'}"
+            )
         else:
             out.result(
                 f"{report['name']}: {report['events_per_sec']:,} events/s "
@@ -1066,7 +1083,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     bench.add_argument(
         "--shards", type=int, default=None,
-        help="engine_sharded only: worker shards (default: REPRO_SHARDS or 2)",
+        help="sharded benches only: worker shards (default: REPRO_SHARDS)",
     )
     bench.add_argument(
         "--out", default="benchmarks/results",

@@ -44,13 +44,20 @@ def capped_backoff(initial: float, k: int, maximum: float) -> float:
 
     ``maximum`` may be ``inf`` (an uncapped analytic model); the result is
     then the exact doubled value while representable and ``inf`` beyond.
+
+    The overflow clamp itself is the shared
+    :func:`repro.simos.engine.clamp_horizon` helper — one policy for every
+    horizon that can outgrow float math, here and in the wheel core's
+    far-future band.
     """
     if k < 0:
         raise ConfigError(f"doubling count must be non-negative, got {k}")
     if not initial > 0:
         raise ConfigError(f"initial suspension must be positive, got {initial}")
+    from repro.simos.engine import clamp_horizon
+
     grown = math.inf if k >= _MAX_DOUBLINGS else initial * (2.0 ** k)
-    return maximum if grown >= maximum else grown
+    return clamp_horizon(grown, maximum)
 
 
 class SuspensionTimer:

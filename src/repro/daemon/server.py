@@ -71,6 +71,7 @@ from repro.daemon.protocol import (
 )
 from repro.faults.plan import FaultPlan
 from repro.obs import events as obs_events
+from repro.realtime.deadlines import DeadlineQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.telemetry import Telemetry
@@ -168,6 +169,7 @@ class RegulatorDaemon:
         fsync_journal: bool = True,
         restart_backoff: float = 0.25,
         restart_backoff_cap: float = 5.0,
+        engine_core: str | None = None,
     ) -> None:
         self.socket_path = socket_path
         self._config = config
@@ -194,6 +196,10 @@ class RegulatorDaemon:
         self.journal_interval = journal_interval
         self._restart_backoff = restart_backoff
         self._restart_backoff_cap = restart_backoff_cap
+        #: Which event core orders the daemon's periodic deadlines
+        #: (``None`` consults ``REPRO_ENGINE``, wheel by default) — the
+        #: deployable path runs the same core as the simulator.
+        self.engine_core = engine_core
 
         self._sessions: dict[str, _Session] = {}
         self._worker_procs: dict[str, asyncio.subprocess.Process] = {}
@@ -691,34 +697,62 @@ class RegulatorDaemon:
 
     async def _liveness_loop(self) -> None:
         """Evict workers that owe a testpoint and have gone silent."""
+        deadlines = DeadlineQueue(self.engine_core)
+
+        def sweep() -> None:
+            self._liveness_sweep()
+            deadlines.schedule(self.heartbeat_interval, sweep)
+
+        deadlines.schedule(self.heartbeat_interval, sweep)
         while not self._stopping:
-            await asyncio.sleep(self.heartbeat_interval)
-            now = self._now()
-            for session in list(self._sessions.values()):
-                if session.parked or session.closed:
-                    continue  # parked workers owe us nothing; we owe them
-                if now < session.hang_until + self.heartbeat_timeout:
-                    continue  # self-inflicted silence (peer_hang chaos)
-                if now - session.last_seen > self.heartbeat_timeout:
-                    self.counters["evictions"] += 1
-                    self._emit_anomaly(
-                        "peer_unresponsive",
-                        value=now - session.last_seen,
-                        detail=session.name,
-                    )
-                    self._emit_recovery("worker_evicted", detail=session.name)
-                    self._cleanup_session(session, expected=True)
+            wait = deadlines.next_wait()
+            await asyncio.sleep(
+                wait if wait is not None else self.heartbeat_interval
+            )
+            deadlines.poll()
+
+    def _liveness_sweep(self) -> None:
+        now = self._now()
+        for session in list(self._sessions.values()):
+            if session.parked or session.closed:
+                continue  # parked workers owe us nothing; we owe them
+            if now < session.hang_until + self.heartbeat_timeout:
+                continue  # self-inflicted silence (peer_hang chaos)
+            if now - session.last_seen > self.heartbeat_timeout:
+                self.counters["evictions"] += 1
+                self._emit_anomaly(
+                    "peer_unresponsive",
+                    value=now - session.last_seen,
+                    detail=session.name,
+                )
+                self._emit_recovery("worker_evicted", detail=session.name)
+                self._cleanup_session(session, expected=True)
 
     async def _persistence_loop(self) -> None:
-        """Journal changed calibration; snapshot + compact on the interval."""
-        last_snapshot = self._now()
-        while not self._stopping:
-            await asyncio.sleep(self.journal_interval)
+        """Journal changed calibration; snapshot + compact on the interval.
+
+        Both cadences — the fast journal sweep and the slow snapshot —
+        are deadlines on one :class:`DeadlineQueue`, so the engine core
+        selected by ``REPRO_ENGINE`` orders them and the snapshot no
+        longer piggybacks on journal-sweep arithmetic.
+        """
+        deadlines = DeadlineQueue(self.engine_core)
+
+        def journal_sweep() -> None:
             for session in list(self._sessions.values()):
                 self._journal_session(session)
-            if self._now() - last_snapshot >= self.save_interval:
-                self._persist_all()
-                last_snapshot = self._now()
+            deadlines.schedule(self.journal_interval, journal_sweep)
+
+        def snapshot() -> None:
+            self._persist_all()
+            deadlines.schedule(self.save_interval, snapshot)
+
+        deadlines.schedule(self.journal_interval, journal_sweep)
+        deadlines.schedule(self.save_interval, snapshot)
+        while not self._stopping:
+            wait = deadlines.next_wait()
+            await asyncio.sleep(wait if wait is not None else self.journal_interval)
+            deadlines.poll()
 
     def _journal_session(self, session: _Session) -> None:
         if self._journal is None or not session.registered:

@@ -596,6 +596,17 @@ register(ExperimentSpec(
 ))
 
 register(ExperimentSpec(
+    name="fig4_setup",
+    scenario="groveler_setup",
+    variables={"mode": (
+        "not running", "unregulated", "CPU priority", "MS Manners",
+    )},
+    metrics=("hi_time", "li_time", "events_fired"),
+    seed_base=2000,
+    summary="Figure 4: Office-style Setup time under four Groveler regimes",
+))
+
+register(ExperimentSpec(
     name="fig5_idle",
     scenario="defrag_idle",
     variables={"mode": _CONTENTION_MODES},

@@ -40,6 +40,7 @@ from repro.core.persistence import TargetStore
 from repro.core.superintendent import Superintendent
 from repro.core.supervisor import Supervisor
 from repro.obs import events as obs_events
+from repro.realtime.deadlines import DeadlineQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.telemetry import Telemetry
@@ -61,6 +62,8 @@ class RealTimeRegulator:
         superintendent: Superintendent | None = None,
         process_id: object = None,
         telemetry: "Telemetry | None" = None,
+        save_interval: float = 300.0,
+        engine_core: str | None = None,
     ) -> None:
         if (app_id is None) != (store is None):
             raise ValueError("app_id and store must be provided together")
@@ -76,8 +79,13 @@ class RealTimeRegulator:
         self._cond = threading.Condition(self._lock)
         self._app_id = app_id
         self._store = store
-        self._last_save = time.monotonic()
-        self._save_interval = 300.0
+        self._save_interval = save_interval
+        #: Periodic-save deadlines ride the same event core the simulator
+        #: uses (``engine_core=None`` consults ``REPRO_ENGINE``), so the
+        #: deployable path exercises whichever core is selected.
+        self._deadlines = DeadlineQueue(engine_core)
+        if store is not None:
+            self._deadlines.schedule(self._save_interval, self._periodic_save)
         self._closed = False
         #: Signals whose handlers :meth:`install_signal_handlers` replaced,
         #: mapped to the handlers they displaced (for chaining/uninstall).
@@ -284,9 +292,12 @@ class RealTimeRegulator:
     def _maybe_save_locked(self) -> None:
         if self._store is None:
             return
-        now = time.monotonic()
-        if now - self._last_save >= self._save_interval:
-            self._save_locked()
+        # Fires _periodic_save when its deadline has passed (lock held).
+        self._deadlines.poll()
+
+    def _periodic_save(self) -> None:
+        self._save_locked()
+        self._deadlines.schedule(self._save_interval, self._periodic_save)
 
     def _save_locked(self) -> None:
         if self._store is None or self._app_id is None:
@@ -303,7 +314,6 @@ class RealTimeRegulator:
             # The store already retried; drop this snapshot and try again
             # at the next save interval rather than unwinding a testpoint.
             self._note_persistence_error("save_skipped", exc)
-        self._last_save = time.monotonic()
 
     def _note_persistence_error(self, action: str, exc: PersistenceError) -> None:
         self.persistence_errors += 1

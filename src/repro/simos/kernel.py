@@ -49,29 +49,50 @@ from repro.simos.wheel import WheelEngine
 
 __all__ = ["ThreadState", "SimThread", "Kernel", "DiskFault", "make_engine"]
 
-#: Event-core registry for :func:`make_engine`.  ``heap`` is the default:
-#: it wins on sparse machines (a handful of pending timers, where the C
-#: heap's small constants dominate); ``wheel`` wins on dense fleet-scale
-#: machines (thousands of concurrent timers, where heap reordering costs
-#: O(log n) per event).  Both fire identical event sequences — the verify
-#: wheel oracle holds them to bit-identical logs.
+#: Event-core registry for :func:`make_engine`.  ``wheel`` is the default:
+#: with the sparse ready-band bypass and adaptive resolution it matches the
+#: heap on sparse machines (a handful of pending timers) and wins ~2x on
+#: dense fleet-scale machines (thousands of concurrent timers, where heap
+#: reordering costs O(log n) per event).  ``heap`` remains the escape hatch
+#: (``REPRO_ENGINE=heap``) for workloads the cost model mis-serves — see
+#: the "when to force heap" table in docs/performance.md.  Both fire
+#: identical event sequences — the verify wheel oracle holds them to
+#: bit-identical logs.
 ENGINE_CORES = {"heap": Engine, "wheel": WheelEngine}
 
 
 def make_engine(core: str | None = None):
-    """Build an event core by name: ``heap`` (default) or ``wheel``.
+    """Build an event core from a spec: ``wheel`` (default) or ``heap``.
 
     ``core=None`` falls back to the ``REPRO_ENGINE`` environment variable,
-    then to ``heap`` — so a whole experiment sweep can be flipped onto the
-    wheel core without touching call sites.
+    then to ``wheel`` — so a whole experiment sweep can be flipped onto
+    the heap core without touching call sites.  The wheel accepts an
+    optional pinned resolution suffix, ``wheel:<bits>`` (e.g.
+    ``REPRO_ENGINE=wheel:10`` for 1/1024 s ticks), which also disables
+    the online adaptation exactly as ``WheelEngine(resolution_bits=10)``
+    does.
     """
-    name = core or os.environ.get("REPRO_ENGINE") or "heap"
+    spec = core or os.environ.get("REPRO_ENGINE") or "wheel"
+    name, _, suffix = spec.partition(":")
     try:
-        return ENGINE_CORES[name]()
+        cls = ENGINE_CORES[name]
     except KeyError:
         raise SimulationError(
-            f"unknown engine core {name!r}; choose from {sorted(ENGINE_CORES)}"
+            f"unknown engine core {spec!r}; choose from {sorted(ENGINE_CORES)}"
         ) from None
+    if not suffix:
+        return cls()
+    if cls is not WheelEngine:
+        raise SimulationError(
+            f"engine core {name!r} takes no resolution suffix, got {spec!r}"
+        )
+    try:
+        bits = int(suffix)
+    except ValueError:
+        raise SimulationError(
+            f"engine core suffix must be an integer resolution, got {spec!r}"
+        ) from None
+    return WheelEngine(resolution_bits=bits)
 
 
 class DiskFault(SimulationError):

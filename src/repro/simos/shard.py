@@ -26,6 +26,18 @@ Determinism is the whole design (the same discipline
 processes — and therefore produces byte-identical machine snapshots, a
 property the CI perf-smoke job asserts via the result digest.
 
+**Work-stealing rebalancing** (``rebalance=True``) migrates whole
+machines from the slowest shard to the fastest at tick barriers.  The
+steal decision is a pure function of the barrier-ordered load vector —
+every shard's load is collected *at* the barrier and examined in shard
+index order with deterministic tie-breaks, so no decision ever races
+wall clocks mid-round.  ``balance_on`` picks the load signal: ``"wall"``
+(per-shard round wall seconds, the production signal) or ``"events"``
+(per-shard fired-event counts, bit-reproducible for tests).  Digest
+parity survives stealing by construction: a machine's evolution depends
+only on its seed and delivered messages, never on which shard hosts it,
+so migrating it between rounds changes wall time and nothing else.
+
 The built-in :class:`ChainMachine` is the reference fleet workload used
 by ``repro bench engine_sharded`` and the shard tests: per-machine timer
 chains on the wheel core with deterministic cross-machine pings.
@@ -36,11 +48,18 @@ from __future__ import annotations
 import hashlib
 import json
 import multiprocessing
+import time
 from typing import Any, Callable, Sequence
 
 from repro.simos.engine import SimulationError
 
-__all__ = ["Message", "ChainMachine", "ShardResult", "ShardedFleet"]
+__all__ = [
+    "Message",
+    "ChainMachine",
+    "ShardResult",
+    "ShardedFleet",
+    "skewed_machine",
+]
 
 #: One cross-machine message: ``(send_time, src, seq, dst, payload)``.
 #: ``seq`` is the source machine's outbox append index for the round;
@@ -167,18 +186,45 @@ class ChainMachine:
         }
 
 
+def skewed_machine(machine_id: int, machines: int, seed: int) -> ChainMachine:
+    """Imbalanced reference fleet: every 4th machine carries 16x the load.
+
+    Machine ids ``0, 4, 8, ...`` get 256 timer chains; the rest get 16.
+    Under the coordinator's round-robin placement with ``shards=4`` the
+    heavy machines all land on shard 0, which makes this the reference
+    workload for the work-stealing rebalancer (``repro bench
+    shard_imbalanced``): without stealing, shard 0 is the critical path
+    for ~80% of the fleet's events; with stealing, the heavy machines
+    spread across shards within a few barriers.  Module-level and
+    picklable, so spawn-start workers can import it.
+    """
+    heavy = machine_id % 4 == 0
+    return ChainMachine(machine_id, machines, seed, chains=256 if heavy else 16)
+
+
 class ShardResult:
     """Outcome of one fleet run: per-machine snapshots + derived digest."""
 
-    __slots__ = ("snapshots", "events_fired", "messages_routed", "shards")
+    __slots__ = (
+        "snapshots",
+        "events_fired",
+        "messages_routed",
+        "shards",
+        "migrations",
+    )
 
     def __init__(
-        self, snapshots: list[dict], messages_routed: int, shards: int
+        self,
+        snapshots: list[dict],
+        messages_routed: int,
+        shards: int,
+        migrations: int = 0,
     ) -> None:
         self.snapshots = snapshots
         self.events_fired = sum(int(s.get("events_fired", 0)) for s in snapshots)
         self.messages_routed = messages_routed
         self.shards = shards
+        self.migrations = migrations
 
     @property
     def digest(self) -> str:
@@ -189,11 +235,28 @@ class ShardResult:
         return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
+def _machine_events(machine) -> int:
+    """Fired-event count from the protocol-level snapshot (load signal)."""
+    return int(machine.snapshot().get("events_fired", 0))
+
+
 def _shard_worker(conn, make_machine, machine_ids, machines, seed) -> None:
-    """Worker loop: build the shard's machines, then serve barrier rounds."""
+    """Worker loop: build the shard's machines, then serve barrier rounds.
+
+    A ``round`` reply carries ``(outbox, wall_seconds, {mid: events})`` —
+    the wall time the round took in this worker and each machine's
+    *cumulative* fired-event count.  Both are measurement-only load
+    signals the coordinator reads at the barrier; neither feeds simulated
+    time or the snapshots, so digests never depend on them.  ``steal``
+    pops the named machines and ships them (pickled over the pipe) to
+    the coordinator, which hands them to the receiving shard via
+    ``adopt``; migration happens strictly between rounds, so a machine's
+    event stream is seamless across the move.
+    """
     fleet = {
         mid: make_machine(mid, machines, seed) for mid in machine_ids
     }
+    machine_ids = sorted(machine_ids)
     try:
         while True:
             msg = conn.recv()
@@ -201,13 +264,32 @@ def _shard_worker(conn, make_machine, machine_ids, machines, seed) -> None:
             if op == "round":
                 _, t, inbox = msg
                 outbox: list[Message] = []
+                start = time.perf_counter()  # verify: allow-wall-clock (load signal only)
                 for mid in machine_ids:  # fixed id order within the shard
                     machine = fleet[mid]
                     delivery = inbox.get(mid)
                     if delivery:
                         machine.deliver(delivery)
                     outbox.extend(machine.run_until(t))
-                conn.send(outbox)
+                wall = time.perf_counter() - start  # verify: allow-wall-clock (load signal only)
+                conn.send(
+                    (outbox, wall, {mid: _machine_events(fleet[mid]) for mid in machine_ids})
+                )
+            elif op == "steal":
+                _, mids = msg
+                moved = []
+                for mid in mids:
+                    machine = fleet.pop(mid)
+                    machine_ids.remove(mid)
+                    moved.append((mid, machine))
+                conn.send(moved)
+            elif op == "adopt":
+                _, moved = msg
+                for mid, machine in moved:
+                    fleet[mid] = machine
+                    machine_ids.append(mid)
+                machine_ids.sort()
+                conn.send(True)
             elif op == "finish":
                 conn.send([fleet[mid].snapshot() for mid in machine_ids])
                 return
@@ -237,6 +319,9 @@ class ShardedFleet:
         "machines",
         "shards",
         "seed",
+        "rebalance",
+        "balance_on",
+        "migrations",
         "_make_machine",
         "_inline",
         "_workers",
@@ -250,14 +335,23 @@ class ShardedFleet:
         make_machine: Callable[[int, int, int], Any] = ChainMachine,
         shards: int = 1,
         seed: int = 0,
+        rebalance: bool = False,
+        balance_on: str = "wall",
     ) -> None:
         if machines < 1:
             raise SimulationError(f"need at least one machine, got {machines}")
         if shards < 1:
             raise SimulationError(f"need at least one shard, got {shards}")
+        if balance_on not in ("wall", "events"):
+            raise SimulationError(
+                f"balance_on must be 'wall' or 'events', got {balance_on!r}"
+            )
         self.machines = machines
         self.shards = min(shards, machines)
         self.seed = seed
+        self.rebalance = rebalance and self.shards > 1
+        self.balance_on = balance_on
+        self.migrations = 0
         self._make_machine = make_machine
         self._inline: dict[int, Any] | None = None
         self._workers: list = []
@@ -311,6 +405,55 @@ class ShardedFleet:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- rebalancing ---------------------------------------------------------
+    @staticmethod
+    def _pick_steal(
+        loads: list[float], weights: list[dict[int, int]]
+    ) -> tuple[int, int, int] | None:
+        """Steal decision from the barrier-ordered load vector.
+
+        Pure function: given per-shard loads (index = shard) and
+        per-shard ``{machine_id: cumulative events}`` weight maps, return
+        ``(src_shard, dst_shard, machine_id)`` or ``None``.  All ties
+        break toward the lower shard/machine index, so the decision is
+        bit-reproducible for any given load vector — the only
+        nondeterminism under ``balance_on="wall"`` is the measured vector
+        itself, which never reaches simulated state.
+
+        Policy: one whole machine per barrier, from the most- to the
+        least-loaded shard, only when the spread exceeds 25% of the
+        fastest shard's load; the migrated machine is the one whose
+        event weight best matches half the load gap (converted to event
+        units via the source shard's events-per-load ratio), so a single
+        hot machine moves in one step instead of oscillating.
+        """
+        src = max(range(len(loads)), key=lambda s: (loads[s], -s))
+        dst = min(range(len(loads)), key=lambda s: (loads[s], s))
+        if src == dst or len(weights[src]) <= 1:
+            return None
+        if loads[src] <= 1.25 * loads[dst]:
+            return None
+        src_events = sum(weights[src].values())
+        if src_events <= 0 or loads[src] <= 0:
+            return None
+        # Half the load gap, expressed in this shard's event units.
+        target = (loads[src] - loads[dst]) / (2.0 * loads[src]) * src_events
+        mid = min(
+            weights[src], key=lambda m: (abs(weights[src][m] - target), m)
+        )
+        return (src, dst, mid)
+
+    def _migrate(self, src: int, dst: int, mid: int) -> None:
+        """Move one machine between worker shards (between rounds only)."""
+        self._pipes[src].send(("steal", [mid]))
+        moved = self._pipes[src].recv()
+        self._pipes[dst].send(("adopt", moved))
+        self._pipes[dst].recv()
+        self._shard_ids[src].remove(mid)
+        self._shard_ids[dst].append(mid)
+        self._shard_ids[dst].sort()
+        self.migrations += 1
+
     # -- execution -----------------------------------------------------------
     def run(self, rounds: int, tick: float = 1.0) -> ShardResult:
         """Advance the whole fleet through ``rounds`` barrier rounds.
@@ -321,6 +464,12 @@ class ShardedFleet:
         round.  Messages still in flight when the last round ends are
         dropped on the floor identically in both layouts (they were never
         delivered, so they cannot affect the digest).
+
+        With ``rebalance=True`` each barrier additionally examines the
+        shard load vector (:meth:`_pick_steal`) and migrates at most one
+        machine from the slowest shard to the fastest before the next
+        round — snapshots and digests are unaffected because machine
+        evolution is placement-independent.
         """
         if rounds < 1:
             raise SimulationError(f"need at least one round, got {rounds}")
@@ -343,8 +492,19 @@ class ShardedFleet:
                     pipe.send(
                         ("round", t, {mid: inbox[mid] for mid in ids if mid in inbox})
                     )
+                loads: list[float] = []
+                weights: list[dict[int, int]] = []
                 for pipe in self._pipes:
-                    gathered.extend(pipe.recv())
+                    out, wall, events = pipe.recv()
+                    gathered.extend(out)
+                    loads.append(
+                        wall if self.balance_on == "wall" else float(sum(events.values()))
+                    )
+                    weights.append(events)
+                if self.rebalance and r < rounds:
+                    steal = self._pick_steal(loads, weights)
+                    if steal is not None:
+                        self._migrate(*steal)
             # The exchange: a single global sort makes delivery order a
             # pure function of the message set, not of the shard layout.
             gathered.sort(key=lambda m: (m[0], m[1], m[2]))
@@ -360,5 +520,5 @@ class ShardedFleet:
                 pipe.send(("finish",))
             for pipe in self._pipes:
                 snapshots.extend(pipe.recv())
-        result = ShardResult(snapshots, routed, self.shards)
+        result = ShardResult(snapshots, routed, self.shards, self.migrations)
         return result

@@ -25,8 +25,8 @@ Structure (see docs/performance.md for the full design discussion):
 * **Cascade on rollover**: when level 0 drains, the next level-1 slot is
   exploded into level-0 slots (and level 2 into level 1); each entry
   cascades at most twice in its life.
-* **Overflow band**: timers beyond the level-2 horizon go to a small
-  binary heap, pulled back into the wheel one level-2 block at a time —
+* **Overflow band**: timers beyond the top-level horizon go to a small
+  binary heap, pulled back into the wheel one top-level block at a time —
   the far-future band is where cancelled-entry compaction pays off, so
   it gets the same threshold-based compaction as the heap engine.
 * **Ready heap**: zero-delay posts, same-tick posts, and entries that
@@ -34,6 +34,23 @@ Structure (see docs/performance.md for the full design discussion):
   advanced the clock without draining the wheel) keep exact
   ``(when, seq)`` order through a tiny heap that interleaves with the
   current slot during dispatch.
+* **Sparse bypass**: while fewer than :data:`_SPARSE_THRESHOLD` events
+  are pending, posts go straight to the ready heap and skip the slot
+  machinery entirely.  A near-empty wheel (one or two live timer chains)
+  otherwise pays buffer allocation, slot bookkeeping, and refill scans
+  per event — the sparse-post regression that kept the heap the default
+  core.  The bypass is order-safe by construction: dispatch interleaves
+  the ready heap with the active slot by exact ``(when, seq)`` tuple
+  comparison, so band placement is purely a performance decision.
+* **Adaptive resolution**: ``resolution_bits`` and ``levels`` are
+  constructor parameters, and by default the engine *adapts* the
+  resolution online — a deterministic counter-strided reservoir of
+  observed post delays (every 64th post, no RNG) feeds a cost model
+  (:meth:`WheelEngine.suggest_resolution_bits`) that scores candidate
+  resolutions by expected cascade + same-tick-collision cost, and
+  :meth:`WheelEngine.adapt_resolution` rebuilds the bands at the winner.
+  Rebuilds preserve exact firing order (every band orders by
+  ``(when, seq)``), so adaptation is invisible except for speed.
 
 Determinism: entries are the same plain ``(when, seq, fn, args)`` tuples
 (or :class:`~repro.simos.engine.EventHandle` subclasses) the heap engine
@@ -51,9 +68,11 @@ from typing import Any, Callable, Iterator
 
 from repro.simos.engine import (
     _COMPACT_MIN_STALE,
+    TICK_INDEX_LIMIT,
     Engine,
     EventHandle,
     SimulationError,
+    clamp_horizon,
 )
 
 __all__ = ["WheelEngine", "EventCore"]
@@ -68,6 +87,35 @@ _SLOTS = 256
 _BIT = tuple(1 << i for i in range(_SLOTS))
 _NBIT = tuple(~(1 << i) for i in range(_SLOTS))
 
+#: While pending events number at or below this, posts bypass the slot
+#: machinery and go straight to the ready heap (see the module docstring's
+#: "sparse bypass").  8 covers the sparse workloads that regressed (a
+#: handful of live timer chains) while keeping the ready heap tiny; dense
+#: workloads blow past it immediately and use the slots.
+_SPARSE_THRESHOLD = 8
+
+#: Delay-reservoir geometry: every ``_OBS_STRIDE``-th post records its
+#: delay into a ``_OBS_SLOTS``-entry ring (deterministic counter striding,
+#: not RNG sampling — the determinism lint forbids unseeded randomness and
+#: the stride is statistically adequate for a resolution decision).  Each
+#: full ring (``_OBS_STRIDE * _OBS_SLOTS`` = 16384 posts) triggers one
+#: adaptation check.
+_OBS_STRIDE = 64
+_OBS_SLOTS = 256
+
+#: Cost-model weights for :meth:`WheelEngine.suggest_resolution_bits`, in
+#: "slot touches" per posted event: landing in level 0 costs one touch;
+#: each cascade rehomes the entry once more; a same-tick collision pays
+#: heap ordering in the ready band; overflow pays heap push + pull-back.
+_COST_L0 = 1.0
+_COST_CASCADE = 1.0
+_COST_SAME_TICK = 2.5
+_COST_OVERFLOW = 5.0
+
+#: Adapt only when the modeled cost improves by at least this factor —
+#: hysteresis so borderline workloads don't oscillate between resolutions.
+_ADAPT_HYSTERESIS = 0.9
+
 
 class WheelEngine:
     """Timing-wheel event core with the heap engine's exact contract."""
@@ -76,15 +124,74 @@ class WheelEngine:
     # the scheduling methods through the instance dict, exactly as it does
     # for Engine; one engine per simulation, so slots buy nothing)
 
-    def __init__(self, resolution_bits: int = 7) -> None:
-        if not 0 <= resolution_bits <= 20:
+    def __init__(
+        self,
+        resolution_bits: int | None = None,
+        levels: int = 3,
+        adaptive: bool | None = None,
+        sparse_threshold: int | None = None,
+    ) -> None:
+        """Build a wheel core.
+
+        ``resolution_bits`` sets ticks-per-second to ``2**resolution_bits``
+        (default 7 = 1/128 s, the static heuristic for the paper's
+        10 ms–2 s timer band).  Passing it explicitly *pins* the
+        resolution — adaptation defaults off — while leaving it ``None``
+        starts at the heuristic default and lets the online adaptation
+        pass retune it from the observed delay distribution.  ``levels``
+        (1–3) bounds the wheel horizon to ``256**levels`` ticks; timers
+        beyond it ride the overflow heap.  ``adaptive`` overrides the
+        pin-implies-static default in either direction.
+        ``sparse_threshold`` overrides the pending-population cutoff for
+        the ready-heap sparse bypass (0 disables it — every post takes the
+        slot path, which the wheel level tests rely on).
+        """
+        if resolution_bits is None:
+            bits = 7
+            if adaptive is None:
+                adaptive = True
+        else:
+            bits = resolution_bits
+            if adaptive is None:
+                adaptive = False
+        if not 0 <= bits <= 20:
             raise SimulationError(
                 f"resolution_bits must be in [0, 20], got {resolution_bits}"
             )
+        if not 1 <= levels <= 3:
+            raise SimulationError(f"levels must be in [1, 3], got {levels}")
+        if sparse_threshold is None:
+            sparse_threshold = _SPARSE_THRESHOLD
+        elif sparse_threshold < 0:
+            raise SimulationError(
+                f"sparse_threshold must be >= 0, got {sparse_threshold}"
+            )
+        self._sparse = sparse_threshold
         #: Ticks per second (a power of two, so ``when * _inv`` is an exact
         #: float scaling and the tick index is monotone in ``when``).
-        self._inv = float(1 << resolution_bits)
-        self._resolution_bits = resolution_bits
+        self._inv = float(1 << bits)
+        self._resolution_bits = bits
+        self._levels = levels
+        #: Level horizons as XOR thresholds (see _insert).  A disabled
+        #: level gets threshold 0, so its ``x < lim`` branch never takes
+        #: and out-of-horizon entries fall through to the overflow heap.
+        self._lim1 = 65536 if levels >= 2 else 0
+        self._lim2 = 16777216 if levels >= 3 else 0
+        #: Overflow pull-back geometry: entries come back from the
+        #: far-future heap one top-level block at a time.
+        self._pull_shift = 8 * levels
+        self._pull_align = ~((1 << (8 * levels - 8)) - 1)
+        self._adaptive = adaptive
+        self._adaptations = 0  # completed resolution rebuilds
+        #: Deterministic delay reservoir (see _OBS_STRIDE/_OBS_SLOTS).
+        self._obs: list[float | None] = [None] * _OBS_SLOTS
+        #: Change signature of the reservoir at the last adaptation check
+        #: (count, exact sum) — a repeat signature skips the re-ranking.
+        self._obs_sig: tuple | None = None
+        #: Refill-loop iteration counter: one increment per band scan in
+        #: :meth:`_refill`, giving tests and the adaptation cost model an
+        #: O(occupied-slot) work witness for idle-wheel advances.
+        self._scan_iters = 0
         self._now = 0.0
         self._seq = 0  # total events ever scheduled (posts + handles)
         self._events_fired = 0
@@ -133,6 +240,31 @@ class WheelEngine:
         """Scheduled events not yet fired or cancelled (O(1), derived)."""
         return self._seq - self._events_fired - self._cancelled - self._drained
 
+    @property
+    def resolution_bits(self) -> int:
+        """Current ticks-per-second exponent (may change when adaptive)."""
+        return self._resolution_bits
+
+    @property
+    def levels(self) -> int:
+        """Configured wheel depth (1–3 levels of 256 slots)."""
+        return self._levels
+
+    @property
+    def adaptations(self) -> int:
+        """Completed online resolution rebuilds."""
+        return self._adaptations
+
+    def next_event_time(self) -> float | None:
+        """Firing time of the next live event, or ``None`` when drained.
+
+        Same contract as :meth:`Engine.next_event_time`: cancelled entries
+        at the band heads are skipped (and accounted), so the returned
+        time is exactly what the next :meth:`step` will fire at.
+        """
+        e = self._peek_entry()
+        return None if e is None else e[0]
+
     # -- scheduling ----------------------------------------------------------
     def _reject_time(self, when: float) -> None:
         """Cold path: raise the precise error for an out-of-range time."""
@@ -152,12 +284,31 @@ class WheelEngine:
         level-1/level-2 slot is never at or behind the cursor's position
         in that level, which is what makes the bitmap scans in
         :meth:`_refill` exact.
+
+        The sparse bypass short-circuits all of it: while nothing is
+        slotted and the ready heap is below the sparse threshold, band
+        placement is a single heap push.  The check costs one attribute
+        load in the dense regime (an occupancy bitmap is nonzero and
+        short-circuits) and stays order-safe in every regime — dispatch
+        interleaves by exact ``(when, seq)`` comparison regardless of
+        band, so placement is purely a performance decision.
         """
+        if (
+            not self._buf
+            and not self._bm0
+            and not (self._bm1 | self._bm2)
+            and not self._overflow
+            and len(self._ready) < self._sparse
+        ):
+            heappush(self._ready, entry)
+            return
+        # A tick index past the addressable range lands in the far-future
+        # overflow band through the level-placement else-branch below
+        # (x = idx ^ cur is then >= _lim2); only a product that overflows
+        # float range entirely (int(inf) raises) needs the explicit catch.
         try:
             idx = int(when * self._inv)
         except OverflowError:
-            # when is finite but when * ticks-per-second is not: park the
-            # entry in the far-future band (it orders by (when, seq)).
             heappush(self._overflow, entry)
             return
         cur = self._cur
@@ -178,7 +329,7 @@ class WheelEngine:
             # slot without draining it (the cursor only jumps to occupied
             # slots).  Exact order is preserved through the ready heap.
             heappush(self._ready, entry)
-        elif x < 65536:
+        elif x < self._lim1:
             s = (idx >> 8) & 255
             slot = self._l1[s]
             if slot:
@@ -186,7 +337,7 @@ class WheelEngine:
             else:
                 slot.append(entry)
                 self._bm1 |= _BIT[s]
-        elif x < 16777216:
+        elif x < self._lim2:
             s = (idx >> 16) & 255
             slot = self._l2[s]
             if slot:
@@ -203,6 +354,8 @@ class WheelEngine:
             self._reject_time(when)
         seq = self._seq
         self._seq = seq + 1
+        if not (seq & 63) and self._adaptive:
+            self._observe_delay(seq, when - self._now)
         self._insert(when, (when, seq, fn, args))
 
     def post_after(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
@@ -211,23 +364,36 @@ class WheelEngine:
         The steady-state hot path: the placement logic is inlined here
         (rather than calling :meth:`_insert`) because one Python call
         frame per post is the difference between beating the heap core
-        and matching it.
+        and matching it.  The sparse bypass comes first — a near-empty
+        engine pays one bitmap test and a tiny heap push, nothing
+        else, and the dense regime pays a single short-circuited
+        occupancy-bitmap load to skip it — and the delay reservoir samples
+        every 64th post (one bitmask test on the others).
         """
         when = self._now + delay
         if not (self._now <= when < _INF):
             if delay < 0:
                 raise SimulationError(f"delay must be non-negative, got {delay}")
             self._reject_time(when)
+        seq = self._seq
+        self._seq = seq + 1
+        if not (seq & 63) and self._adaptive:
+            self._observe_delay(seq, delay)
+        if (
+            not self._buf
+            and not self._bm0
+            and not (self._bm1 | self._bm2)
+            and not self._overflow
+            and len(self._ready) < self._sparse
+        ):
+            heappush(self._ready, (when, seq, fn, args))
+            return
         try:
             idx = int(when * self._inv)
         except OverflowError:
-            seq = self._seq
-            self._seq = seq + 1
             heappush(self._overflow, (when, seq, fn, args))
             return
         cur = self._cur
-        seq = self._seq
-        self._seq = seq + 1
         x = idx ^ cur
         if x < 256:
             if idx > cur:
@@ -242,7 +408,7 @@ class WheelEngine:
                 heappush(self._ready, (when, seq, fn, args))
         elif idx < cur:
             heappush(self._ready, (when, seq, fn, args))
-        elif x < 65536:
+        elif x < self._lim1:
             s = (idx >> 8) & 255
             slot = self._l1[s]
             if slot:
@@ -250,7 +416,7 @@ class WheelEngine:
             else:
                 slot.append((when, seq, fn, args))
                 self._bm1 |= _BIT[s]
-        elif x < 16777216:
+        elif x < self._lim2:
             s = (idx >> 16) & 255
             slot = self._l2[s]
             if slot:
@@ -388,6 +554,154 @@ class WheelEngine:
         self._tick_observe = observe
         self._tick_sample_every = sample_every
 
+    # -- adaptive resolution ---------------------------------------------------
+    def _observe_delay(self, seq: int, delay: float) -> None:
+        """Record one sampled post delay; adapt when the ring wraps.
+
+        Callers pre-filter to every :data:`_OBS_STRIDE`-th post (a single
+        ``seq & 63`` test on the hot path), so this runs on ~1.6% of
+        posts; the full adaptation check runs once per
+        ``_OBS_STRIDE * _OBS_SLOTS`` (16384) posts.
+        """
+        i = (seq >> 6) & 255
+        self._obs[i] = delay
+        if i == 255:
+            self._maybe_adapt()
+
+    def _delay_cost(self, bits: int, samples: list) -> float:
+        """Modeled per-post slot-touch cost at a candidate resolution.
+
+        The cost model scores where each sampled delay would land at
+        ``2**bits`` ticks/second: sub-tick delays collide in the ready
+        heap (ordering cost), level-0 landings are one slot touch, each
+        higher level adds a cascade rehoming, and past-horizon delays pay
+        the overflow heap + pull-back.  Empty-slot scans are already
+        O(popcount) thanks to the occupancy bitmaps, so they contribute no
+        resolution-dependent term worth modeling.
+        """
+        lim1 = float(self._lim1 or 256)
+        lim2 = float(self._lim2 or self._lim1 or 256)
+        scale = float(1 << bits)
+        cost = 0.0
+        for d in samples:
+            t = clamp_horizon(d * scale, TICK_INDEX_LIMIT)
+            if t < 1.0:
+                cost += _COST_SAME_TICK
+            elif t < 256.0:
+                cost += _COST_L0
+            elif t < lim1:
+                cost += _COST_L0 + _COST_CASCADE
+            elif t < lim2:
+                cost += _COST_L0 + 2.0 * _COST_CASCADE
+            else:
+                cost += _COST_OVERFLOW
+        return cost / len(samples)
+
+    def suggest_resolution_bits(self) -> int:
+        """Resolution the cost model prefers for the observed delays.
+
+        Static heuristic fallback: with fewer than 32 reservoir samples
+        there is not enough delay evidence to justify a retune, so the
+        current resolution stands (the 1/128 s default places the paper's
+        10 ms–2 s timer band inside level 0).  Ties and near-ties resolve
+        toward the current resolution, then toward fewer bits — both
+        deterministic.
+        """
+        samples = [d for d in self._obs if d is not None]
+        if len(samples) < 32:
+            return self._resolution_bits
+        current = self._resolution_bits
+        best = (self._delay_cost(current, samples), 0, current)
+        for bits in range(21):
+            if bits == current:
+                continue
+            rank = (self._delay_cost(bits, samples), abs(bits - current), bits)
+            if rank < best:
+                best = rank
+        return best[2]
+
+    def _maybe_adapt(self) -> None:
+        """Adapt if the best candidate clears the hysteresis margin.
+
+        A full candidate ranking costs ~21 cost-model passes over the
+        reservoir, so it only runs when the reservoir actually changed:
+        the ring's exact sum is the change signature (deterministic, one
+        pass), and a steady workload — same delays wrap after wrap —
+        skips the ranking entirely.
+        """
+        samples = [d for d in self._obs if d is not None]
+        if len(samples) < 32:
+            return
+        sig = (len(samples), math.fsum(samples))
+        if sig == self._obs_sig:
+            return
+        self._obs_sig = sig
+        current = self._resolution_bits
+        current_cost = self._delay_cost(current, samples)
+        best = (current_cost, 0, current)
+        for bits in range(21):
+            if bits == current:
+                continue
+            rank = (self._delay_cost(bits, samples), abs(bits - current), bits)
+            if rank < best:
+                best = rank
+        if best[2] != current and best[0] < _ADAPT_HYSTERESIS * current_cost:
+            self.adapt_resolution(best[2])
+
+    def adapt_resolution(self, resolution_bits: int | None = None) -> bool:
+        """Rebuild every band at a new resolution; ``True`` if it changed.
+
+        With ``resolution_bits=None`` the cost model picks
+        (:meth:`suggest_resolution_bits`).  The rebuild collects every
+        stored entry from the slot, overflow, and ready bands (dropping
+        cancelled handles, which adjusts the stale count), resets the
+        cursor to the current time at the new resolution, and re-inserts.
+        Exact firing order is unchanged because every band orders by
+        ``(when, seq)`` — adaptation is invisible to the simulation except
+        for speed, which is what keeps seeded runs digest-identical across
+        resolutions.  The active dispatch buffer is deliberately left in
+        place: its entries are already committed to fire before anything
+        still stored, and the interleave against the ready heap keeps
+        their order exact.
+        """
+        if resolution_bits is None:
+            bits = self.suggest_resolution_bits()
+        else:
+            bits = resolution_bits
+            if not 0 <= bits <= 20:
+                raise SimulationError(
+                    f"resolution_bits must be in [0, 20], got {bits}"
+                )
+        if bits == self._resolution_bits:
+            return False
+        entries: list = []
+        for slots in (self._l0, self._l1, self._l2):
+            for slot in slots:
+                if slot:
+                    entries.extend(slot)
+                    slot.clear()
+        entries.extend(self._overflow)
+        self._overflow.clear()
+        entries.extend(self._ready)
+        self._ready.clear()
+        self._bm0 = 0
+        self._bm1 = 0
+        self._bm2 = 0
+        self._resolution_bits = bits
+        self._inv = float(1 << bits)
+        scaled_now = self._now * self._inv
+        self._cur = int(scaled_now) if scaled_now < TICK_INDEX_LIMIT else 0
+        dropped = 0
+        ins = self._insert
+        for e in entries:
+            if e.__class__ is not tuple and e.cancelled:
+                dropped += 1
+                continue
+            ins(e[0], e)
+        self._stale -= dropped
+        self._adaptations += 1
+        return True
+
     # -- dispatch internals ----------------------------------------------------
     def _refill(self) -> bool:
         """Advance the cursor to the next occupied slot and load ``_buf``.
@@ -395,8 +709,15 @@ class WheelEngine:
         Returns ``False`` when every band is empty.  May push entries into
         the ready heap (a cascade can land an entry at the new cursor), so
         callers must re-check ``_ready`` after a ``False`` return.
+
+        Each loop iteration is one bitmap scan / cascade / overflow pull —
+        O(1) work thanks to the occupancy bitmaps — so ``_scan_iters``
+        grows with the number of *occupied* slots crossed, never with the
+        tick distance: an idle wheel advancing an arbitrary horizon costs
+        O(popcount), which the skip-ahead property tests assert.
         """
         while True:
+            self._scan_iters += 1
             cur = self._cur
             pos = cur & 255
             m = self._bm0 >> pos
@@ -443,17 +764,22 @@ class WheelEngine:
             if self._overflow:
                 ov = self._overflow
                 inv = self._inv
-                if ov[0][0] * inv >= _INF:
-                    # Tick index would overflow: dispatch these one at a
-                    # time in exact heap order through the ready band.
+                scaled = ov[0][0] * inv
+                if scaled >= TICK_INDEX_LIMIT:
+                    # Past the addressable tick range: dispatch these one
+                    # at a time in exact heap order through the ready band.
                     heappush(self._ready, heappop(ov))
                     return False
-                idx = int(ov[0][0] * inv)
-                self._cur = (idx >> 16) << 16
-                top = self._cur >> 24
-                # Pull the whole level-2 block back into the wheel; the
+                idx = int(scaled)
+                self._cur = idx & self._pull_align
+                shift = self._pull_shift
+                top = idx >> shift
+                # Pull the whole top-level block back into the wheel; the
                 # rest of the far-future band stays in the heap.
-                while ov and ov[0][0] * inv < _INF and int(ov[0][0] * inv) >> 24 == top:
+                while ov:
+                    scaled = ov[0][0] * inv
+                    if scaled >= TICK_INDEX_LIMIT or int(scaled) >> shift != top:
+                        break
                     e = heappop(ov)
                     self._insert(e[0], e)
                 continue
@@ -483,9 +809,24 @@ class WheelEngine:
                     return heappop(ready)
                 return buf.pop()
             if ready:
-                return heappop(ready)
+                # Sparse fast path: with the slot and overflow bands empty
+                # the ready heap is the whole world; and even when they are
+                # not, a ready head at or behind the cursor provably fires
+                # before any slotted entry (slots only ever hold ticks
+                # strictly beyond the cursor), so popping it directly is
+                # exact — and keeps the cursor put, so in-flight posts keep
+                # landing in slots instead of chasing a prematurely
+                # advanced cursor into the ready band.
+                if (
+                    not (self._bm0 | self._bm1 | self._bm2)
+                    and not self._overflow
+                ) or int(ready[0][0] * self._inv) <= self._cur:
+                    return heappop(ready)
             if not self._refill() and not self._ready:
                 return None
+            # A slotted entry may order before the ready head: loop to
+            # interleave the freshly loaded buffer (or the far-future head
+            # the refill moved into ready) in exact (when, seq) order.
 
     def _peek_entry(self):
         """The globally next live entry without removing it, or ``None``.
@@ -514,7 +855,15 @@ class WheelEngine:
                 if ready and ready[0] < buf[-1]:
                     return ready[0]
                 return buf[-1]
-            if ready:
+            if ready and (
+                (
+                    not (self._bm0 | self._bm1 | self._bm2)
+                    and not self._overflow
+                )
+                or int(ready[0][0] * self._inv) <= self._cur
+            ):
+                # Sparse fast path (see _next_entry): the ready head is
+                # provably the globally next entry.
                 return ready[0]
             if not self._refill() and not self._ready:
                 return None
@@ -579,7 +928,19 @@ class WheelEngine:
         while True:
             buf = self._buf
             if not buf:
-                if ready:
+                if ready and (
+                    (
+                        not (self._bm0 | self._bm1 | self._bm2)
+                        and not self._overflow
+                    )
+                    or int(ready[0][0] * self._inv) <= self._cur
+                ):
+                    # Sparse fast path: either the slot and overflow bands
+                    # are empty (ready is the whole world), or the ready
+                    # head sits at or behind the cursor and so provably
+                    # fires before any slotted entry — either way, pop it
+                    # without a refill, keeping the cursor put so new
+                    # posts keep landing in slots.
                     e = heappop(ready)
                     if e.__class__ is not tuple:
                         if e.cancelled:
@@ -592,7 +953,10 @@ class WheelEngine:
                     continue
                 if not self._refill():
                     if ready:
-                        continue  # A cascade clamped entries into ready.
+                        # A cascade clamped entries into ready, or the
+                        # refill moved the far-future head there; loop to
+                        # interleave (or fast-path once the slots drain).
+                        continue
                     return self._now
                 buf = self._buf
             if ready:

@@ -123,3 +123,97 @@ class TestBenchReport:
         assert resolve_shards(None, default=2) == 4
         with pytest.raises(ValueError):
             resolve_shards(0)
+
+class TestWorkStealing:
+    """Work-stealing rebalancing: deterministic decisions, digest parity."""
+
+    def _skewed(self, shards, seed=5, **kw):
+        from repro.simos.shard import skewed_machine
+
+        return ShardedFleet(
+            16, make_machine=skewed_machine, shards=shards, seed=seed, **kw
+        )
+
+    def test_skewed_machine_is_imbalanced(self):
+        from repro.simos.shard import skewed_machine
+
+        heavy = skewed_machine(0, 16, seed=0)
+        light = skewed_machine(1, 16, seed=0)
+        heavy.engine.run(until=2.0)
+        light.engine.run(until=2.0)
+        assert heavy.engine.events_fired > 4 * light.engine.events_fired
+
+    def test_stealing_migrates_and_preserves_digest(self):
+        with self._skewed(1) as flat:
+            baseline = flat.run(ROUNDS)
+        with self._skewed(4, rebalance=True, balance_on="events") as fleet:
+            rebalanced = fleet.run(ROUNDS)
+        assert rebalanced.migrations > 0
+        assert rebalanced.digest == baseline.digest
+        assert rebalanced.events_fired == baseline.events_fired
+        assert rebalanced.messages_routed == baseline.messages_routed
+
+    def test_events_mode_is_fully_deterministic(self):
+        runs = []
+        for _ in range(2):
+            with self._skewed(4, rebalance=True, balance_on="events") as fleet:
+                result = fleet.run(ROUNDS)
+            runs.append((result.digest, result.migrations))
+        assert runs[0] == runs[1]
+
+    def test_wall_mode_keeps_digest_parity(self):
+        # Wall-clock loads make the *placement* nondeterministic, but the
+        # digest must not move: machine evolution is placement-independent.
+        with self._skewed(1) as flat:
+            baseline = flat.run(ROUNDS)
+        with self._skewed(4, rebalance=True, balance_on="wall") as fleet:
+            rebalanced = fleet.run(ROUNDS)
+        assert rebalanced.digest == baseline.digest
+
+    def test_balanced_fleet_does_not_thrash(self):
+        # A uniform fleet never clears the 25% spread threshold in
+        # events mode, so no machine should move.
+        with ShardedFleet(
+            12, shards=4, seed=3, rebalance=True, balance_on="events"
+        ) as fleet:
+            result = fleet.run(ROUNDS)
+        assert result.migrations == 0
+        assert result.digest == _digest(1, 3)[0]
+
+    def test_pick_steal_is_pure_and_tie_stable(self):
+        pick = ShardedFleet._pick_steal
+        loads = [10.0, 2.0, 2.0]
+        weights = [{0: 800, 3: 100, 6: 90}, {1: 95, 4: 95}, {2: 95, 5: 95}]
+        # Gap/2 in event units: (10-2)/2/10 * 990 = 396 -> machine 0
+        # (|800-396| = 404) loses to 3 (|100-396| = 296)?  No: 296 < 404,
+        # so machine 3 moves; dst ties (shards 1 and 2) break low.
+        assert pick(loads, weights) == (0, 1, 3)
+        # Below the 25% spread threshold: no steal.
+        assert pick([2.2, 2.0], [{0: 50, 1: 50}, {2: 50, 3: 50}]) is None
+        # Single-machine shard never donates its last machine.
+        assert pick([9.0, 1.0], [{0: 900}, {1: 100}]) is None
+
+    def test_rebalance_validates_balance_on(self):
+        with pytest.raises(SimulationError):
+            ShardedFleet(4, shards=2, balance_on="cpu")
+
+    def test_rebalance_ignored_for_single_shard(self):
+        fleet = ShardedFleet(4, shards=1, rebalance=True)
+        assert fleet.rebalance is False
+        result = fleet.run(2)
+        assert result.migrations == 0
+
+    def test_migrated_machine_pickle_roundtrip(self):
+        # The steal op ships a live machine (engine and all) through a
+        # pipe; a pickle round-trip mid-run must resume the exact event
+        # stream.
+        import pickle
+
+        a = ChainMachine(2, 8, seed=9)
+        b = ChainMachine(2, 8, seed=9)
+        a.engine.run(until=3.0)
+        b.engine.run(until=3.0)
+        b = pickle.loads(pickle.dumps(b))
+        a.engine.run(until=6.0)
+        b.engine.run(until=6.0)
+        assert a.snapshot() == b.snapshot()

@@ -92,9 +92,10 @@ class TestScheduling:
             WheelEngine(resolution_bits=21)
 
     def test_huge_but_finite_time_accepted(self):
-        # Products like when * 128 overflow to inf near float max; the
-        # engine must route these to the overflow band, not crash.
-        engine = WheelEngine()
+        # Products like when * 128 overflow past the addressable tick
+        # range near float max; the engine must route these to the
+        # overflow band, not crash.
+        engine = WheelEngine(sparse_threshold=0)
         engine.post_at(1.5e306, lambda: None)
         engine.post_at(1.0, lambda: None)
         assert engine.pending == 2
@@ -120,7 +121,7 @@ class TestHorizons:
         ],
     )
     def test_horizon_exact_posts_fire_at_exact_time(self, when):
-        engine = WheelEngine()
+        engine = WheelEngine(sparse_threshold=0)
         times = []
         engine.post_at(when, lambda: times.append(engine.now))
         engine.run()
@@ -131,7 +132,7 @@ class TestHorizons:
         # Events across every level, including pairs one tick apart that
         # straddle the L0 and L1 horizons, must fire in exact time order
         # after the cascades rehome them.
-        engine = WheelEngine()
+        engine = WheelEngine(sparse_threshold=0)
         times = [
             0.5,
             L0_SPAN - TICK,
@@ -152,7 +153,7 @@ class TestHorizons:
     def test_chain_through_rollovers(self):
         # A self-rescheduling chain whose period doesn't divide the tick
         # walks the cursor through many L0 rotations and L1 cascades.
-        engine = WheelEngine()
+        engine = WheelEngine(sparse_threshold=0)
         times = []
 
         def tick(n):
@@ -170,7 +171,7 @@ class TestHorizons:
         # run(until=...) can leave the internal cursor past `until` (it
         # advances to the next occupied slot).  A later post between
         # `until` and the cursor must still fire, in order.
-        engine = WheelEngine()
+        engine = WheelEngine(sparse_threshold=0)
         fired = []
         engine.post_at(0.5, fired.append, "early")
         engine.post_at(300.0, fired.append, "far")
@@ -253,7 +254,7 @@ class TestCancellation:
         assert total < 500  # 8000 schedules, ~7800 cancelled: mostly gone
 
     def test_cancel_in_overflow_band(self):
-        engine = WheelEngine()
+        engine = WheelEngine(sparse_threshold=0)
         fired = []
         handle = engine.call_at(L2_SPAN + 50.0, fired.append, "far")
         engine.post_at(L2_SPAN + 60.0, fired.append, "farther")
@@ -368,20 +369,41 @@ class TestParityWithHeapEngine:
 
 
 class TestKernelIntegration:
-    def test_make_engine_selects_core(self):
+    def test_make_engine_selects_core(self, monkeypatch):
         from repro.simos.kernel import make_engine
 
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
         assert isinstance(make_engine("wheel"), WheelEngine)
         assert isinstance(make_engine("heap"), Engine)
-        assert isinstance(make_engine(), Engine)
+        # The wheel is the default core (PR 10): sparse bypass + adaptive
+        # resolution closed the regressions that kept the heap default.
+        assert isinstance(make_engine(), WheelEngine)
         with pytest.raises(SimulationError):
             make_engine("calendar")
 
     def test_make_engine_env_override(self, monkeypatch):
         from repro.simos.kernel import make_engine
 
+        monkeypatch.setenv("REPRO_ENGINE", "heap")
+        assert isinstance(make_engine(), Engine)
         monkeypatch.setenv("REPRO_ENGINE", "wheel")
         assert isinstance(make_engine(), WheelEngine)
+
+    def test_make_engine_resolution_suffix(self, monkeypatch):
+        from repro.simos.kernel import make_engine
+
+        engine = make_engine("wheel:10")
+        assert isinstance(engine, WheelEngine)
+        assert engine.resolution_bits == 10
+        assert engine._adaptive is False  # pinned resolution: no retuning
+        monkeypatch.setenv("REPRO_ENGINE", "wheel:5")
+        assert make_engine().resolution_bits == 5
+        with pytest.raises(SimulationError):
+            make_engine("heap:7")
+        with pytest.raises(SimulationError):
+            make_engine("wheel:fine")
+        with pytest.raises(SimulationError):
+            make_engine("wheel:99")
 
     def test_kernel_runs_on_wheel_core(self):
         from repro.simos.kernel import Kernel
@@ -401,3 +423,309 @@ class TestKernelIntegration:
         kernel.spawn("worker", worker())
         kernel.run(until=5.0)
         assert done and done[0] > 0.5
+
+
+class TestSparseBypass:
+    def test_sparse_posts_live_in_ready_band(self):
+        engine = WheelEngine()
+        for i in range(4):
+            engine.post_after(float(i + 1), lambda: None)
+        # All four posts bypassed the slot machinery.
+        assert len(engine._ready) == 4
+        assert engine._bm0 == engine._bm1 == engine._bm2 == 0
+
+    def test_dense_posts_graduate_to_slots(self):
+        engine = WheelEngine()
+        for i in range(40):
+            engine.post_after(0.25 + (i % 16) * 0.0625, lambda: None)
+        assert engine._bm0 != 0  # population outgrew the bypass
+        assert len(engine._ready) <= 8
+
+    def test_mixed_band_population_fires_in_order(self):
+        # Entries split across ready (early sparse posts) and slots
+        # (later dense posts) must still interleave in exact time order.
+        engine = WheelEngine()
+        fired = []
+        times = [1.75, 0.25, 1.25, 0.75, 1.5, 0.5, 1.0, 2.0]
+        for t in times:
+            engine.post_at(t, fired.append, t)
+        for t in (0.3, 0.6, 0.9, 1.2, 1.8):
+            engine.post_at(t, fired.append, t)
+        engine.run()
+        assert fired == sorted(times + [0.3, 0.6, 0.9, 1.2, 1.8])
+
+    def test_bypass_matches_heap_exactly(self):
+        def drive(engine):
+            log = []
+
+            def hop(n):
+                log.append((engine.now, n))
+                if n:
+                    engine.post_after(0.37, hop, n - 1)
+
+            engine.post_after(0.0, hop, 500)
+            engine.run()
+            return log, engine.now, engine.events_fired
+
+        assert drive(WheelEngine()) == drive(Engine())
+
+    def test_threshold_zero_disables_bypass(self):
+        engine = WheelEngine(sparse_threshold=0)
+        engine.post_after(1.0, lambda: None)
+        assert not engine._ready
+        assert engine._bm0 != 0
+
+
+class TestAdaptiveResolution:
+    def _fill_reservoir(self, engine, delay):
+        # The reservoir samples every 64th post; drive enough posts that
+        # suggest_resolution_bits has >= 32 samples.
+        for _ in range(64 * 40):
+            engine.post_after(delay, lambda: None)
+        engine.drain()
+
+    def test_default_engine_is_adaptive(self):
+        assert WheelEngine()._adaptive is True
+        assert WheelEngine(resolution_bits=7)._adaptive is False
+        assert WheelEngine(resolution_bits=7, adaptive=True)._adaptive is True
+
+    def test_static_fallback_without_samples(self):
+        engine = WheelEngine()
+        assert engine.suggest_resolution_bits() == 7
+
+    def test_suggests_coarser_for_long_delays(self):
+        # Delays of ~1000s at 1/128s resolution live in L2/overflow; the
+        # cost model must prefer a coarser resolution that pulls them
+        # into the cheap levels.
+        engine = WheelEngine()
+        self._fill_reservoir(engine, 1000.0)
+        assert engine.suggest_resolution_bits() < 7
+
+    def test_suggests_finer_for_sub_tick_delays(self):
+        # Delays far below one tick all collide in the same tick; finer
+        # resolution spreads them over slots.
+        engine = WheelEngine()
+        self._fill_reservoir(engine, 0.0005)
+        assert engine.suggest_resolution_bits() > 7
+
+    def test_adapt_resolution_rebuilds_and_preserves_order(self):
+        engine = WheelEngine(sparse_threshold=0)
+        fired = []
+        times = [0.5, 3.0, 1.25, 600.0, 0.75, 131073.0, 2.0]
+        for t in times:
+            engine.post_at(t, fired.append, t)
+        handle = engine.call_at(1.5, fired.append, "cancelled")
+        handle.cancel()
+        assert engine.adapt_resolution(4) is True
+        assert engine.resolution_bits == 4
+        assert engine.adaptations == 1
+        assert engine._audit_slots() == []
+        engine.run()
+        assert fired == sorted(times)
+
+    def test_adapt_resolution_noop_when_unchanged(self):
+        engine = WheelEngine()
+        assert engine.adapt_resolution(7) is False
+        assert engine.adaptations == 0
+
+    def test_adapt_resolution_validates_bits(self):
+        engine = WheelEngine()
+        with pytest.raises(SimulationError):
+            engine.adapt_resolution(21)
+
+    def test_online_adaptation_triggers_on_long_delay_workload(self):
+        # A chain workload whose delays are all ~512s (deep L1/L2 at
+        # 1/128s) must trigger an automatic coarsening within the first
+        # adaptation window (16384 posts) — and keep firing in order.
+        engine = WheelEngine(sparse_threshold=0)
+        count = [0]
+
+        def hop():
+            count[0] += 1
+            if count[0] < 20000:
+                for _ in range(9):
+                    engine.post_after(500.0 + (count[0] % 7) * 10.0, hop)
+
+        engine.post_after(500.0, hop)
+        engine.run(max_events=20000)
+        assert engine.adaptations >= 1
+        assert engine.resolution_bits < 7
+        assert engine._audit_slots() == []
+
+    def test_adaptation_identical_logs_vs_heap(self):
+        # The adaptive wheel must stay bit-identical to the heap through
+        # resolution rebuilds.
+        def drive(engine):
+            log = []
+
+            def hop(tag, n, d):
+                log.append((round(engine.now, 9), tag))
+                if n:
+                    engine.post_after(d, hop, tag, n - 1, d)
+
+            for tag, d in ((1, 700.0), (2, 0.001), (3, 35.0)):
+                engine.post_after(d, hop, tag, 6000, d)
+            engine.run(max_events=17000)
+            return log, engine.events_fired
+
+        wheel = WheelEngine()
+        wheel_log = drive(wheel)
+        assert wheel_log == drive(Engine())
+        assert wheel.adaptations >= 1  # the workload actually retuned
+
+
+class TestLevels:
+    def test_levels_validated(self):
+        with pytest.raises(SimulationError):
+            WheelEngine(levels=0)
+        with pytest.raises(SimulationError):
+            WheelEngine(levels=4)
+
+    @pytest.mark.parametrize("levels", [1, 2, 3])
+    def test_order_parity_across_depths(self, levels):
+        # Identical event logs at every wheel depth: entries past the
+        # shortened horizon ride the overflow band instead of upper
+        # levels, which must be invisible except for speed.
+        def drive(engine):
+            fired = []
+            times = [0.5, 3.0, 600.0, 1.25, 131073.0, 7.0, 0.25]
+            for t in times:
+                engine.post_at(t, fired.append, t)
+            engine.run()
+            return fired, engine.now, engine.events_fired
+
+        assert drive(WheelEngine(levels=levels, sparse_threshold=0)) == drive(Engine())
+
+    def test_shallow_wheel_uses_overflow_not_upper_levels(self):
+        engine = WheelEngine(levels=1, sparse_threshold=0)
+        engine.post_at(600.0, lambda: None)  # far past the 2s L0 horizon
+        assert engine._bm1 == engine._bm2 == 0
+        assert len(engine._overflow) == 1
+
+
+class TestHorizonClamp:
+    """Satellite regression tests: shared clamp for huge horizons."""
+
+    def test_clamp_horizon_contract(self):
+        from repro.simos.engine import TICK_INDEX_LIMIT, clamp_horizon
+
+        assert clamp_horizon(1.5, 10.0) == 1.5
+        assert clamp_horizon(float("inf"), 256.0) == 256.0
+        assert clamp_horizon(2.0**70, TICK_INDEX_LIMIT) == TICK_INDEX_LIMIT
+        assert clamp_horizon(2.0**70, float("inf")) == 2.0**70
+        with pytest.raises(SimulationError):
+            clamp_horizon(float("nan"), 10.0)
+
+    def test_capped_backoff_shares_the_clamp(self):
+        from repro.core.suspension import capped_backoff
+
+        assert capped_backoff(1.0, 5000, 256.0) == 256.0
+        assert capped_backoff(1.0, 70, float("inf")) == 2.0**70
+        assert capped_backoff(1e300, 100, float("inf")) == float("inf")
+
+    @pytest.mark.parametrize("make", [Engine, WheelEngine])
+    def test_post_at_inf_raises_on_both_cores(self, make):
+        engine = make()
+        with pytest.raises(SimulationError):
+            engine.post_at(float("inf"), lambda: None)
+        with pytest.raises(SimulationError):
+            engine.post_after(float("inf"), lambda: None)
+
+    @pytest.mark.parametrize("make", [Engine, WheelEngine])
+    def test_post_at_2_pow_70_fires_in_order_on_both_cores(self, make):
+        # 2**70 seconds scales past the addressable tick range (2**70 *
+        # 128 ticks/s >> 2**63) but is a legal finite event time: it must
+        # schedule, order after every nearer event, and fire.
+        engine = make()
+        fired = []
+        engine.post_at(2.0**70, fired.append, "far")
+        engine.post_at(2.0**70 + 1e55, fired.append, "farther")
+        engine.post_at(1.0, fired.append, "near")
+        assert engine.pending == 3
+        engine.run()
+        assert fired == ["near", "far", "farther"]
+        assert engine.now == 2.0**70 + 1e55
+
+    def test_wheel_overflow_band_holds_past_tick_limit(self):
+        engine = WheelEngine(sparse_threshold=0)
+        engine.post_at(2.0**70, lambda: None)
+        engine.post_at(2.0**56 / 128.0, lambda: None)  # inside the limit
+        assert len(engine._overflow) == 2
+        assert engine._audit_slots() == []
+
+
+class TestSkipAhead:
+    """Satellite property tests: idle advance is O(occupied slots)."""
+
+    def test_idle_wheel_advance_fires_nothing_and_scans_little(self):
+        # Advancing an *empty* wheel across a huge horizon must cost a
+        # constant number of refill scans, not O(ticks crossed).
+        engine = WheelEngine()
+        before = engine._scan_iters
+        engine.run(until=100000.0)  # 12.8M ticks at 1/128s
+        assert engine.events_fired == 0
+        assert engine.now == 100000.0
+        assert engine._scan_iters - before <= 4
+
+    @pytest.mark.parametrize("horizon", [10.0, 1000.0, 100000.0])
+    def test_sparse_occupancy_advance_work_scales_with_events(self, horizon):
+        # A wheel holding k events spread over an arbitrary horizon does
+        # O(k) refill scans to drain, independent of the tick distance:
+        # the occupancy bitmaps skip every empty slot in O(1).
+        engine = WheelEngine(sparse_threshold=0)
+        k = 12
+        for i in range(k):
+            engine.post_at(horizon * (i + 1) / k, lambda: None)
+        before = engine._scan_iters
+        engine.run()
+        scans = engine._scan_iters - before
+        # Each event costs at most a few scans (slot load + cascade
+        # per level + final empty sweep); the bound must not grow with
+        # the horizon.
+        assert engine.events_fired == k
+        assert scans <= 6 * k
+        assert engine._audit_slots() == []
+
+    def test_audit_slots_clean_after_idle_advances(self):
+        engine = WheelEngine(sparse_threshold=0)
+        engine.post_at(50000.0, lambda: None)
+        engine.run(until=1000.0)
+        assert engine._audit_slots() == []
+        engine.run(until=49999.0)
+        assert engine._audit_slots() == []
+        engine.run()
+        assert engine.events_fired == 1
+        assert engine._audit_slots() == []
+
+    def test_cancel_then_skip_ahead_race(self):
+        # Cancel the only occupant of a far slot, then advance past it:
+        # the skip-ahead must account the stale entry and fire nothing.
+        engine = WheelEngine(sparse_threshold=0)
+        fired = []
+        victim = engine.call_at(5000.0, fired.append, "victim")
+        engine.post_at(9000.0, fired.append, "survivor")
+        victim.cancel()
+        engine.run(until=8000.0)
+        assert fired == []
+        engine.run()
+        assert fired == ["survivor"]
+        assert engine.pending == 0
+        assert engine._stale == 0
+        assert engine._audit_slots() == []
+
+    def test_cancel_mid_advance_from_callback(self):
+        # A callback cancels a handle sitting in a future slot while the
+        # cursor is mid-flight; later skip-aheads must stay consistent.
+        engine = WheelEngine(sparse_threshold=0)
+        fired = []
+        far = engine.call_at(700.0, fired.append, "far")
+
+        def killer():
+            fired.append("killer")
+            far.cancel()
+
+        engine.post_at(1.0, killer)
+        engine.post_at(900.0, fired.append, "end")
+        engine.run()
+        assert fired == ["killer", "end"]
+        assert engine._audit_slots() == []

@@ -189,7 +189,7 @@ class TestSpecDefinition:
 class TestRegistry:
     def test_builtin_specs_registered(self):
         for name in (
-            "fig3_database", "fig5_idle", "fig6_contended",
+            "fig3_database", "fig4_setup", "fig5_idle", "fig6_contended",
             "fig6_defrag_alone", "fig6_database_alone",
             "ablation_backoff", "ablation_comparator", "smoke",
         ):
@@ -234,6 +234,33 @@ class TestRunExperiment:
             scale=0.01,
         )
         assert samples_by_cell(report, "li_time") == legacy
+
+    def test_fig4_port_matches_legacy_mode_sweep_bit_identically(self):
+        """The fig4_setup port: same scenario/seeds/samples as the sweep.
+
+        Runs the ported shape (groveler_setup, seed_base=2000) at a tiny
+        scale and a two-mode subset against the legacy ``mode_sweep``
+        path it replaced; samples must be bit-identical.
+        """
+        spec = ExperimentSpec(
+            name="fig4_tiny",
+            scenario="groveler_setup",
+            variables={"mode": ("not running", "MS Manners")},
+            metrics=("hi_time",),
+            seed_base=2000,
+            trials=2,
+            scale=0.01,
+        )
+        report = run_experiment(spec)
+        legacy = mode_sweep(
+            "groveler_setup",
+            (RegulationMode.NOT_RUNNING, RegulationMode.MS_MANNERS),
+            "hi_time",
+            trials=2,
+            seed_base=2000,
+            scale=0.01,
+        )
+        assert samples_by_cell(report, "hi_time") == legacy
 
     def test_serial_parallel_digest_parity(self):
         serial = run_experiment(TINY, jobs=1)
